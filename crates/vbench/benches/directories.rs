@@ -1,0 +1,81 @@
+//! Wall-clock analogue of EXP-6: context-directory read vs enumerate +
+//! per-object query (paper §5.6), plus the pattern-matching extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vbench::BenchClient;
+use vkernel::Domain;
+use vproto::{ContextId, ContextPair, Scope, ServiceId};
+use vruntime::NameClient;
+use vservers::{file_server, FileServerConfig};
+
+fn boot(n: usize) -> (Domain, vproto::LogicalHost, vproto::Pid) {
+    let domain = Domain::new();
+    let host = domain.add_host();
+    let preload = (0..n)
+        .map(|i| (format!("dir/file{i:04}.dat"), vec![0u8; 64]))
+        .collect();
+    let fs = domain.spawn(host, "fs", move |ctx| {
+        file_server(
+            ctx,
+            FileServerConfig {
+                preload,
+                ..FileServerConfig::default()
+            },
+        )
+    });
+    while domain
+        .registry()
+        .lookup(ServiceId::FILE_SERVER, Scope::Both, host)
+        .is_none()
+    {
+        std::thread::yield_now();
+    }
+    (domain, host, fs)
+}
+
+fn bench_listing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_directory");
+    for n in [16usize, 128] {
+        let (domain, host, fs) = boot(n);
+
+        let dir_client = BenchClient::spawn(&domain, host, move |ctx| {
+            let nc = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
+            let records = nc.list_directory("dir", None).unwrap();
+            assert_eq!(records.len(), n);
+        });
+        group.bench_with_input(BenchmarkId::new("context_directory", n), &n, |b, _| {
+            b.iter_custom(|iters| dir_client.time_batch(iters))
+        });
+        drop(dir_client);
+
+        let enum_client = BenchClient::spawn(&domain, host, move |ctx| {
+            let nc = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
+            // Enumerate (via the directory) then query each object — the
+            // §5.6 alternative the paper argues against.
+            let records = nc.list_directory("dir", None).unwrap();
+            for r in &records {
+                nc.query(&format!("dir/{}", r.name.to_string_lossy())).unwrap();
+            }
+        });
+        group.bench_with_input(BenchmarkId::new("enumerate_plus_query", n), &n, |b, _| {
+            b.iter_custom(|iters| enum_client.time_batch(iters))
+        });
+        drop(enum_client);
+
+        let pat_client = BenchClient::spawn(&domain, host, move |ctx| {
+            let nc = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
+            let records = nc.list_directory("dir", Some("file000?.dat")).unwrap();
+            assert!(records.len() <= 10);
+        });
+        group.bench_with_input(BenchmarkId::new("pattern_filtered", n), &n, |b, _| {
+            b.iter_custom(|iters| pat_client.time_batch(iters))
+        });
+        drop(pat_client);
+
+        domain.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_listing);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Wall-clock analogues of EXP-7 (distributed vs centralized naming) and
+//! EXP-8 (GetPid local table vs broadcast search).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vbench::BenchClient;
+use vcentral::{central_name_server, object_store, CentralClient};
+use vkernel::Domain;
+use vproto::{ContextId, ContextPair, OpenMode, Scope, ServiceId};
+use vruntime::NameClient;
+use vservers::{file_server, FileServerConfig};
+
+fn wait(domain: &Domain, host: vproto::LogicalHost, svc: ServiceId) {
+    while domain.registry().lookup(svc, Scope::Both, host).is_none() {
+        std::thread::yield_now();
+    }
+}
+
+fn bench_models(c: &mut Criterion) {
+    let domain = Domain::new();
+    let (ws, sm) = (domain.add_host(), domain.add_host());
+    let fs = domain.spawn(sm, "fs", |ctx| {
+        file_server(
+            ctx,
+            FileServerConfig {
+                preload: vec![("obj.dat".into(), vec![0u8; 64])],
+                ..FileServerConfig::default()
+            },
+        )
+    });
+    domain.spawn(sm, "central", |ctx| central_name_server(ctx));
+    let store = domain.spawn(sm, "store", |ctx| object_store(ctx));
+    wait(&domain, ws, ServiceId::CENTRAL_NAME_SERVER);
+    wait(&domain, ws, ServiceId::FILE_SERVER);
+    domain.client(ws, move |ctx| {
+        let central = CentralClient::new(ctx).unwrap();
+        central.create(store, "obj.dat", &[0u8; 64]).unwrap();
+    });
+
+    let mut group = c.benchmark_group("lookup_models");
+    let dist = BenchClient::spawn(&domain, ws, move |ctx| {
+        let nc = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
+        nc.open("obj.dat", OpenMode::Read).unwrap();
+    });
+    group.bench_function("open_distributed", |b| {
+        b.iter_custom(|iters| dist.time_batch(iters))
+    });
+    drop(dist);
+
+    let central = BenchClient::spawn(&domain, ws, move |ctx| {
+        let cc = CentralClient::new(ctx).unwrap();
+        cc.open("obj.dat").unwrap();
+    });
+    group.bench_function("open_centralized", |b| {
+        b.iter_custom(|iters| central.time_batch(iters))
+    });
+    drop(central);
+    group.finish();
+    domain.shutdown();
+}
+
+fn bench_getpid(c: &mut Criterion) {
+    let domain = Domain::new();
+    let (ws, far) = (domain.add_host(), domain.add_host());
+    domain.spawn(ws, "local-svc", |ctx| {
+        ctx.set_pid(ServiceId::TIME_SERVER, Scope::Both);
+        while ctx.receive().is_ok() {}
+    });
+    domain.spawn(far, "far-svc", |ctx| {
+        ctx.set_pid(ServiceId::PRINT_SERVER, Scope::Both);
+        while ctx.receive().is_ok() {}
+    });
+    wait(&domain, ws, ServiceId::TIME_SERVER);
+    wait(&domain, ws, ServiceId::PRINT_SERVER);
+
+    let mut group = c.benchmark_group("getpid");
+    let local = BenchClient::spawn(&domain, ws, |ctx| {
+        assert!(ctx.get_pid(ServiceId::TIME_SERVER, Scope::Both).is_some());
+    });
+    group.bench_function("local_table_hit", |b| {
+        b.iter_custom(|iters| local.time_batch(iters))
+    });
+    drop(local);
+
+    let remote = BenchClient::spawn(&domain, ws, |ctx| {
+        assert!(ctx.get_pid(ServiceId::PRINT_SERVER, Scope::Both).is_some());
+    });
+    group.bench_function("broadcast_hit", |b| {
+        b.iter_custom(|iters| remote.time_batch(iters))
+    });
+    drop(remote);
+    group.finish();
+    domain.shutdown();
+}
+
+criterion_group!(benches, bench_models, bench_getpid);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Wall-clock analogue of EXP-4: `Open` in the current context vs through
+//! the context prefix server (the paper's §6 table), on the thread kernel.
+//!
+//! Absolute numbers are modern-hardware microseconds, not 1984
+//! milliseconds; the *shape* under test is the same: prefix-routed opens
+//! pay a constant extra cost for the prefix server's processing,
+//! independent of where the target server is.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vbench::BenchClient;
+use vkernel::Domain;
+use vproto::{ContextId, ContextPair, OpenMode, Scope, ServiceId};
+use vruntime::NameClient;
+use vservers::{file_server, prefix_server, FileServerConfig, PrefixConfig};
+
+fn bench_open(c: &mut Criterion) {
+    let domain = Domain::new();
+    let ws = domain.add_host();
+    let machine_b = domain.add_host();
+    let local_fs = domain.spawn(ws, "local-fs", |ctx| {
+        file_server(
+            ctx,
+            FileServerConfig {
+                service_scope: Some(Scope::Local),
+                preload: vec![("paper.txt".into(), b"bench".to_vec())],
+                ..FileServerConfig::default()
+            },
+        )
+    });
+    let remote_fs = domain.spawn(machine_b, "remote-fs", |ctx| {
+        file_server(
+            ctx,
+            FileServerConfig {
+                preload: vec![("paper.txt".into(), b"bench".to_vec())],
+                ..FileServerConfig::default()
+            },
+        )
+    });
+    domain.spawn(ws, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+    while domain
+        .registry()
+        .lookup(ServiceId::CONTEXT_PREFIX, Scope::Both, ws)
+        .is_none()
+    {
+        std::thread::yield_now();
+    }
+    domain.client(ws, move |ctx| {
+        let client = NameClient::new(ctx, ContextPair::new(local_fs, ContextId::DEFAULT));
+        client
+            .add_prefix("local", ContextPair::new(local_fs, ContextId::DEFAULT))
+            .unwrap();
+        client
+            .add_prefix("remote", ContextPair::new(remote_fs, ContextId::DEFAULT))
+            .unwrap();
+    });
+
+    let mut group = c.benchmark_group("open_paths");
+    let cases: [(&str, vproto::Pid, &str); 4] = [
+        ("current_ctx_local", local_fs, "paper.txt"),
+        ("current_ctx_remote", remote_fs, "paper.txt"),
+        ("prefix_local", local_fs, "[local]paper.txt"),
+        ("prefix_remote", remote_fs, "[remote]paper.txt"),
+    ];
+    for (label, server, name) in cases {
+        let name = name.to_string();
+        let client = BenchClient::spawn(&domain, ws, move |ctx| {
+            let nc = NameClient::new(ctx, ContextPair::new(server, ContextId::DEFAULT));
+            nc.open(&name, OpenMode::Read).unwrap();
+        });
+        group.bench_function(label, |b| b.iter_custom(|iters| client.time_batch(iters)));
+        drop(client);
+    }
+    group.finish();
+    domain.shutdown();
+}
+
+criterion_group!(benches, bench_open);
+criterion_main!(benches);

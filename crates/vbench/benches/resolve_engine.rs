@@ -1,0 +1,121 @@
+//! Microbenchmarks of the pure name-handling engine (no IPC): the
+//! resolution procedure of §5.4, prefix parsing, descriptor encoding, and
+//! glob matching — the CPU work a CSNH server does per request.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use vnaming::{match_pattern, resolve, ComponentSpace, DirectoryBuilder, Outcome, Step};
+use vproto::{ContextId, CsName, DescriptorTag, ObjectDescriptor};
+
+/// A synthetic n-level deep, k-wide name space.
+struct Tree {
+    levels: Vec<HashMap<Vec<u8>, Step<u32>>>,
+}
+
+impl Tree {
+    fn new(depth: usize, width: usize) -> Tree {
+        let mut levels = Vec::new();
+        for level in 0..depth {
+            let mut m = HashMap::new();
+            for i in 0..width {
+                let name = format!("d{i:03}").into_bytes();
+                if level + 1 < depth {
+                    m.insert(name, Step::Context(ContextId::new(level as u32 + 1)));
+                } else {
+                    m.insert(name, Step::Object(i as u32));
+                }
+            }
+            levels.push(m);
+        }
+        Tree { levels }
+    }
+}
+
+impl ComponentSpace for Tree {
+    type Object = u32;
+    fn step(&self, ctx: ContextId, comp: &[u8]) -> Step<u32> {
+        self.levels
+            .get(ctx.raw() as usize)
+            .and_then(|m| m.get(comp).cloned())
+            .unwrap_or(Step::NotFound)
+    }
+    fn valid_context(&self, ctx: ContextId) -> bool {
+        (ctx.raw() as usize) < self.levels.len()
+    }
+}
+
+fn bench_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resolve");
+    for depth in [2usize, 8, 32] {
+        let tree = Tree::new(depth, 64);
+        let name: Vec<u8> = (0..depth)
+            .map(|_| "d001".to_string())
+            .collect::<Vec<_>>()
+            .join("/")
+            .into_bytes();
+        group.bench_with_input(BenchmarkId::new("path_depth", depth), &depth, |b, _| {
+            b.iter(|| {
+                let out = resolve(&tree, &name, 0, ContextId::new(0), b'/');
+                assert!(matches!(out, Outcome::Done { .. }));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_prefix_parse(c: &mut Criterion) {
+    let name = CsName::from("[storage-server-7]projects/v/naming/resolve.rs");
+    c.bench_function("prefix_parse", |b| {
+        b.iter(|| {
+            let p = name.parse_prefix().unwrap();
+            assert_eq!(p.prefix, b"storage-server-7");
+        })
+    });
+}
+
+fn bench_descriptor_codec(c: &mut Criterion) {
+    let d = ObjectDescriptor::new(DescriptorTag::File, CsName::from("naming.mss"))
+        .with_owner(CsName::from("cheriton"))
+        .with_size(40_960)
+        .with_modified(123_456);
+    let encoded = d.encode();
+    c.bench_function("descriptor/encode", |b| b.iter(|| d.encode()));
+    c.bench_function("descriptor/decode", |b| {
+        b.iter(|| ObjectDescriptor::decode_one(&encoded).unwrap())
+    });
+
+    let mut builder = DirectoryBuilder::new();
+    for i in 0..128 {
+        builder.push(
+            &ObjectDescriptor::new(DescriptorTag::File, CsName::from(format!("file{i:04}"))),
+        );
+    }
+    let dir = builder.finish();
+    c.bench_function("descriptor/decode_directory_128", |b| {
+        b.iter(|| ObjectDescriptor::decode_directory(&dir).unwrap())
+    });
+}
+
+fn bench_glob(c: &mut Criterion) {
+    let cases: [(&[u8], &[u8]); 3] = [
+        (b"naming.mss", b"*.mss"),
+        (b"a-rather-long-file-name.tar.gz", b"*-file-*.tar.?z"),
+        (b"aaaaaaaaaaaaaaaaaaaab", b"a*a*a*b"),
+    ];
+    c.bench_function("glob_match", |b| {
+        b.iter(|| {
+            for (name, pat) in cases {
+                assert!(match_pattern(name, pat));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_resolution,
+    bench_prefix_parse,
+    bench_descriptor_codec,
+    bench_glob
+);
+criterion_main!(benches);

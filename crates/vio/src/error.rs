@@ -1,0 +1,92 @@
+//! I/O-protocol error reporting.
+
+use std::fmt;
+use vkernel::IpcError;
+use vproto::ReplyCode;
+
+/// Errors surfaced by V I/O protocol operations: either the transport
+/// failed (kernel-level) or the server refused (protocol-level reply code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoError {
+    /// The kernel transaction failed.
+    Ipc(IpcError),
+    /// The server answered with a failure reply code.
+    Server(ReplyCode),
+}
+
+impl IoError {
+    /// Returns the server reply code, if this is a server-side failure.
+    pub fn reply_code(&self) -> Option<ReplyCode> {
+        match self {
+            IoError::Server(code) => Some(*code),
+            IoError::Ipc(_) => None,
+        }
+    }
+
+    /// Returns `true` for the end-of-file condition.
+    pub fn is_eof(&self) -> bool {
+        matches!(self, IoError::Server(ReplyCode::EndOfFile))
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Ipc(e) => write!(f, "transport failure: {e}"),
+            IoError::Server(code) => write!(f, "server refused: {code}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<IpcError> for IoError {
+    fn from(e: IpcError) -> Self {
+        IoError::Ipc(e)
+    }
+}
+
+impl From<ReplyCode> for IoError {
+    fn from(code: ReplyCode) -> Self {
+        IoError::Server(code)
+    }
+}
+
+/// Converts a reply message code into a `Result`.
+pub(crate) fn check(code: ReplyCode) -> Result<(), IoError> {
+    if code.is_ok() {
+        Ok(())
+    } else {
+        Err(IoError::Server(code))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eof_detection() {
+        assert!(IoError::Server(ReplyCode::EndOfFile).is_eof());
+        assert!(!IoError::Server(ReplyCode::NotFound).is_eof());
+        assert!(!IoError::Ipc(IpcError::NoProcess).is_eof());
+    }
+
+    #[test]
+    fn reply_code_extraction() {
+        assert_eq!(
+            IoError::Server(ReplyCode::NoPermission).reply_code(),
+            Some(ReplyCode::NoPermission)
+        );
+        assert_eq!(IoError::Ipc(IpcError::Shutdown).reply_code(), None);
+    }
+
+    #[test]
+    fn check_maps_codes() {
+        assert!(check(ReplyCode::Ok).is_ok());
+        assert_eq!(
+            check(ReplyCode::BadArgs),
+            Err(IoError::Server(ReplyCode::BadArgs))
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for instance management (paper §4.3 invariants).
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use vio::InstanceTable;
+use vproto::{LogicalHost, OpenMode, Pid};
+
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Open(u8),
+    Release(u8),
+    ReleaseOwner(u8),
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        any::<u8>().prop_map(Action::Open),
+        any::<u8>().prop_map(Action::Release),
+        (0u8..4).prop_map(Action::ReleaseOwner),
+    ]
+}
+
+proptest! {
+    /// Live instance ids are always unique, releases always balance opens,
+    /// and no sequence of operations panics.
+    #[test]
+    fn instance_ids_stay_unique(actions in proptest::collection::vec(arb_action(), 0..200)) {
+        let mut table: InstanceTable<u32> = InstanceTable::new();
+        let mut live: Vec<vproto::InstanceId> = Vec::new();
+        let mut opened = 0usize;
+        let mut released = 0usize;
+        for action in actions {
+            match action {
+                Action::Open(owner) => {
+                    let pid = Pid::new(LogicalHost::new(1), owner as u16 % 4);
+                    let id = table.open(pid, OpenMode::Read, owner as u32);
+                    prop_assert!(!live.contains(&id), "id {id:?} reused while live");
+                    live.push(id);
+                    opened += 1;
+                }
+                Action::Release(i) => {
+                    if !live.is_empty() {
+                        let id = live.remove(i as usize % live.len());
+                        prop_assert!(table.release(id).is_some());
+                        released += 1;
+                    }
+                }
+                Action::ReleaseOwner(owner) => {
+                    let pid = Pid::new(LogicalHost::new(1), owner as u16 % 4);
+                    let n = table.release_owner(pid);
+                    live.retain(|id| table.get(*id).is_some());
+                    released += n;
+                }
+            }
+            // The table's view and ours agree.
+            prop_assert_eq!(table.len(), live.len());
+            let distinct: HashSet<_> = live.iter().collect();
+            prop_assert_eq!(distinct.len(), live.len());
+        }
+        prop_assert_eq!(opened - released, table.len());
+    }
+
+    /// `serve_read` returns exactly the requested window, clamped at EOF,
+    /// and never panics.
+    #[test]
+    fn serve_read_window_invariants(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        offset in 0u64..512,
+        count in 0usize..512,
+    ) {
+        match vio::serve_read(&data, offset, count) {
+            Ok(window) => {
+                prop_assert!((offset as usize) < data.len());
+                prop_assert!(window.len() <= count);
+                prop_assert_eq!(
+                    window,
+                    &data[offset as usize..(offset as usize + count).min(data.len())]
+                );
+            }
+            Err(code) => {
+                prop_assert_eq!(code, vproto::ReplyCode::EndOfFile);
+                prop_assert!(offset as usize >= data.len());
+            }
+        }
+    }
+}

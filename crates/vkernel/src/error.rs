@@ -1,0 +1,70 @@
+//! Kernel-level error reporting.
+
+use std::fmt;
+
+/// Errors surfaced by the kernel IPC primitives.
+///
+/// The V primitives themselves had few failure modes — a blocked `Send`
+/// either completes or the kernel discovers the receiver is gone. The
+/// variants below cover process death, domain shutdown, and the small number
+/// of argument errors the primitives can detect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpcError {
+    /// The destination pid names no live process.
+    NoProcess,
+    /// The receiver (or forwardee) died while holding the transaction.
+    ProcessDied,
+    /// A group send completed with no member replying.
+    NoReply,
+    /// `MoveTo`/reply data exceeded the sender's receive buffer capacity.
+    BufferOverflow,
+    /// The process was killed (its `Receive` was interrupted).
+    Killed,
+    /// The domain is shutting down.
+    Shutdown,
+    /// The group id names no group.
+    NoSuchGroup,
+    /// The operation is invalid in the current transaction state.
+    BadOperation(&'static str),
+}
+
+impl fmt::Display for IpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpcError::NoProcess => write!(f, "no such process"),
+            IpcError::ProcessDied => write!(f, "process died during transaction"),
+            IpcError::NoReply => write!(f, "no group member replied"),
+            IpcError::BufferOverflow => write!(f, "reply data exceeded receive buffer capacity"),
+            IpcError::Killed => write!(f, "process killed"),
+            IpcError::Shutdown => write!(f, "domain shut down"),
+            IpcError::NoSuchGroup => write!(f, "no such process group"),
+            IpcError::BadOperation(what) => write!(f, "invalid operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for IpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_punctuation() {
+        for e in [
+            IpcError::NoProcess,
+            IpcError::ProcessDied,
+            IpcError::NoReply,
+            IpcError::BufferOverflow,
+            IpcError::Killed,
+            IpcError::Shutdown,
+            IpcError::NoSuchGroup,
+            IpcError::BadOperation("x"),
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+            assert_eq!(s, s.to_lowercase());
+        }
+    }
+}

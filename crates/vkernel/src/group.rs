@@ -1,0 +1,133 @@
+//! Process groups for multicast send (paper §2.3 and §7).
+//!
+//! The paper's planned future work replaces `GetPid`/`SetPid`-based service
+//! naming with a multicast `Send` to a group of servers that together
+//! implement a context. This module provides the group membership table;
+//! delivery semantics (first reply unblocks the sender) live in the kernels.
+
+use crate::api::GroupId;
+use parking_lot::RwLock;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU32, Ordering};
+use vproto::Pid;
+
+/// Membership table for process groups.
+#[derive(Debug, Default)]
+pub struct GroupTable {
+    next: AtomicU32,
+    groups: RwLock<HashMap<GroupId, BTreeSet<Pid>>>,
+}
+
+impl GroupTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        GroupTable {
+            next: AtomicU32::new(1),
+            groups: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Creates a new empty group and returns its id.
+    pub fn create(&self) -> GroupId {
+        let id = GroupId(self.next.fetch_add(1, Ordering::Relaxed));
+        self.groups.write().insert(id, BTreeSet::new());
+        id
+    }
+
+    /// Adds `pid` to `group`. Returns `false` if the group does not exist.
+    pub fn join(&self, group: GroupId, pid: Pid) -> bool {
+        match self.groups.write().get_mut(&group) {
+            Some(members) => {
+                members.insert(pid);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes `pid` from `group`. Returns `false` if the group does not
+    /// exist.
+    pub fn leave(&self, group: GroupId, pid: Pid) -> bool {
+        match self.groups.write().get_mut(&group) {
+            Some(members) => {
+                members.remove(&pid);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes `pid` from every group (process death).
+    pub fn remove_everywhere(&self, pid: Pid) {
+        for members in self.groups.write().values_mut() {
+            members.remove(&pid);
+        }
+    }
+
+    /// Returns the members of `group` in deterministic (pid) order, or
+    /// `None` if the group does not exist.
+    pub fn members(&self, group: GroupId) -> Option<Vec<Pid>> {
+        self.groups
+            .read()
+            .get(&group)
+            .map(|m| m.iter().copied().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vproto::LogicalHost;
+
+    fn pid(n: u16) -> Pid {
+        Pid::new(LogicalHost::new(1), n)
+    }
+
+    #[test]
+    fn create_join_leave() {
+        let t = GroupTable::new();
+        let g = t.create();
+        assert!(t.join(g, pid(1)));
+        assert!(t.join(g, pid(2)));
+        assert_eq!(t.members(g).unwrap(), vec![pid(1), pid(2)]);
+        assert!(t.leave(g, pid(1)));
+        assert_eq!(t.members(g).unwrap(), vec![pid(2)]);
+    }
+
+    #[test]
+    fn unknown_group_operations_fail() {
+        let t = GroupTable::new();
+        assert!(!t.join(GroupId(99), pid(1)));
+        assert!(!t.leave(GroupId(99), pid(1)));
+        assert!(t.members(GroupId(99)).is_none());
+    }
+
+    #[test]
+    fn joining_twice_is_idempotent() {
+        let t = GroupTable::new();
+        let g = t.create();
+        t.join(g, pid(1));
+        t.join(g, pid(1));
+        assert_eq!(t.members(g).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn death_removes_from_all_groups() {
+        let t = GroupTable::new();
+        let (a, b) = (t.create(), t.create());
+        t.join(a, pid(1));
+        t.join(b, pid(1));
+        t.join(b, pid(2));
+        t.remove_everywhere(pid(1));
+        assert!(t.members(a).unwrap().is_empty());
+        assert_eq!(t.members(b).unwrap(), vec![pid(2)]);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let t = GroupTable::new();
+        let a = t.create();
+        let b = t.create();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,193 @@
+//! The domain-wide service registry behind `SetPid`/`GetPid` (paper §4.2).
+//!
+//! Conceptually each kernel keeps a local table; a `GetPid` whose scope
+//! allows it queries other kernels by broadcast when the local table misses.
+//! In this reproduction the tables live in one shared structure, but lookup
+//! semantics (and, on the simulation kernel, costs) follow the distributed
+//! procedure: local table first, then the remote search.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use vproto::{LogicalHost, Pid, Scope, ServiceId};
+
+#[derive(Debug, Clone, Copy)]
+struct RegEntry {
+    pid: Pid,
+    scope: Scope,
+}
+
+/// How a successful `GetPid` was satisfied — drives cost accounting on the
+/// simulation kernel and EXP-8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupPath {
+    /// Found in the querying host's own kernel table.
+    LocalTable,
+    /// Found by broadcasting to the other kernels.
+    Broadcast,
+}
+
+/// The service-name table (paper §4.2).
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: RwLock<HashMap<ServiceId, Vec<RegEntry>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers `pid` as providing `service` within `scope`. A process
+    /// re-registering the same service replaces its earlier entry.
+    pub fn register(&self, service: ServiceId, pid: Pid, scope: Scope) {
+        let mut map = self.entries.write();
+        let list = map.entry(service).or_default();
+        if let Some(e) = list.iter_mut().find(|e| e.pid == pid) {
+            e.scope = scope;
+        } else {
+            list.push(RegEntry { pid, scope });
+        }
+    }
+
+    /// Removes every registration held by `pid` (on process death — the
+    /// rebinding situation of paper §4.2).
+    pub fn unregister_pid(&self, pid: Pid) {
+        let mut map = self.entries.write();
+        for list in map.values_mut() {
+            list.retain(|e| e.pid != pid);
+        }
+    }
+
+    /// Looks up `service` on behalf of a client on `from`, within `scope`.
+    ///
+    /// The local kernel table is consulted first (entries on `from` whose
+    /// registration scope serves local clients); on a miss, and if the
+    /// lookup scope permits, other hosts are searched (entries whose
+    /// registration scope serves remote clients). Ties break toward the
+    /// lowest pid for determinism.
+    pub fn lookup(
+        &self,
+        service: ServiceId,
+        scope: Scope,
+        from: LogicalHost,
+    ) -> Option<(Pid, LookupPath)> {
+        let map = self.entries.read();
+        let list = map.get(&service)?;
+        if scope.searches_local() {
+            let hit = list
+                .iter()
+                .filter(|e| e.pid.is_on(from) && e.scope.serves_local())
+                .map(|e| e.pid)
+                .min();
+            if let Some(pid) = hit {
+                return Some((pid, LookupPath::LocalTable));
+            }
+        }
+        if scope.searches_remote() {
+            let hit = list
+                .iter()
+                .filter(|e| !e.pid.is_on(from) && e.scope.serves_remote())
+                .map(|e| e.pid)
+                .min();
+            if let Some(pid) = hit {
+                return Some((pid, LookupPath::Broadcast));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: LogicalHost = LogicalHost::new(1);
+    const B: LogicalHost = LogicalHost::new(2);
+
+    fn pid(host: LogicalHost, n: u16) -> Pid {
+        Pid::new(host, n)
+    }
+
+    #[test]
+    fn local_hit_preferred_over_remote() {
+        let r = Registry::new();
+        r.register(ServiceId::FILE_SERVER, pid(A, 1), Scope::Both);
+        r.register(ServiceId::FILE_SERVER, pid(B, 2), Scope::Both);
+        let (p, path) = r.lookup(ServiceId::FILE_SERVER, Scope::Both, A).unwrap();
+        assert_eq!(p, pid(A, 1));
+        assert_eq!(path, LookupPath::LocalTable);
+    }
+
+    #[test]
+    fn remote_found_by_broadcast() {
+        let r = Registry::new();
+        r.register(ServiceId::FILE_SERVER, pid(B, 2), Scope::Both);
+        let (p, path) = r.lookup(ServiceId::FILE_SERVER, Scope::Both, A).unwrap();
+        assert_eq!(p, pid(B, 2));
+        assert_eq!(path, LookupPath::Broadcast);
+    }
+
+    #[test]
+    fn local_only_registration_invisible_remotely() {
+        // Paper §4.2: "simple local servers" vs "public servers".
+        let r = Registry::new();
+        r.register(ServiceId::CONTEXT_PREFIX, pid(A, 3), Scope::Local);
+        assert!(r.lookup(ServiceId::CONTEXT_PREFIX, Scope::Both, B).is_none());
+        assert!(r.lookup(ServiceId::CONTEXT_PREFIX, Scope::Both, A).is_some());
+    }
+
+    #[test]
+    fn remote_only_registration_invisible_locally() {
+        let r = Registry::new();
+        r.register(ServiceId::FILE_SERVER, pid(A, 3), Scope::Remote);
+        assert!(r.lookup(ServiceId::FILE_SERVER, Scope::Both, A).is_none());
+        assert_eq!(
+            r.lookup(ServiceId::FILE_SERVER, Scope::Both, B).unwrap().0,
+            pid(A, 3)
+        );
+    }
+
+    #[test]
+    fn lookup_scope_restricts_search() {
+        let r = Registry::new();
+        r.register(ServiceId::FILE_SERVER, pid(B, 2), Scope::Both);
+        // Client insists on a local server: miss.
+        assert!(r.lookup(ServiceId::FILE_SERVER, Scope::Local, A).is_none());
+        // Client insists on a remote server from B's own host: miss.
+        assert!(r.lookup(ServiceId::FILE_SERVER, Scope::Remote, B).is_none());
+    }
+
+    #[test]
+    fn reregistration_replaces_scope() {
+        let r = Registry::new();
+        r.register(ServiceId::FILE_SERVER, pid(A, 1), Scope::Local);
+        r.register(ServiceId::FILE_SERVER, pid(A, 1), Scope::Remote);
+        assert!(r.lookup(ServiceId::FILE_SERVER, Scope::Both, A).is_none());
+        assert_eq!(
+            r.lookup(ServiceId::FILE_SERVER, Scope::Both, B).unwrap().0,
+            pid(A, 1)
+        );
+    }
+
+    #[test]
+    fn unregister_pid_removes_all_services() {
+        let r = Registry::new();
+        r.register(ServiceId::FILE_SERVER, pid(A, 1), Scope::Both);
+        r.register(ServiceId::TIME_SERVER, pid(A, 1), Scope::Both);
+        r.unregister_pid(pid(A, 1));
+        assert!(r.lookup(ServiceId::FILE_SERVER, Scope::Both, A).is_none());
+        assert!(r.lookup(ServiceId::TIME_SERVER, Scope::Both, A).is_none());
+    }
+
+    #[test]
+    fn deterministic_tiebreak_by_lowest_pid() {
+        let r = Registry::new();
+        r.register(ServiceId::FILE_SERVER, pid(B, 9), Scope::Both);
+        r.register(ServiceId::FILE_SERVER, pid(B, 2), Scope::Both);
+        assert_eq!(
+            r.lookup(ServiceId::FILE_SERVER, Scope::Both, A).unwrap().0,
+            pid(B, 2)
+        );
+    }
+}

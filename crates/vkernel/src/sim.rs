@@ -1,0 +1,899 @@
+//! The virtual-time kernel: a deterministic discrete-event simulation of a V
+//! domain on 1984 hardware.
+//!
+//! Every process is still an OS thread running ordinary blocking code, but a
+//! baton-passing scheduler ensures exactly one runs at a time, in increasing
+//! virtual-time order. Each process carries a *local clock*; IPC primitives
+//! charge the calibrated costs from [`vnet::NetModel`] and deliver messages
+//! at the resulting virtual arrival times. Independent client/server pairs
+//! therefore overlap in virtual time even though execution is serialized,
+//! and repeated runs produce identical timings — which is what lets the
+//! `vsim` experiments regenerate the paper's milliseconds.
+//!
+//! Cost accounting rules (see DESIGN.md §4):
+//!
+//! * `Send`/`Forward`: one hop (CPU + wire + payload copy), arrival at the
+//!   target's kernel; local hops cost CPU only.
+//! * `Reply`: one hop priced by the accumulated `MoveTo` data plus reply
+//!   data — bulk results ride the reply, packetized.
+//! * `MoveFrom`: a memory copy locally; the calibrated short-segment fetch
+//!   (or a packetized bulk transfer) when the sender is remote.
+//! * `GetPid`: a kernel-table probe locally, a network broadcast otherwise.
+
+use crate::api::{GroupId, Ipc, PathInner, Received, Reply};
+use crate::error::IpcError;
+use crate::group::GroupTable;
+use crate::registry::{LookupPath, Registry};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+use vnet::{NetModel, Params1984, SimTime};
+use vproto::{LogicalHost, Message, Pid, Scope, ServiceId};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Running,
+    BlockedRecv,
+    BlockedSend,
+}
+
+struct SimEnvelope {
+    from: Pid,
+    msg: Message,
+    payload: Bytes,
+    txn_id: u64,
+}
+
+struct TxnState {
+    sender: Pid,
+    cap: usize,
+    buf: Vec<u8>,
+    outstanding: usize,
+    done: bool,
+}
+
+struct ProcState {
+    status: Status,
+    host: LogicalHost,
+    local_time: u64,
+    mailbox: BTreeMap<(u64, u64), SimEnvelope>,
+    resume: Option<Result<Reply, IpcError>>,
+    /// Transactions received but not yet replied/forwarded — failed over to
+    /// the blocked senders if this process dies while holding them.
+    holding: Vec<u64>,
+}
+
+struct SimState {
+    current: Option<Pid>,
+    ready: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    procs: HashMap<Pid, ProcState>,
+    txns: HashMap<u64, TxnState>,
+    hosts: HashSet<LogicalHost>,
+    next_host: u16,
+    next_local: HashMap<LogicalHost, u16>,
+    next_seq: u64,
+    next_txn: u64,
+    clock_max: u64,
+    shutdown: bool,
+}
+
+impl SimState {
+    fn seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    /// Picks the ready process with the smallest resume time and makes it
+    /// current; clears `current` when nothing is ready.
+    fn schedule_next(&mut self, cv: &Condvar) {
+        loop {
+            match self.ready.pop() {
+                Some(Reverse((t, _, pid_raw))) => {
+                    let pid = Pid::from_raw(pid_raw);
+                    match self.procs.get_mut(&pid) {
+                        Some(p) if p.status == Status::Ready => {
+                            p.status = Status::Running;
+                            p.local_time = p.local_time.max(t);
+                            self.clock_max = self.clock_max.max(p.local_time);
+                            self.current = Some(pid);
+                            cv.notify_all();
+                            return;
+                        }
+                        // Stale entry (process died); keep popping.
+                        _ => continue,
+                    }
+                }
+                None => {
+                    self.current = None;
+                    cv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Completes a transaction, waking the blocked sender at `at`.
+    fn resume_sender(&mut self, txn_id: u64, result: Result<Reply, IpcError>, at: u64) {
+        let sender = match self.txns.get_mut(&txn_id) {
+            Some(txn) if !txn.done => {
+                txn.done = true;
+                txn.sender
+            }
+            _ => return,
+        };
+        if let Some(p) = self.procs.get_mut(&sender) {
+            if p.status == Status::BlockedSend {
+                p.resume = Some(result);
+                p.status = Status::Ready;
+                let t = at.max(p.local_time);
+                let seq = self.seq();
+                self.ready.push(Reverse((t, seq, sender.raw())));
+            }
+        }
+    }
+
+    /// Delivers an envelope to `to` at virtual time `arrival`; on a dead
+    /// target, fails the transaction if no other member can still answer.
+    fn deliver(&mut self, to: Pid, env: SimEnvelope, arrival: u64) -> bool {
+        let alive = self.procs.contains_key(&to);
+        if !alive {
+            let txn_id = env.txn_id;
+            if let Some(txn) = self.txns.get_mut(&txn_id) {
+                txn.outstanding = txn.outstanding.saturating_sub(1);
+                if txn.outstanding == 0 && !txn.done {
+                    self.resume_sender(txn_id, Err(IpcError::ProcessDied), arrival);
+                }
+            }
+            return false;
+        }
+        let seq = self.seq();
+        let seq2 = self.seq();
+        let p = self.procs.get_mut(&to).expect("checked alive");
+        p.mailbox.insert((arrival, seq), env);
+        if p.status == Status::BlockedRecv {
+            let t = arrival.max(p.local_time);
+            p.status = Status::Ready;
+            self.ready.push(Reverse((t, seq2, to.raw())));
+        }
+        true
+    }
+
+    fn quiescent(&self) -> bool {
+        self.current.is_none() && self.ready.is_empty()
+    }
+}
+
+struct SimCore {
+    net: NetModel,
+    state: Mutex<SimState>,
+    cv: Condvar,
+    registry: Registry,
+    groups: GroupTable,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl SimCore {
+    fn shutdown_and_join(&self) {
+        {
+            let mut st = self.state.lock();
+            st.shutdown = true;
+            self.cv.notify_all();
+        }
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        let me = std::thread::current().id();
+        for h in handles {
+            if h.thread().id() != me {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+struct OwnerToken {
+    core: Weak<SimCore>,
+}
+
+impl Drop for OwnerToken {
+    fn drop(&mut self) {
+        if let Some(core) = self.core.upgrade() {
+            core.shutdown_and_join();
+        }
+    }
+}
+
+pub(crate) struct SimPath {
+    core: Weak<SimCore>,
+    txn_id: u64,
+    sender_host: LogicalHost,
+    holder: Pid,
+    consumed: bool,
+}
+
+impl Drop for SimPath {
+    fn drop(&mut self) {
+        if self.consumed {
+            return;
+        }
+        if let Some(core) = self.core.upgrade() {
+            let mut st = core.state.lock();
+            if let Some(p) = st.procs.get_mut(&self.holder) {
+                p.holding.retain(|&t| t != self.txn_id);
+            }
+            if let Some(txn) = st.txns.get_mut(&self.txn_id) {
+                txn.outstanding = txn.outstanding.saturating_sub(1);
+                if txn.outstanding == 0 && !txn.done {
+                    let at = st.clock_max;
+                    st.resume_sender(self.txn_id, Err(IpcError::ProcessDied), at);
+                }
+            }
+            core.cv.notify_all();
+        }
+    }
+}
+
+/// A V domain under deterministic virtual time.
+///
+/// Spawn servers and clients exactly as on [`crate::Domain`]; then call
+/// [`SimDomain::run`] to drive the event loop until quiescence (only
+/// processes blocked in `Receive` remain). Virtual time persists across
+/// `run` calls, so an experiment can interleave setup, measurement, and
+/// fault injection.
+///
+/// # Examples
+///
+/// Reproduce the paper's §3.1 message transaction (2.56 ms remote):
+///
+/// ```
+/// use vkernel::{SimDomain, Ipc};
+/// use vnet::Params1984;
+/// use vproto::{Message, RequestCode};
+/// use bytes::Bytes;
+/// use std::time::Duration;
+///
+/// let domain = SimDomain::new(Params1984::ethernet_3mbit());
+/// let (a, b) = (domain.add_host(), domain.add_host());
+/// let server = domain.spawn(b, "echo", |ctx| {
+///     while let Ok(rx) = ctx.receive() {
+///         let msg = rx.msg;
+///         ctx.reply(rx, msg, Bytes::new()).ok();
+///     }
+/// });
+/// let elapsed = domain
+///     .client(a, move |ctx| {
+///         let t0 = ctx.now();
+///         ctx.send(server, Message::request(RequestCode::Echo), Bytes::new(), 0)
+///             .unwrap();
+///         ctx.now() - t0
+///     })
+///     .unwrap();
+/// assert_eq!(elapsed, Duration::from_micros(2560));
+/// ```
+#[derive(Clone)]
+pub struct SimDomain {
+    core: Arc<SimCore>,
+    _owner: Arc<OwnerToken>,
+}
+
+impl SimDomain {
+    /// Creates a virtual-time domain with the given hardware parameters.
+    pub fn new(params: Params1984) -> Self {
+        let core = Arc::new(SimCore {
+            net: NetModel::new(params),
+            state: Mutex::new(SimState {
+                current: None,
+                ready: BinaryHeap::new(),
+                procs: HashMap::new(),
+                txns: HashMap::new(),
+                hosts: HashSet::new(),
+                next_host: 0,
+                next_local: HashMap::new(),
+                next_seq: 0,
+                next_txn: 0,
+                clock_max: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            registry: Registry::new(),
+            groups: GroupTable::new(),
+            threads: Mutex::new(Vec::new()),
+        });
+        let owner = Arc::new(OwnerToken {
+            core: Arc::downgrade(&core),
+        });
+        SimDomain {
+            core,
+            _owner: owner,
+        }
+    }
+
+    /// Adds a logical host (a simulated workstation) to the domain.
+    pub fn add_host(&self) -> LogicalHost {
+        let mut st = self.core.state.lock();
+        st.next_host += 1;
+        let host = LogicalHost::new(st.next_host);
+        st.hosts.insert(host);
+        host
+    }
+
+    /// Spawns a V process on `host`; it becomes runnable at the spawner's
+    /// virtual time (time zero when spawned from outside the simulation).
+    pub fn spawn<F>(&self, host: LogicalHost, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&dyn Ipc) + Send + 'static,
+    {
+        let mut st = self.core.state.lock();
+        let counter = st.next_local.entry(host).or_insert(0);
+        *counter += 1;
+        let pid = Pid::new(host, *counter);
+        st.hosts.insert(host);
+        // A process spawned by a running process starts at the spawner's
+        // time; one spawned from outside the simulation starts "now" (the
+        // high-water clock), never in the past of running servers.
+        let spawn_time = st
+            .current
+            .and_then(|cur| st.procs.get(&cur))
+            .map(|p| p.local_time)
+            .unwrap_or(st.clock_max);
+        st.procs.insert(
+            pid,
+            ProcState {
+                status: Status::Ready,
+                host,
+                local_time: spawn_time,
+                mailbox: BTreeMap::new(),
+                resume: None,
+                holding: Vec::new(),
+            },
+        );
+        let seq = st.seq();
+        st.ready.push(Reverse((spawn_time, seq, pid.raw())));
+        drop(st);
+
+        let weak = Arc::downgrade(&self.core);
+        let thread_name = format!("vsim-{name}-{pid}");
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                let Some(core) = weak.upgrade() else { return };
+                let ctx = SimCtx {
+                    core: Arc::clone(&core),
+                    pid,
+                    host,
+                };
+                // Wait until scheduled for the first time.
+                {
+                    let mut st = core.state.lock();
+                    while st.current != Some(pid) && !st.shutdown {
+                        core.cv.wait(&mut st);
+                    }
+                    if st.shutdown {
+                        return;
+                    }
+                }
+                f(&ctx);
+                ctx.exit();
+            })
+            .expect("spawn sim process thread");
+        self.core.threads.lock().push(handle);
+        pid
+    }
+
+    /// Runs the simulation until quiescence (no runnable process remains)
+    /// and returns the high-water virtual clock.
+    pub fn run(&self) -> SimTime {
+        let mut st = self.core.state.lock();
+        if st.current.is_none() {
+            st.schedule_next(&self.core.cv);
+        }
+        while !st.quiescent() && !st.shutdown {
+            self.core.cv.wait(&mut st);
+        }
+        let procs_max = st.procs.values().map(|p| p.local_time).max().unwrap_or(0);
+        st.clock_max = st.clock_max.max(procs_max);
+        SimTime::from_nanos(st.clock_max)
+    }
+
+    /// Spawns `f` as a client on `host`, runs the simulation to quiescence,
+    /// and returns `f`'s result (`None` if the client did not complete).
+    pub fn client<T, F>(&self, host: LogicalHost, f: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&dyn Ipc) -> T + Send + 'static,
+    {
+        let slot = Arc::new(Mutex::new(None));
+        let out = Arc::clone(&slot);
+        self.spawn(host, "client", move |ctx| {
+            *out.lock() = Some(f(ctx));
+        });
+        self.run();
+        let mut guard = slot.lock();
+        guard.take()
+    }
+
+    /// Kills `pid` immediately: it disappears from the domain, its pending
+    /// transactions fail, and its registrations are removed.
+    pub fn kill(&self, pid: Pid) {
+        self.core.registry.unregister_pid(pid);
+        self.core.groups.remove_everywhere(pid);
+        let mut st = self.core.state.lock();
+        if let Some(proc_state) = st.procs.remove(&pid) {
+            let at = st.clock_max;
+            let pending: Vec<u64> = proc_state
+                .mailbox
+                .into_values()
+                .map(|e| e.txn_id)
+                .chain(proc_state.holding)
+                .collect();
+            for txn_id in pending {
+                if let Some(txn) = st.txns.get_mut(&txn_id) {
+                    txn.outstanding = txn.outstanding.saturating_sub(1);
+                    if txn.outstanding == 0 && !txn.done {
+                        st.resume_sender(txn_id, Err(IpcError::ProcessDied), at);
+                    }
+                }
+            }
+        }
+        self.core.cv.notify_all();
+    }
+
+    /// Returns the high-water virtual clock reached so far.
+    pub fn virtual_now(&self) -> SimTime {
+        SimTime::from_nanos(self.core.state.lock().clock_max)
+    }
+
+    /// Returns the domain's service registry (for inspection in tests).
+    pub fn registry(&self) -> &Registry {
+        &self.core.registry
+    }
+
+    /// Returns the network cost model used by this domain.
+    pub fn net(&self) -> NetModel {
+        self.core.net.clone()
+    }
+}
+
+/// Kernel interface handed to each process on the simulation kernel.
+struct SimCtx {
+    core: Arc<SimCore>,
+    pid: Pid,
+    host: LogicalHost,
+}
+
+impl SimCtx {
+    fn exit(&self) {
+        self.core.registry.unregister_pid(self.pid);
+        self.core.groups.remove_everywhere(self.pid);
+        let mut st = self.core.state.lock();
+        if let Some(proc_state) = st.procs.remove(&self.pid) {
+            let at = proc_state.local_time;
+            let pending: Vec<u64> = proc_state
+                .mailbox
+                .into_values()
+                .map(|e| e.txn_id)
+                .chain(proc_state.holding)
+                .collect();
+            for txn_id in pending {
+                if let Some(txn) = st.txns.get_mut(&txn_id) {
+                    txn.outstanding = txn.outstanding.saturating_sub(1);
+                    if txn.outstanding == 0 && !txn.done {
+                        st.resume_sender(txn_id, Err(IpcError::ProcessDied), at);
+                    }
+                }
+            }
+        }
+        if st.current == Some(self.pid) {
+            st.schedule_next(&self.core.cv);
+        }
+        self.core.cv.notify_all();
+    }
+
+    /// Blocks the calling thread until this process is scheduled again.
+    fn wait_scheduled(&self, st: &mut parking_lot::MutexGuard<'_, SimState>) -> Result<(), IpcError> {
+        while st.current != Some(self.pid) && !st.shutdown {
+            self.core.cv.wait(st);
+        }
+        if st.shutdown {
+            Err(IpcError::Shutdown)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn my_time(&self, st: &SimState) -> u64 {
+        st.procs.get(&self.pid).map(|p| p.local_time).unwrap_or(0)
+    }
+
+    fn advance(&self, st: &mut SimState, d: Duration) -> u64 {
+        match st.procs.get_mut(&self.pid) {
+            Some(p) => {
+                p.local_time += d.as_nanos() as u64;
+                let t = p.local_time;
+                st.clock_max = st.clock_max.max(t);
+                t
+            }
+            // The process was killed out from under us; keep going until the
+            // next blocking operation observes it.
+            None => st.clock_max,
+        }
+    }
+
+    fn host_of(&self, st: &SimState, pid: Pid) -> LogicalHost {
+        st.procs
+            .get(&pid)
+            .map(|p| p.host)
+            .unwrap_or_else(|| pid.logical_host())
+    }
+}
+
+impl Ipc for SimCtx {
+    fn my_pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn host(&self) -> LogicalHost {
+        self.host
+    }
+
+    fn send(
+        &self,
+        to: Pid,
+        msg: Message,
+        payload: Bytes,
+        recv_cap: usize,
+    ) -> Result<Reply, IpcError> {
+        if to == self.pid {
+            return Err(IpcError::BadOperation("send to self would deadlock"));
+        }
+        let mut st = self.core.state.lock();
+        if st.shutdown {
+            return Err(IpcError::Shutdown);
+        }
+        if !st.procs.contains_key(&to) {
+            return Err(IpcError::NoProcess);
+        }
+        let local = self.host_of(&st, to) == self.host;
+        let hop = self.core.net.hop_cost(local, payload.len());
+        let arrival = self.my_time(&st) + hop.as_nanos() as u64;
+
+        st.next_txn += 1;
+        let txn_id = st.next_txn;
+        st.txns.insert(
+            txn_id,
+            TxnState {
+                sender: self.pid,
+                cap: recv_cap,
+                buf: Vec::new(),
+                outstanding: 1,
+                done: false,
+            },
+        );
+        let env = SimEnvelope {
+            from: self.pid,
+            msg,
+            payload,
+            txn_id,
+        };
+        st.deliver(to, env, arrival);
+        if let Some(p) = st.procs.get_mut(&self.pid) {
+            p.status = Status::BlockedSend;
+        }
+        st.schedule_next(&self.core.cv);
+        self.wait_scheduled(&mut st)?;
+        let result = st
+            .procs
+            .get_mut(&self.pid)
+            .and_then(|p| p.resume.take())
+            .unwrap_or(Err(IpcError::ProcessDied));
+        st.txns.remove(&txn_id);
+        result
+    }
+
+    fn send_group(&self, group: GroupId, msg: Message, payload: Bytes) -> Result<Reply, IpcError> {
+        let members = self
+            .core
+            .groups
+            .members(group)
+            .ok_or(IpcError::NoSuchGroup)?;
+        let members: Vec<Pid> = members.into_iter().filter(|&m| m != self.pid).collect();
+        if members.is_empty() {
+            return Err(IpcError::NoReply);
+        }
+        let mut st = self.core.state.lock();
+        if st.shutdown {
+            return Err(IpcError::Shutdown);
+        }
+        let other_hosts = st.hosts.len().saturating_sub(1);
+        let cost = self.core.net.multicast_send_cost(other_hosts);
+        let arrival = self.my_time(&st) + cost.as_nanos() as u64;
+
+        st.next_txn += 1;
+        let txn_id = st.next_txn;
+        st.txns.insert(
+            txn_id,
+            TxnState {
+                sender: self.pid,
+                cap: 0,
+                buf: Vec::new(),
+                outstanding: members.len(),
+                done: false,
+            },
+        );
+        let mut delivered = 0usize;
+        for member in &members {
+            let env = SimEnvelope {
+                from: self.pid,
+                msg,
+                payload: payload.clone(),
+                txn_id,
+            };
+            if st.deliver(*member, env, arrival) {
+                delivered += 1;
+            }
+        }
+        if delivered == 0 {
+            st.txns.remove(&txn_id);
+            return Err(IpcError::NoReply);
+        }
+        if let Some(p) = st.procs.get_mut(&self.pid) {
+            p.status = Status::BlockedSend;
+        }
+        st.schedule_next(&self.core.cv);
+        self.wait_scheduled(&mut st)?;
+        let result = st
+            .procs
+            .get_mut(&self.pid)
+            .and_then(|p| p.resume.take())
+            .unwrap_or(Err(IpcError::NoReply));
+        st.txns.remove(&txn_id);
+        result.map_err(|e| {
+            if e == IpcError::ProcessDied {
+                IpcError::NoReply
+            } else {
+                e
+            }
+        })
+    }
+
+    fn receive(&self) -> Result<Received, IpcError> {
+        let mut st = self.core.state.lock();
+        loop {
+            if st.shutdown {
+                return Err(IpcError::Shutdown);
+            }
+            let popped = {
+                let p = st.procs.get_mut(&self.pid).ok_or(IpcError::Killed)?;
+                match p.mailbox.first_key_value().map(|(k, _)| *k) {
+                    Some(key) => {
+                        let env = p.mailbox.remove(&key).expect("key just seen");
+                        p.local_time = p.local_time.max(key.0);
+                        p.holding.push(env.txn_id);
+                        Some(env)
+                    }
+                    None => None,
+                }
+            };
+            match popped {
+                Some(env) => {
+                    let sender_host = self.host_of(&st, env.from);
+                    st.clock_max = st.clock_max.max(self.my_time(&st));
+                    return Ok(Received {
+                        from: env.from,
+                        msg: env.msg,
+                        payload: env.payload,
+                        path: PathInner::Sim(SimPath {
+                            core: Arc::downgrade(&self.core),
+                            txn_id: env.txn_id,
+                            sender_host,
+                            holder: self.pid,
+                            consumed: false,
+                        }),
+                    });
+                }
+                None => {
+                    if let Some(p) = st.procs.get_mut(&self.pid) {
+                        p.status = Status::BlockedRecv;
+                    }
+                    st.schedule_next(&self.core.cv);
+                    self.wait_scheduled(&mut st)?;
+                }
+            }
+        }
+    }
+
+    fn reply(&self, rx: Received, msg: Message, data: Bytes) -> Result<(), IpcError> {
+        let mut path = match rx.path {
+            PathInner::Sim(p) => p,
+            PathInner::Thread(_) => {
+                return Err(IpcError::BadOperation("thread token on sim kernel"))
+            }
+        };
+        let mut st = self.core.state.lock();
+        path.consumed = true;
+        let txn_id = path.txn_id;
+        if let Some(p) = st.procs.get_mut(&self.pid) {
+            p.holding.retain(|&t| t != txn_id);
+        }
+        let (sender, cap, buf_len, done) = match st.txns.get(&txn_id) {
+            Some(t) => (t.sender, t.cap, t.buf.len(), t.done),
+            None => return Ok(()), // sender gone; discard like the real kernel
+        };
+        let local = self.host_of(&st, sender) == self.host;
+        let total = buf_len + data.len();
+        let hop = self.core.net.hop_cost(local, total);
+        let now = self.advance(&mut st, hop);
+        if let Some(t) = st.txns.get_mut(&txn_id) {
+            t.outstanding = t.outstanding.saturating_sub(1);
+        }
+        if done {
+            return Ok(()); // group transaction already answered
+        }
+        let result = if total > cap {
+            Err(IpcError::BufferOverflow)
+        } else {
+            let mut buf = match st.txns.get_mut(&txn_id) {
+                Some(t) => std::mem::take(&mut t.buf),
+                None => Vec::new(),
+            };
+            buf.extend_from_slice(&data);
+            Ok(Reply {
+                msg,
+                data: Bytes::from(buf),
+            })
+        };
+        let failed = result.is_err();
+        st.resume_sender(txn_id, result, now);
+        if failed {
+            Err(IpcError::BufferOverflow)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn forward(&self, rx: Received, to: Pid, msg: Message) -> Result<(), IpcError> {
+        let mut path = match rx.path {
+            PathInner::Sim(p) => p,
+            PathInner::Thread(_) => {
+                return Err(IpcError::BadOperation("thread token on sim kernel"))
+            }
+        };
+        let mut st = self.core.state.lock();
+        path.consumed = true;
+        let txn_id = path.txn_id;
+        if let Some(p) = st.procs.get_mut(&self.pid) {
+            p.holding.retain(|&t| t != txn_id);
+        }
+        let local = self.host_of(&st, to) == self.host;
+        let hop = self.core.net.hop_cost(local, rx.payload.len());
+        let now = self.advance(&mut st, hop);
+        let env = SimEnvelope {
+            from: rx.from,
+            msg,
+            payload: rx.payload,
+            txn_id,
+        };
+        if st.deliver(to, env, now) {
+            Ok(())
+        } else {
+            Err(IpcError::NoProcess)
+        }
+    }
+
+    fn move_from(&self, rx: &Received) -> Result<Bytes, IpcError> {
+        let path = match &rx.path {
+            PathInner::Sim(p) => p,
+            PathInner::Thread(_) => {
+                return Err(IpcError::BadOperation("thread token on sim kernel"))
+            }
+        };
+        let mut st = self.core.state.lock();
+        let len = rx.payload.len();
+        let cost = if path.sender_host == self.host {
+            self.core.net.copy_cost(len)
+        } else if len <= self.core.net.params().max_data_per_packet {
+            self.core.net.params().t_remote_name_fetch + self.core.net.copy_cost(len)
+        } else {
+            self.core.net.bulk_cost(false, len)
+        };
+        self.advance(&mut st, cost);
+        Ok(rx.payload.clone())
+    }
+
+    fn move_to(&self, rx: &mut Received, data: &[u8]) -> Result<(), IpcError> {
+        let path = match &mut rx.path {
+            PathInner::Sim(p) => p,
+            PathInner::Thread(_) => {
+                return Err(IpcError::BadOperation("thread token on sim kernel"))
+            }
+        };
+        let mut st = self.core.state.lock();
+        match st.txns.get_mut(&path.txn_id) {
+            Some(t) => {
+                if t.buf.len() + data.len() > t.cap {
+                    return Err(IpcError::BufferOverflow);
+                }
+                t.buf.extend_from_slice(data);
+                Ok(())
+            }
+            None => Err(IpcError::ProcessDied),
+        }
+    }
+
+    fn set_pid(&self, service: ServiceId, scope: Scope) {
+        self.core.registry.register(service, self.pid, scope);
+        let mut st = self.core.state.lock();
+        let cost = self.core.net.params().t_getpid_local;
+        self.advance(&mut st, cost);
+    }
+
+    fn get_pid(&self, service: ServiceId, scope: Scope) -> Option<Pid> {
+        let found = self.core.registry.lookup(service, scope, self.host);
+        let mut st = self.core.state.lock();
+        let params = self.core.net.params().clone();
+        let other_hosts = st.hosts.len().saturating_sub(1);
+        let cost = match found {
+            Some((_, LookupPath::LocalTable)) => params.t_getpid_local,
+            Some((_, LookupPath::Broadcast)) => {
+                params.t_getpid_local + self.core.net.broadcast_query_cost(other_hosts)
+            }
+            None if scope.searches_remote() => {
+                params.t_getpid_local + self.core.net.broadcast_query_cost(other_hosts)
+            }
+            None => params.t_getpid_local,
+        };
+        self.advance(&mut st, cost);
+        found.map(|(pid, _)| pid)
+    }
+
+    fn create_group(&self) -> GroupId {
+        self.core.groups.create()
+    }
+
+    fn join_group(&self, group: GroupId) -> Result<(), IpcError> {
+        if self.core.groups.join(group, self.pid) {
+            Ok(())
+        } else {
+            Err(IpcError::NoSuchGroup)
+        }
+    }
+
+    fn leave_group(&self, group: GroupId) -> Result<(), IpcError> {
+        if self.core.groups.leave(group, self.pid) {
+            Ok(())
+        } else {
+            Err(IpcError::NoSuchGroup)
+        }
+    }
+
+    fn charge(&self, work: Duration) {
+        let mut st = self.core.state.lock();
+        self.advance(&mut st, work);
+    }
+
+    fn sleep(&self, d: Duration) {
+        let mut st = self.core.state.lock();
+        if st.shutdown {
+            return;
+        }
+        let t = self.advance(&mut st, d);
+        if let Some(p) = st.procs.get_mut(&self.pid) {
+            p.status = Status::Ready;
+        }
+        let seq = st.seq();
+        st.ready.push(Reverse((t, seq, self.pid.raw())));
+        st.schedule_next(&self.core.cv);
+        let _ = self.wait_scheduled(&mut st);
+    }
+
+    fn now(&self) -> Duration {
+        let st = self.core.state.lock();
+        Duration::from_nanos(self.my_time(&st))
+    }
+
+    fn net(&self) -> Option<NetModel> {
+        Some(self.core.net.clone())
+    }
+}

@@ -1,0 +1,532 @@
+//! The real-thread kernel: every V process is an OS thread, IPC is a
+//! blocking rendezvous over channels.
+//!
+//! This kernel gives real parallelism and wall-clock performance (used by
+//! the Criterion benches and stress tests). Virtual-time experiments use
+//! [`crate::SimDomain`] instead; both implement [`Ipc`], so all servers and
+//! stubs run unchanged on either.
+
+use crate::api::{GroupId, Ipc, PathInner, Received, Reply};
+use crate::error::IpcError;
+use crate::group::GroupTable;
+use crate::registry::Registry;
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+use vnet::NetModel;
+use vproto::{LogicalHost, Message, Pid, Scope, ServiceId};
+
+enum MailItem {
+    Env(Envelope),
+    Poison,
+}
+
+struct Envelope {
+    from: Pid,
+    msg: Message,
+    payload: Bytes,
+    reply_tx: Sender<Result<Reply, IpcError>>,
+    cap: usize,
+    prebuf: Vec<u8>,
+}
+
+#[derive(Clone)]
+struct ProcEntry {
+    tx: Sender<MailItem>,
+}
+
+struct JoinEntry {
+    thread_id: std::thread::ThreadId,
+    handle: std::thread::JoinHandle<()>,
+}
+
+struct DomainCore {
+    processes: RwLock<HashMap<Pid, ProcEntry>>,
+    registry: Registry,
+    groups: GroupTable,
+    alloc: Mutex<Alloc>,
+    threads: Mutex<Vec<JoinEntry>>,
+    start: Instant,
+    /// When set, IPC primitives sleep the calibrated 1984 costs in real
+    /// time — the thread kernel becomes a wall-clock emulator of the
+    /// paper's hardware.
+    emulate: Option<NetModel>,
+}
+
+impl DomainCore {
+    fn poison_all(&self) {
+        let entries: Vec<ProcEntry> = self.processes.write().drain().map(|(_, e)| e).collect();
+        for e in entries {
+            let _ = e.tx.send(MailItem::Poison);
+        }
+    }
+
+    fn join_all(&self) {
+        let me = std::thread::current().id();
+        let handles: Vec<JoinEntry> = self.threads.lock().drain(..).collect();
+        for entry in handles {
+            if entry.thread_id != me {
+                let _ = entry.handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for DomainCore {
+    fn drop(&mut self) {
+        self.poison_all();
+        self.join_all();
+    }
+}
+
+#[derive(Default)]
+struct Alloc {
+    next_host: u16,
+    next_local: HashMap<LogicalHost, u16>,
+}
+
+pub(crate) struct ThreadPath {
+    reply_tx: Option<Sender<Result<Reply, IpcError>>>,
+    cap: usize,
+    buf: Vec<u8>,
+}
+
+/// A V domain running on real OS threads.
+///
+/// A domain is a set of logical hosts over which kernel operations are
+/// transparent — "basically one V-System installation" (paper §4.1). Create
+/// hosts with [`Domain::add_host`], processes with [`Domain::spawn`], and
+/// drive request/response work from tests with [`Domain::client`].
+///
+/// Dropping the last `Domain` handle (process threads hold only weak
+/// references) poisons every process and joins their threads; server loops
+/// written as `while let Ok(rx) = ctx.receive()` exit cleanly. Call
+/// [`Domain::shutdown`] for explicit teardown.
+///
+/// # Examples
+///
+/// See [`Ipc`] for a complete echo transaction.
+#[derive(Clone)]
+pub struct Domain {
+    core: Arc<DomainCore>,
+}
+
+impl Domain {
+    /// Creates an empty domain.
+    pub fn new() -> Self {
+        Domain::build(None)
+    }
+
+    /// Creates a domain that **emulates the 1984 hardware in real time**:
+    /// every IPC primitive sleeps its calibrated cost, so wall-clock
+    /// measurements approximate the paper's milliseconds on the real
+    /// (threaded) implementation.
+    pub fn emulated_1984(params: vnet::Params1984) -> Self {
+        Domain::build(Some(NetModel::new(params)))
+    }
+
+    fn build(emulate: Option<NetModel>) -> Self {
+        Domain {
+            core: Arc::new(DomainCore {
+                processes: RwLock::new(HashMap::new()),
+                registry: Registry::new(),
+                groups: GroupTable::new(),
+                alloc: Mutex::new(Alloc::default()),
+                threads: Mutex::new(Vec::new()),
+                start: Instant::now(),
+                emulate,
+            }),
+        }
+    }
+
+    /// Adds a logical host to the domain and returns its identifier.
+    pub fn add_host(&self) -> LogicalHost {
+        let mut alloc = self.core.alloc.lock();
+        alloc.next_host += 1;
+        LogicalHost::new(alloc.next_host)
+    }
+
+    fn alloc_pid(&self, host: LogicalHost) -> Pid {
+        let mut alloc = self.core.alloc.lock();
+        let counter = alloc.next_local.entry(host).or_insert(0);
+        *counter += 1;
+        Pid::new(host, *counter)
+    }
+
+    /// Spawns a V process on `host` running `f`. The process's kernel
+    /// interface is the `&dyn Ipc` passed to the closure.
+    pub fn spawn<F>(&self, host: LogicalHost, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&dyn Ipc) + Send + 'static,
+    {
+        let pid = self.alloc_pid(host);
+        let (tx, rx) = unbounded();
+        self.core.processes.write().insert(pid, ProcEntry { tx });
+        let weak = Arc::downgrade(&self.core);
+        let thread_name = format!("v-{name}-{pid}");
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                let ctx = ProcessCtx {
+                    core: weak.clone(),
+                    pid,
+                    host,
+                    mailbox: rx,
+                };
+                f(&ctx);
+                if let Some(core) = weak.upgrade() {
+                    core.processes.write().remove(&pid);
+                    core.registry.unregister_pid(pid);
+                    core.groups.remove_everywhere(pid);
+                }
+            })
+            .expect("spawn V process thread");
+        self.core.threads.lock().push(JoinEntry {
+            thread_id: handle.thread().id(),
+            handle,
+        });
+        pid
+    }
+
+    /// Runs `f` as a short-lived client process on `host` and returns its
+    /// result. Convenient for tests and benchmarks.
+    pub fn client<T, F>(&self, host: LogicalHost, f: F) -> T
+    where
+        T: Send + 'static,
+        F: FnOnce(&dyn Ipc) -> T + Send + 'static,
+    {
+        let (tx, rx) = bounded(1);
+        self.spawn(host, "client", move |ctx| {
+            let _ = tx.send(f(ctx));
+        });
+        rx.recv().expect("client process completed")
+    }
+
+    /// Kills `pid`: new sends to it fail immediately; the process itself
+    /// observes [`IpcError::Killed`] at its next `Receive`. Used to inject
+    /// server-crash faults (paper §2.2's consistency discussion, §4.2's
+    /// rebinding).
+    pub fn kill(&self, pid: Pid) {
+        let entry = self.core.processes.write().remove(&pid);
+        self.core.registry.unregister_pid(pid);
+        self.core.groups.remove_everywhere(pid);
+        if let Some(entry) = entry {
+            let _ = entry.tx.send(MailItem::Poison);
+        }
+    }
+
+    /// Returns the domain's service registry (for inspection in tests).
+    pub fn registry(&self) -> &Registry {
+        &self.core.registry
+    }
+
+    /// Poisons every process and joins all threads. Must not be called from
+    /// inside a V process of this domain.
+    pub fn shutdown(&self) {
+        self.core.poison_all();
+        self.core.join_all();
+    }
+}
+
+impl Default for Domain {
+    fn default() -> Self {
+        Domain::new()
+    }
+}
+
+/// Kernel interface handed to each process on the thread kernel.
+struct ProcessCtx {
+    core: Weak<DomainCore>,
+    pid: Pid,
+    host: LogicalHost,
+    mailbox: Receiver<MailItem>,
+}
+
+impl ProcessCtx {
+    fn core(&self) -> Result<Arc<DomainCore>, IpcError> {
+        self.core.upgrade().ok_or(IpcError::Shutdown)
+    }
+
+    fn entry_for(core: &DomainCore, to: Pid) -> Result<ProcEntry, IpcError> {
+        core.processes
+            .read()
+            .get(&to)
+            .cloned()
+            .ok_or(IpcError::NoProcess)
+    }
+}
+
+impl Ipc for ProcessCtx {
+    fn my_pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn host(&self) -> LogicalHost {
+        self.host
+    }
+
+    fn send(
+        &self,
+        to: Pid,
+        msg: Message,
+        payload: Bytes,
+        recv_cap: usize,
+    ) -> Result<Reply, IpcError> {
+        let core = self.core()?;
+        let entry = Self::entry_for(&core, to)?;
+        let (reply_tx, reply_rx) = bounded(1);
+        let env = Envelope {
+            from: self.pid,
+            msg,
+            payload,
+            reply_tx,
+            cap: recv_cap,
+            prebuf: Vec::new(),
+        };
+        if let Some(net) = &core.emulate {
+            let local = to.is_on(self.host);
+            std::thread::sleep(net.hop_cost(local, env.payload.len()));
+        }
+        entry
+            .tx
+            .send(MailItem::Env(env))
+            .map_err(|_| IpcError::NoProcess)?;
+        drop(core);
+        match reply_rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(IpcError::ProcessDied),
+        }
+    }
+
+    fn send_group(&self, group: GroupId, msg: Message, payload: Bytes) -> Result<Reply, IpcError> {
+        let core = self.core()?;
+        let members = core.groups.members(group).ok_or(IpcError::NoSuchGroup)?;
+        let members: Vec<Pid> = members.into_iter().filter(|&m| m != self.pid).collect();
+        if members.is_empty() {
+            return Err(IpcError::NoReply);
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        let mut delivered = 0usize;
+        for member in members {
+            if let Ok(entry) = Self::entry_for(&core, member) {
+                let env = Envelope {
+                    from: self.pid,
+                    msg,
+                    payload: payload.clone(),
+                    reply_tx: reply_tx.clone(),
+                    cap: 0,
+                    prebuf: Vec::new(),
+                };
+                if entry.tx.send(MailItem::Env(env)).is_ok() {
+                    delivered += 1;
+                }
+            }
+        }
+        drop(reply_tx);
+        drop(core);
+        if delivered == 0 {
+            return Err(IpcError::NoReply);
+        }
+        match reply_rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(IpcError::NoReply),
+        }
+    }
+
+    fn receive(&self) -> Result<Received, IpcError> {
+        match self.mailbox.recv() {
+            Ok(MailItem::Env(env)) => Ok(Received {
+                from: env.from,
+                msg: env.msg,
+                payload: env.payload,
+                path: PathInner::Thread(ThreadPath {
+                    reply_tx: Some(env.reply_tx),
+                    cap: env.cap,
+                    buf: env.prebuf,
+                }),
+            }),
+            Ok(MailItem::Poison) => Err(IpcError::Killed),
+            Err(_) => Err(IpcError::Shutdown),
+        }
+    }
+
+    fn reply(&self, rx: Received, msg: Message, data: Bytes) -> Result<(), IpcError> {
+        if let Ok(core) = self.core() {
+            if let Some(net) = &core.emulate {
+                let local = rx.from.is_on(self.host);
+                let total = match &rx.path {
+                    PathInner::Thread(p) => p.buf.len() + data.len(),
+                    PathInner::Sim(_) => data.len(),
+                };
+                std::thread::sleep(net.hop_cost(local, total));
+            }
+        }
+        let mut path = match rx.path {
+            PathInner::Thread(p) => p,
+            PathInner::Sim(_) => return Err(IpcError::BadOperation("sim token on thread kernel")),
+        };
+        let tx = path
+            .reply_tx
+            .take()
+            .ok_or(IpcError::BadOperation("transaction already completed"))?;
+        let total = path.buf.len() + data.len();
+        let result = if total > path.cap {
+            Err(IpcError::BufferOverflow)
+        } else {
+            let mut buf = std::mem::take(&mut path.buf);
+            buf.extend_from_slice(&data);
+            Ok(Reply {
+                msg,
+                data: Bytes::from(buf),
+            })
+        };
+        let failed = result.is_err();
+        // A full or disconnected channel means a group transaction already
+        // answered, or the sender died — the reply is simply discarded, as
+        // in the real kernel.
+        match tx.try_send(result) {
+            Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                if failed {
+                    Err(IpcError::BufferOverflow)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn forward(&self, rx: Received, to: Pid, msg: Message) -> Result<(), IpcError> {
+        if let Ok(core) = self.core() {
+            if let Some(net) = &core.emulate {
+                let local = to.is_on(self.host);
+                std::thread::sleep(net.hop_cost(local, rx.payload.len()));
+            }
+        }
+        let mut path = match rx.path {
+            PathInner::Thread(p) => p,
+            PathInner::Sim(_) => return Err(IpcError::BadOperation("sim token on thread kernel")),
+        };
+        let reply_tx = path
+            .reply_tx
+            .take()
+            .ok_or(IpcError::BadOperation("transaction already completed"))?;
+        let core = self.core()?;
+        let entry = match Self::entry_for(&core, to) {
+            Ok(e) => e,
+            Err(e) => {
+                // Target is gone: dropping reply_tx disconnects the blocked
+                // sender, which observes ProcessDied.
+                drop(reply_tx);
+                return Err(e);
+            }
+        };
+        let env = Envelope {
+            from: rx.from,
+            msg,
+            payload: rx.payload,
+            reply_tx,
+            cap: path.cap,
+            prebuf: std::mem::take(&mut path.buf),
+        };
+        entry
+            .tx
+            .send(MailItem::Env(env))
+            .map_err(|_| IpcError::NoProcess)
+    }
+
+    fn move_from(&self, rx: &Received) -> Result<Bytes, IpcError> {
+        if let Ok(core) = self.core() {
+            if let Some(net) = &core.emulate {
+                let len = rx.payload.len();
+                let local = rx.from.is_on(self.host);
+                let cost = if local {
+                    net.copy_cost(len)
+                } else if len <= net.params().max_data_per_packet {
+                    net.params().t_remote_name_fetch + net.copy_cost(len)
+                } else {
+                    net.bulk_cost(false, len)
+                };
+                std::thread::sleep(cost);
+            }
+        }
+        Ok(rx.payload.clone())
+    }
+
+    fn move_to(&self, rx: &mut Received, data: &[u8]) -> Result<(), IpcError> {
+        let path = match &mut rx.path {
+            PathInner::Thread(p) => p,
+            PathInner::Sim(_) => return Err(IpcError::BadOperation("sim token on thread kernel")),
+        };
+        if path.reply_tx.is_none() {
+            return Err(IpcError::BadOperation("transaction already completed"));
+        }
+        if path.buf.len() + data.len() > path.cap {
+            return Err(IpcError::BufferOverflow);
+        }
+        path.buf.extend_from_slice(data);
+        Ok(())
+    }
+
+    fn set_pid(&self, service: ServiceId, scope: Scope) {
+        if let Ok(core) = self.core() {
+            core.registry.register(service, self.pid, scope);
+        }
+    }
+
+    fn get_pid(&self, service: ServiceId, scope: Scope) -> Option<Pid> {
+        self.core()
+            .ok()?
+            .registry
+            .lookup(service, scope, self.host)
+            .map(|(pid, _)| pid)
+    }
+
+    fn create_group(&self) -> GroupId {
+        self.core().map(|c| c.groups.create()).unwrap_or(GroupId(0))
+    }
+
+    fn join_group(&self, group: GroupId) -> Result<(), IpcError> {
+        if self.core()?.groups.join(group, self.pid) {
+            Ok(())
+        } else {
+            Err(IpcError::NoSuchGroup)
+        }
+    }
+
+    fn leave_group(&self, group: GroupId) -> Result<(), IpcError> {
+        if self.core()?.groups.leave(group, self.pid) {
+            Ok(())
+        } else {
+            Err(IpcError::NoSuchGroup)
+        }
+    }
+
+    fn charge(&self, work: Duration) {
+        if let Ok(core) = self.core() {
+            if core.emulate.is_some() {
+                std::thread::sleep(work);
+            }
+        }
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+
+    fn now(&self) -> Duration {
+        self.core
+            .upgrade()
+            .map(|c| c.start.elapsed())
+            .unwrap_or_default()
+    }
+
+    fn net(&self) -> Option<NetModel> {
+        // Present only in 1984-emulation mode, where charge() sleeps — so
+        // servers and stubs apply their calibrated processing costs in
+        // real time, exactly as on the virtual-time kernel.
+        self.core.upgrade().and_then(|c| c.emulate.clone())
+    }
+}

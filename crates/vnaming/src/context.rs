@@ -1,0 +1,197 @@
+//! Server-side context-id management (paper §5.2).
+//!
+//! A server may implement many contexts — one per directory, per object
+//! type, per user. Ordinary context ids are server-assigned and die with
+//! the server process; a few *well-known* ids with fixed values (home
+//! directory, standard programs, ...) are aliases the server binds to
+//! concrete contexts at startup.
+
+use std::collections::HashMap;
+use vproto::ContextId;
+
+/// Allocates ordinary context ids and maps each to server-local context
+/// state `T`, with well-known-id aliasing.
+///
+/// # Examples
+///
+/// ```
+/// use vnaming::ContextTable;
+/// use vproto::ContextId;
+///
+/// let mut table: ContextTable<&str> = ContextTable::new();
+/// let root = table.alloc("root directory");
+/// table.bind_well_known(ContextId::HOME, root);
+/// assert_eq!(table.get(ContextId::HOME), Some(&"root directory"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContextTable<T> {
+    next: u32,
+    map: HashMap<ContextId, T>,
+    aliases: HashMap<ContextId, ContextId>,
+}
+
+impl<T> ContextTable<T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ContextTable {
+            next: ContextId::FIRST_ORDINARY.raw(),
+            map: HashMap::new(),
+            aliases: HashMap::new(),
+        }
+    }
+
+    /// Allocates a fresh ordinary context id bound to `state`.
+    ///
+    /// Ids are never reused within a server's lifetime — the server-side
+    /// analogue of the paper's pid-reuse caution (§4.1).
+    pub fn alloc(&mut self, state: T) -> ContextId {
+        let id = ContextId::new(self.next);
+        self.next += 1;
+        self.map.insert(id, state);
+        id
+    }
+
+    /// Binds a well-known id (e.g. [`ContextId::HOME`]) to an existing
+    /// ordinary context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `well_known` is not in the well-known range or `target`
+    /// does not exist.
+    pub fn bind_well_known(&mut self, well_known: ContextId, target: ContextId) {
+        assert!(
+            well_known.is_well_known(),
+            "{well_known} is not a well-known id"
+        );
+        assert!(self.map.contains_key(&target), "unknown target {target}");
+        self.aliases.insert(well_known, target);
+    }
+
+    /// Resolves a possibly-aliased id to the ordinary id it denotes.
+    /// [`ContextId::DEFAULT`] resolves through an explicit binding if one
+    /// exists.
+    pub fn canonical(&self, id: ContextId) -> ContextId {
+        *self.aliases.get(&id).unwrap_or(&id)
+    }
+
+    /// Returns the state for `id` (following aliases).
+    pub fn get(&self, id: ContextId) -> Option<&T> {
+        self.map.get(&self.canonical(id))
+    }
+
+    /// Returns mutable state for `id` (following aliases).
+    pub fn get_mut(&mut self, id: ContextId) -> Option<&mut T> {
+        let id = self.canonical(id);
+        self.map.get_mut(&id)
+    }
+
+    /// Whether `id` (or its alias target) names a live context.
+    pub fn contains(&self, id: ContextId) -> bool {
+        self.map.contains_key(&self.canonical(id))
+    }
+
+    /// Deletes a context; alias bindings to it are removed too.
+    pub fn remove(&mut self, id: ContextId) -> Option<T> {
+        let id = self.canonical(id);
+        self.aliases.retain(|_, target| *target != id);
+        self.map.remove(&id)
+    }
+
+    /// Iterates over (ordinary id, state) pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (ContextId, &T)> {
+        self.map.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Number of live contexts.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table has no contexts.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl<T> Default for ContextTable<T> {
+    fn default() -> Self {
+        ContextTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_ids_are_ordinary_and_unique() {
+        let mut t: ContextTable<u32> = ContextTable::new();
+        let a = t.alloc(1);
+        let b = t.alloc(2);
+        assert_ne!(a, b);
+        assert!(!a.is_well_known());
+        assert!(!b.is_well_known());
+        assert_eq!(t.get(a), Some(&1));
+        assert_eq!(t.get(b), Some(&2));
+    }
+
+    #[test]
+    fn well_known_alias_resolution() {
+        let mut t: ContextTable<&str> = ContextTable::new();
+        let home = t.alloc("home");
+        let bin = t.alloc("bin");
+        t.bind_well_known(ContextId::HOME, home);
+        t.bind_well_known(ContextId::STANDARD_PROGRAMS, bin);
+        assert_eq!(t.get(ContextId::HOME), Some(&"home"));
+        assert_eq!(t.get(ContextId::STANDARD_PROGRAMS), Some(&"bin"));
+        assert_eq!(t.canonical(ContextId::HOME), home);
+    }
+
+    #[test]
+    fn default_context_can_be_bound() {
+        let mut t: ContextTable<&str> = ContextTable::new();
+        let root = t.alloc("root");
+        t.bind_well_known(ContextId::DEFAULT, root);
+        assert_eq!(t.get(ContextId::DEFAULT), Some(&"root"));
+    }
+
+    #[test]
+    fn stale_ids_are_invalid() {
+        let mut t: ContextTable<&str> = ContextTable::new();
+        let a = t.alloc("a");
+        assert!(t.contains(a));
+        t.remove(a);
+        assert!(!t.contains(a));
+        // Ids are not reused.
+        let b = t.alloc("b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn removing_target_drops_aliases() {
+        let mut t: ContextTable<&str> = ContextTable::new();
+        let home = t.alloc("home");
+        t.bind_well_known(ContextId::HOME, home);
+        t.remove(home);
+        assert!(!t.contains(ContextId::HOME));
+        assert_eq!(t.get(ContextId::HOME), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a well-known id")]
+    fn binding_ordinary_id_as_alias_panics() {
+        let mut t: ContextTable<&str> = ContextTable::new();
+        let a = t.alloc("a");
+        let b = t.alloc("b");
+        t.bind_well_known(a, b);
+    }
+
+    #[test]
+    fn get_mut_follows_aliases() {
+        let mut t: ContextTable<Vec<u8>> = ContextTable::new();
+        let home = t.alloc(vec![]);
+        t.bind_well_known(ContextId::HOME, home);
+        t.get_mut(ContextId::HOME).unwrap().push(42);
+        assert_eq!(t.get(home), Some(&vec![42]));
+    }
+}

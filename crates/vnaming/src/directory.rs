@@ -1,0 +1,204 @@
+//! Context directories (paper §5.6) and the pattern-matching extension.
+//!
+//! A context directory is logically a file of description records, one per
+//! object in the context; clients open and read it exactly like a file, and
+//! writing a record has the semantics of the modification operation. The
+//! server fabricates records on demand from its internal structures — this
+//! module is the fabrication side. The paper's proposed extension — "pattern
+//! matching, which would cause the server to only include objects that match
+//! the given pattern" — is [`match_pattern`].
+
+use vproto::{ObjectDescriptor, WireWriter};
+
+/// Fabricates a context directory: a byte stream of descriptor records
+/// (paper §5.6), optionally filtered by a glob pattern.
+///
+/// # Examples
+///
+/// ```
+/// use vnaming::DirectoryBuilder;
+/// use vproto::{CsName, DescriptorTag, ObjectDescriptor};
+///
+/// let mut b = DirectoryBuilder::new();
+/// b.push(&ObjectDescriptor::new(DescriptorTag::File, CsName::from("a.txt")));
+/// b.push(&ObjectDescriptor::new(DescriptorTag::File, CsName::from("b.rs")));
+/// let bytes = b.finish();
+/// let records = ObjectDescriptor::decode_directory(&bytes)?;
+/// assert_eq!(records.len(), 2);
+/// # Ok::<(), vproto::DecodeError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct DirectoryBuilder {
+    writer: WireWriter,
+    count: usize,
+    pattern: Option<Vec<u8>>,
+}
+
+impl DirectoryBuilder {
+    /// Creates an empty directory stream.
+    pub fn new() -> Self {
+        DirectoryBuilder::default()
+    }
+
+    /// Creates a directory stream that only includes objects whose name
+    /// matches `pattern` (the paper's proposed extension).
+    pub fn with_pattern(pattern: impl Into<Vec<u8>>) -> Self {
+        DirectoryBuilder {
+            writer: WireWriter::new(),
+            count: 0,
+            pattern: Some(pattern.into()),
+        }
+    }
+
+    /// Appends one object's description record (subject to the pattern).
+    /// Returns `true` if the record was included.
+    pub fn push(&mut self, descriptor: &ObjectDescriptor) -> bool {
+        if let Some(pat) = &self.pattern {
+            if !match_pattern(descriptor.name.as_bytes(), pat) {
+                return false;
+            }
+        }
+        descriptor.encode_into(&mut self.writer);
+        self.count += 1;
+        true
+    }
+
+    /// Number of records included so far.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no records have been included.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Finishes the stream, returning the directory bytes a client reads.
+    pub fn finish(self) -> Vec<u8> {
+        self.writer.into_vec()
+    }
+}
+
+/// Glob matching over name bytes: `*` matches any run (including empty),
+/// `?` matches exactly one byte, everything else matches literally.
+///
+/// # Examples
+///
+/// ```
+/// use vnaming::match_pattern;
+///
+/// assert!(match_pattern(b"naming.mss", b"*.mss"));
+/// assert!(match_pattern(b"naming.mss", b"nam?ng.*"));
+/// assert!(!match_pattern(b"naming.mss", b"*.txt"));
+/// ```
+pub fn match_pattern(name: &[u8], pattern: &[u8]) -> bool {
+    // Iterative glob with backtracking over the last '*'.
+    let (mut n, mut p) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern pos after '*', name pos)
+    while n < name.len() {
+        if p < pattern.len() && pattern[p] == b'*' {
+            star = Some((p + 1, n));
+            p += 1;
+        } else if p < pattern.len() && (pattern[p] == b'?' || pattern[p] == name[n]) {
+            n += 1;
+            p += 1;
+        } else if let Some((sp, sn)) = star {
+            p = sp;
+            n = sn + 1;
+            star = Some((sp, sn + 1));
+        } else {
+            return false;
+        }
+    }
+    while p < pattern.len() && pattern[p] == b'*' {
+        p += 1;
+    }
+    p == pattern.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vproto::{CsName, DescriptorTag};
+
+    fn file(name: &str) -> ObjectDescriptor {
+        ObjectDescriptor::new(DescriptorTag::File, CsName::from(name))
+    }
+
+    #[test]
+    fn directory_stream_decodes_back() {
+        let mut b = DirectoryBuilder::new();
+        for n in ["one", "two", "three"] {
+            assert!(b.push(&file(n)));
+        }
+        assert_eq!(b.len(), 3);
+        let records = ObjectDescriptor::decode_directory(&b.finish()).unwrap();
+        let names: Vec<String> = records.iter().map(|r| r.name.to_string_lossy()).collect();
+        assert_eq!(names, ["one", "two", "three"]);
+    }
+
+    #[test]
+    fn pattern_filters_records() {
+        let mut b = DirectoryBuilder::with_pattern("*.rs");
+        assert!(b.push(&file("main.rs")));
+        assert!(!b.push(&file("notes.txt")));
+        assert!(b.push(&file("lib.rs")));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn empty_directory_is_empty_bytes() {
+        let b = DirectoryBuilder::new();
+        assert!(b.is_empty());
+        assert!(b.finish().is_empty());
+    }
+
+    #[test]
+    fn glob_literals() {
+        assert!(match_pattern(b"abc", b"abc"));
+        assert!(!match_pattern(b"abc", b"abd"));
+        assert!(!match_pattern(b"abc", b"ab"));
+        assert!(!match_pattern(b"ab", b"abc"));
+    }
+
+    #[test]
+    fn glob_question_mark() {
+        assert!(match_pattern(b"abc", b"a?c"));
+        assert!(!match_pattern(b"ac", b"a?c"));
+        assert!(match_pattern(b"x", b"?"));
+        assert!(!match_pattern(b"", b"?"));
+    }
+
+    #[test]
+    fn glob_star() {
+        assert!(match_pattern(b"", b"*"));
+        assert!(match_pattern(b"anything", b"*"));
+        assert!(match_pattern(b"naming.mss", b"*.mss"));
+        assert!(match_pattern(b"a.b.c", b"a.*.c"));
+        assert!(match_pattern(b"aXXb", b"a*b"));
+        assert!(match_pattern(b"ab", b"a*b"));
+        assert!(!match_pattern(b"ab", b"a*c"));
+    }
+
+    #[test]
+    fn glob_multiple_stars() {
+        assert!(match_pattern(b"one/two/three", b"*/*/*"));
+        assert!(match_pattern(b"abcde", b"*b*d*"));
+        assert!(!match_pattern(b"abcde", b"*e*b*"));
+        assert!(match_pattern(b"x", b"***"));
+    }
+
+    #[test]
+    fn glob_star_backtracking() {
+        // Classic case requiring backtracking: '*' must not eat too much.
+        assert!(match_pattern(b"aab", b"a*b"));
+        assert!(match_pattern(b"aaabbb", b"a*ab*b"));
+        assert!(!match_pattern(b"aaabbb", b"a*c*b"));
+    }
+
+    #[test]
+    fn glob_non_ascii_bytes() {
+        assert!(match_pattern(&[0xFF, 0x00, 0xAA], &[0xFF, b'*', 0xAA]));
+        assert!(match_pattern(&[0xFF], b"?"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the name-handling protocol engine.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use vnaming::{
+    build_csname_request, match_pattern, resolve, ComponentSpace, CsRequest, Outcome,
+    ResolvedTarget, Step,
+};
+use vproto::{ContextId, CsName, RequestCode};
+
+/// A randomly generated tree name space: contexts 0..n, each with component
+/// bindings to child contexts or leaf objects.
+#[derive(Debug, Clone)]
+struct TreeSpace {
+    contexts: Vec<HashMap<Vec<u8>, Step<u32>>>,
+}
+
+impl ComponentSpace for TreeSpace {
+    type Object = u32;
+
+    fn step(&self, ctx: ContextId, comp: &[u8]) -> Step<u32> {
+        self.contexts
+            .get(ctx.raw() as usize)
+            .and_then(|m| m.get(comp).cloned())
+            .unwrap_or(Step::NotFound)
+    }
+
+    fn valid_context(&self, ctx: ContextId) -> bool {
+        (ctx.raw() as usize) < self.contexts.len()
+    }
+}
+
+fn arb_component() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        any::<u8>().prop_filter("no separator", |&b| b != b'/'),
+        1..6,
+    )
+}
+
+proptest! {
+    /// Composing a path of known context components and a leaf always
+    /// resolves to that leaf, regardless of the component bytes.
+    #[test]
+    fn constructed_paths_resolve(
+        comps in proptest::collection::vec(arb_component(), 1..5),
+        leaf in arb_component(),
+    ) {
+        // Build a chain: ctx0 -[comps[0]]-> ctx1 -[comps[1]]-> ... -> leaf.
+        let mut contexts: Vec<HashMap<Vec<u8>, Step<u32>>> = Vec::new();
+        for (i, c) in comps.iter().enumerate() {
+            let mut m = HashMap::new();
+            m.insert(c.clone(), Step::Context(ContextId::new(i as u32 + 1)));
+            contexts.push(m);
+        }
+        let mut last = HashMap::new();
+        // Avoid the degenerate case where leaf equals a chain component
+        // bound in the same context (we insert into a fresh context).
+        last.insert(leaf.clone(), Step::Object(777));
+        contexts.push(last);
+        let space = TreeSpace { contexts };
+
+        let mut name = Vec::new();
+        for c in &comps {
+            name.extend_from_slice(c);
+            name.push(b'/');
+        }
+        name.extend_from_slice(&leaf);
+
+        match resolve(&space, &name, 0, ContextId::new(0), b'/') {
+            Outcome::Done { target: ResolvedTarget::Object(o), .. } => prop_assert_eq!(o, 777),
+            other => prop_assert!(false, "unexpected outcome {:?}", other),
+        }
+    }
+
+    /// resolve() never panics on arbitrary inputs, and every failure index
+    /// lies within the name (or at its end).
+    #[test]
+    fn resolve_total_on_arbitrary_input(
+        name in proptest::collection::vec(any::<u8>(), 0..64),
+        start in 0usize..80,
+        ctx in 0u32..4,
+        n_ctx in 1usize..4,
+    ) {
+        let contexts = vec![HashMap::new(); n_ctx];
+        let space = TreeSpace { contexts };
+        match resolve(&space, &name, start, ContextId::new(ctx), b'/') {
+            Outcome::Fail(f) => prop_assert!(f.index <= name.len()),
+            Outcome::Done { final_index, .. } => prop_assert!(final_index <= name.len()),
+            Outcome::Forward { index, .. } => prop_assert!(index <= name.len()),
+        }
+    }
+
+    /// CSname requests roundtrip through build + parse for arbitrary name
+    /// bytes and extra payload.
+    #[test]
+    fn csrequest_roundtrip(
+        name_bytes in proptest::collection::vec(any::<u8>(), 0..128),
+        extra in proptest::collection::vec(any::<u8>(), 0..64),
+        ctx in any::<u32>(),
+    ) {
+        let name = CsName::from(name_bytes.clone());
+        let (msg, payload) = build_csname_request(
+            RequestCode::QueryObject,
+            ContextId::new(ctx),
+            &name,
+            &extra,
+        );
+        let req = CsRequest::parse(&msg, &payload).unwrap();
+        prop_assert_eq!(req.name, name_bytes);
+        prop_assert_eq!(req.extra, extra);
+        prop_assert_eq!(req.context, ContextId::new(ctx));
+    }
+
+    /// Every name matches itself as a literal pattern, and matches "*".
+    #[test]
+    fn pattern_identity_and_star(name in proptest::collection::vec(any::<u8>(), 0..32)) {
+        // Names containing glob metacharacters are excluded from the
+        // identity check (they'd be interpreted).
+        if !name.iter().any(|&b| b == b'*' || b == b'?') {
+            prop_assert!(match_pattern(&name, &name));
+        }
+        prop_assert!(match_pattern(&name, b"*"));
+    }
+
+    /// prefix + "*" matches any extension of prefix.
+    #[test]
+    fn pattern_prefix_star(
+        prefix in proptest::collection::vec(
+            any::<u8>().prop_filter("no glob chars", |&b| b != b'*' && b != b'?'), 0..16),
+        suffix in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut pattern = prefix.clone();
+        pattern.push(b'*');
+        let mut name = prefix;
+        name.extend_from_slice(&suffix);
+        prop_assert!(match_pattern(&name, &pattern));
+    }
+}

@@ -1,0 +1,204 @@
+//! The network cost model used by the virtual-time kernel.
+
+use crate::params::Params1984;
+use std::time::Duration;
+use vproto::MSG_WORDS;
+
+/// Size of the fixed V message on the wire, in bytes.
+const MSG_BYTES: usize = MSG_WORDS * 2;
+
+/// Prices protocol actions (IPC hops, bulk transfers, broadcasts) in virtual
+/// time, using the calibrated [`Params1984`].
+///
+/// A *hop* is one direction of a message transaction: `Send` (client →
+/// server), `Reply` (server → client), or `Forward` (server → server). A
+/// local hop costs CPU only; a remote hop costs per-packet CPU on both
+/// kernels plus wire time for the message, its payload, and per-packet
+/// headers.
+///
+/// # Examples
+///
+/// ```
+/// use vnet::{NetModel, Params1984};
+///
+/// let net = NetModel::new(Params1984::ethernet_3mbit());
+/// // The paper's 64 KB program load (§3.1): one remote hop to request,
+/// // a bulk MoveTo of the image, one remote hop to reply.
+/// let load = net.bulk_cost(false, 64 * 1024);
+/// assert!((330..=350).contains(&load.as_millis()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetModel {
+    params: Params1984,
+}
+
+impl NetModel {
+    /// Creates a model over the given parameter set.
+    pub fn new(params: Params1984) -> Self {
+        NetModel { params }
+    }
+
+    /// Returns the underlying parameters.
+    pub fn params(&self) -> &Params1984 {
+        &self.params
+    }
+
+    /// Cost of one IPC hop carrying the 32-byte message plus `payload_bytes`
+    /// of appended data.
+    ///
+    /// `local` means sender and receiver are on the same logical host.
+    pub fn hop_cost(&self, local: bool, payload_bytes: usize) -> Duration {
+        if local {
+            // Local rendezvous: trap + message copy + scheduling. Payload is
+            // passed by reference in memory; charge only the copy.
+            self.params.t_cpu_local_hop + self.copy_cost(payload_bytes)
+        } else {
+            let data = MSG_BYTES + payload_bytes;
+            let packets = self.params.packets_for(data);
+            let wire_bytes = data + packets * self.params.packet_header_bytes;
+            self.params.t_cpu_net_hop_per_packet * packets as u32
+                + self.params.wire_time(wire_bytes)
+                + self.copy_cost(payload_bytes)
+        }
+    }
+
+    /// Cost of a bulk `MoveTo`/`MoveFrom` of `bytes` between the parties of
+    /// an in-progress transaction (paper §3.1).
+    ///
+    /// Remote bulk transfers are packetized; each packet pays wire time,
+    /// per-packet CPU on both kernels, and the memory copy. Local transfers
+    /// pay only the copy.
+    pub fn bulk_cost(&self, local: bool, bytes: usize) -> Duration {
+        if bytes == 0 {
+            return Duration::ZERO;
+        }
+        if local {
+            return self.copy_cost(bytes);
+        }
+        let packets = self.params.packets_for(bytes);
+        let wire_bytes = bytes + packets * self.params.packet_header_bytes;
+        self.params.t_cpu_net_hop_per_packet * packets as u32
+            + self.params.wire_time(wire_bytes)
+            + self.copy_cost(bytes)
+    }
+
+    /// Cost charged to the requesting kernel for a `GetPid` broadcast: the
+    /// query packet, the filter cost paid by each of `other_hosts` kernels,
+    /// and the unicast response hop (paper §4.2).
+    pub fn broadcast_query_cost(&self, other_hosts: usize) -> Duration {
+        let query = self.hop_cost(false, 0);
+        let filtering = self.params.t_broadcast_filter * other_hosts as u32;
+        let response = self.hop_cost(false, 0);
+        query + filtering + response
+    }
+
+    /// Cost of delivering one multicast packet to a group with
+    /// `group_members` receivers among `other_hosts` total remote hosts:
+    /// one packet on the wire, every host filters, members process fully.
+    pub fn multicast_send_cost(&self, other_hosts: usize) -> Duration {
+        self.hop_cost(false, 0) + self.params.t_broadcast_filter * other_hosts as u32
+    }
+
+    /// Memory-copy cost for `bytes` (pro-rated per kilobyte).
+    pub fn copy_cost(&self, bytes: usize) -> Duration {
+        if bytes == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(
+            (self.params.t_copy_per_kb.as_nanos() as u64).saturating_mul(bytes as u64) / 1024,
+        )
+    }
+
+    /// Disk latency to deliver `bytes` of file data, in whole pages
+    /// (paper §3.1: one 512-byte page per 15 ms).
+    pub fn disk_cost(&self, bytes: usize) -> Duration {
+        let pages = bytes.div_ceil(self.params.disk_page_bytes).max(1);
+        self.params.t_disk_page * pages as u32
+    }
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel::new(Params1984::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetModel {
+        NetModel::new(Params1984::ethernet_3mbit())
+    }
+
+    #[test]
+    fn remote_transaction_reproduces_paper() {
+        // Paper §3.1: 32-byte Send-Receive-Reply between two workstations on
+        // 3 Mbit Ethernet = 2.56 ms.
+        let txn = net().hop_cost(false, 0) * 2;
+        let us = txn.as_micros() as i64;
+        assert!((us - 2560).abs() <= 5, "remote txn {us}µs, paper 2560µs");
+    }
+
+    #[test]
+    fn local_transaction_reproduces_sosp83() {
+        let txn = net().hop_cost(true, 0) * 2;
+        assert_eq!(txn.as_micros(), 770);
+    }
+
+    #[test]
+    fn program_load_reproduces_paper() {
+        // Paper §3.1: 64 KB program load via MoveTo = 338 ms.
+        let t = net().bulk_cost(false, 64 * 1024);
+        let ms = t.as_millis() as i64;
+        assert!((ms - 338).abs() <= 4, "program load {ms}ms, paper 338ms");
+    }
+
+    #[test]
+    fn local_hops_cheaper_than_remote() {
+        let n = net();
+        for payload in [0, 100, 1024, 9000] {
+            assert!(n.hop_cost(true, payload) < n.hop_cost(false, payload));
+        }
+    }
+
+    #[test]
+    fn hop_cost_monotone_in_payload() {
+        let n = net();
+        let mut prev = Duration::ZERO;
+        for payload in [0, 1, 32, 512, 1024, 2048, 65536] {
+            let c = n.hop_cost(false, payload);
+            assert!(c >= prev, "payload {payload}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn bulk_zero_is_free_and_local_is_copy_only() {
+        let n = net();
+        assert_eq!(n.bulk_cost(false, 0), Duration::ZERO);
+        assert_eq!(n.bulk_cost(true, 2048), n.copy_cost(2048));
+    }
+
+    #[test]
+    fn disk_cost_rounds_up_to_pages() {
+        let n = net();
+        assert_eq!(n.disk_cost(1), Duration::from_millis(15));
+        assert_eq!(n.disk_cost(512), Duration::from_millis(15));
+        assert_eq!(n.disk_cost(513), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn broadcast_costs_grow_with_domain_size() {
+        let n = net();
+        assert!(n.broadcast_query_cost(10) > n.broadcast_query_cost(1));
+        assert!(n.multicast_send_cost(10) > n.multicast_send_cost(1));
+    }
+
+    #[test]
+    fn ten_mbit_is_faster_for_bulk() {
+        let slow = NetModel::new(Params1984::ethernet_3mbit());
+        let fast = NetModel::new(Params1984::ethernet_10mbit());
+        assert!(fast.bulk_cost(false, 64 * 1024) < slow.bulk_cost(false, 64 * 1024));
+    }
+}

@@ -1,0 +1,153 @@
+//! Calibrated cost parameters for the 1984 hardware (see crate docs).
+
+use std::time::Duration;
+
+/// Cost parameters describing the paper's hardware: 10 MHz SUN workstations
+/// on an Ethernet, with VAX/UNIX storage servers.
+///
+/// All constants are *calibrated*, not invented: each is fitted to a
+/// primitive measurement the paper (or the SOSP'83 V kernel paper it cites)
+/// reports. EXPERIMENTS.md lists the fit and the residuals.
+///
+/// # Examples
+///
+/// ```
+/// use vnet::Params1984;
+///
+/// let p = Params1984::ethernet_3mbit();
+/// // Two local hops make the 0.77 ms local message transaction.
+/// assert_eq!((p.t_cpu_local_hop * 2).as_micros(), 770);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Params1984 {
+    /// Network bandwidth in bits per second (3 Mbit or 10 Mbit Ethernet).
+    pub ethernet_bps: u64,
+    /// Per-packet framing overhead: Ethernet + inter-kernel protocol
+    /// headers, in bytes.
+    pub packet_header_bytes: usize,
+    /// Maximum message-plus-payload data bytes carried per packet.
+    pub max_data_per_packet: usize,
+    /// CPU cost of one *local* IPC hop (half a local Send-Receive-Reply):
+    /// trap, copy of the 32-byte message, scheduling. Fitted so a local
+    /// 32-byte transaction costs 0.77 ms.
+    pub t_cpu_local_hop: Duration,
+    /// Combined sender+receiver CPU cost of pushing one packet through both
+    /// network kernels. Fitted so a remote 32-byte transaction on 3 Mbit
+    /// Ethernet costs 2.56 ms.
+    pub t_cpu_net_hop_per_packet: Duration,
+    /// Memory-copy cost per kilobyte moved into place by `MoveTo`/`MoveFrom`
+    /// on the 10 MHz 68000. Fitted so a 64 KB program load costs 338 ms.
+    pub t_copy_per_kb: Duration,
+    /// Client run-time stub cost for `Open`: building the request message
+    /// and processing the reply. Fitted so `Open` in the current context
+    /// with a local server costs 1.21 ms (paper §6).
+    pub t_stub_open: Duration,
+    /// Processing time inside the context prefix server: receiving the
+    /// request, scanning the prefix table, rewriting the message, and
+    /// forwarding it. The paper measures this at 3.94–3.99 ms (§6);
+    /// fitted to reproduce the 5.14 ms prefix+local `Open`.
+    pub t_prefix_processing: Duration,
+    /// Residual cost of fetching the name portion of a CSname request from a
+    /// *remote* client (the short `MoveFrom` for the name bytes). Fitted to
+    /// the paper's 3.70 ms remote `Open`.
+    pub t_remote_name_fetch: Duration,
+    /// Latency for the disk to deliver one page (paper §3.1: 15 ms).
+    pub t_disk_page: Duration,
+    /// Size of one disk page in bytes (paper §3.1: 512).
+    pub disk_page_bytes: usize,
+    /// Cost of a `GetPid` hit in the local kernel table (a kernel trap and a
+    /// table probe — small relative to IPC).
+    pub t_getpid_local: Duration,
+    /// Per-host CPU cost of receiving and filtering a broadcast or multicast
+    /// packet that may not be addressed to this host (the "additional cost"
+    /// the paper notes for the multicast technique, §2.2).
+    pub t_broadcast_filter: Duration,
+}
+
+impl Params1984 {
+    /// The paper's primary configuration: 3 Mbit experimental Ethernet.
+    pub fn ethernet_3mbit() -> Self {
+        Params1984 {
+            ethernet_bps: 3_000_000,
+            packet_header_bytes: 60,
+            max_data_per_packet: 1024,
+            t_cpu_local_hop: Duration::from_micros(385),
+            // 1034.667 µs + 245.333 µs wire (92-byte packet at 3 Mbit)
+            // makes one remote hop exactly 1.28 ms, i.e. the paper's
+            // 2.56 ms round trip.
+            t_cpu_net_hop_per_packet: Duration::from_nanos(1_034_667),
+            t_copy_per_kb: Duration::from_micros(1356),
+            t_stub_open: Duration::from_micros(440),
+            t_prefix_processing: Duration::from_micros(3555),
+            t_remote_name_fetch: Duration::from_micros(700),
+            t_disk_page: Duration::from_millis(15),
+            disk_page_bytes: 512,
+            t_getpid_local: Duration::from_micros(120),
+            t_broadcast_filter: Duration::from_micros(150),
+        }
+    }
+
+    /// The 10 Mbit Ethernet configuration (same CPUs, faster wire).
+    pub fn ethernet_10mbit() -> Self {
+        Params1984 {
+            ethernet_bps: 10_000_000,
+            ..Self::ethernet_3mbit()
+        }
+    }
+
+    /// Time for `bytes` to cross the wire at this bandwidth.
+    pub fn wire_time(&self, bytes: usize) -> Duration {
+        Duration::from_nanos((bytes as u64 * 8).saturating_mul(1_000_000_000) / self.ethernet_bps)
+    }
+
+    /// Number of packets needed to carry `data_bytes` of message + payload.
+    /// Always at least one (a bare 32-byte message still needs a packet).
+    pub fn packets_for(&self, data_bytes: usize) -> usize {
+        data_bytes.div_ceil(self.max_data_per_packet).max(1)
+    }
+}
+
+impl Default for Params1984 {
+    fn default() -> Self {
+        Self::ethernet_3mbit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_3mbit() {
+        let p = Params1984::ethernet_3mbit();
+        // 92 bytes (60 header + 32 message) at 3 Mbit/s ≈ 245 µs.
+        let t = p.wire_time(92);
+        assert!(
+            (244_000..=246_000).contains(&(t.as_nanos() as u64)),
+            "{t:?}"
+        );
+    }
+
+    #[test]
+    fn wire_time_scales_with_bandwidth() {
+        let slow = Params1984::ethernet_3mbit();
+        let fast = Params1984::ethernet_10mbit();
+        assert!(fast.wire_time(1000) < slow.wire_time(1000));
+    }
+
+    #[test]
+    fn packets_for_small_and_large() {
+        let p = Params1984::ethernet_3mbit();
+        assert_eq!(p.packets_for(0), 1);
+        assert_eq!(p.packets_for(32), 1);
+        assert_eq!(p.packets_for(1024), 1);
+        assert_eq!(p.packets_for(1025), 2);
+        assert_eq!(p.packets_for(64 * 1024), 64);
+    }
+
+    #[test]
+    fn local_transaction_calibration() {
+        let p = Params1984::ethernet_3mbit();
+        assert_eq!((p.t_cpu_local_hop * 2).as_micros(), 770);
+    }
+}

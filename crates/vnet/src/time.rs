@@ -1,0 +1,117 @@
+//! Virtual time for the discrete-event kernel.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in virtual time, measured in nanoseconds since simulation start.
+///
+/// `SimTime` is totally ordered and advances only when the virtual-time
+/// kernel charges costs; it never reads the wall clock, which is what makes
+/// simulation runs deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use vnet::SimTime;
+/// use std::time::Duration;
+///
+/// let t = SimTime::ZERO + Duration::from_millis(2);
+/// assert_eq!(t.as_duration(), Duration::from_millis(2));
+/// assert_eq!(t - SimTime::ZERO, Duration::from_millis(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time point from nanoseconds since simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Returns nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time as a [`Duration`] since simulation start.
+    pub const fn as_duration(self) -> Duration {
+        Duration::from_nanos(self.0)
+    }
+
+    /// Returns the later of two time points.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Returns elapsed milliseconds as a float (for reporting).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0 + d.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.as_nanos() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    fn sub(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_subtract() {
+        let a = SimTime::ZERO + Duration::from_micros(500);
+        let b = a + Duration::from_micros(250);
+        assert_eq!(b - a, Duration::from_micros(250));
+        assert_eq!(b - SimTime::ZERO, Duration::from_micros(750));
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(20);
+        assert_eq!(a - b, Duration::ZERO);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        let a = SimTime::from_nanos(1);
+        let b = SimTime::from_nanos(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn display_in_millis() {
+        let t = SimTime::ZERO + Duration::from_micros(1210);
+        assert_eq!(t.to_string(), "1.210ms");
+    }
+}

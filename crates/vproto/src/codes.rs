@@ -1,0 +1,292 @@
+//! Standard request and reply codes (paper §3.2, §5.7).
+//!
+//! Request messages carry the operation code in the first 16-bit word of the
+//! message; the code acts as a tag field specifying the format of the rest of
+//! the message. Reply messages carry a reply code indicating success or the
+//! reason for failure.
+//!
+//! Following the V convention that a CSNH server "can perform some processing
+//! on any CSname request, even if it does not understand the operation code"
+//! (§5.3), CSname-ness is encoded *structurally*: any request code with the
+//! [`CSNAME_BIT`] set contains the standard CSname fields, so a server can
+//! parse and forward requests whose operation it has never heard of.
+
+use std::fmt;
+
+/// Bit set in every request code whose message follows the standard CSname
+/// skeleton (context id, name index, name length + name bytes in the payload).
+pub const CSNAME_BIT: u16 = 0x8000;
+
+/// Returns `true` if a raw request code denotes a CSname request, i.e. the
+/// message contains the standard name-handling fields of paper §5.3.
+///
+/// This works for codes this crate has never seen — the property the paper
+/// relies on for forwarding unknown operations.
+pub const fn is_csname_request_raw(code: u16) -> bool {
+    code & CSNAME_BIT != 0
+}
+
+macro_rules! request_codes {
+    ($(#[$enum_meta:meta])* pub enum RequestCode { $($(#[$meta:meta])* $name:ident = $val:expr,)+ }) => {
+        $(#[$enum_meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(u16)]
+        pub enum RequestCode {
+            $($(#[$meta])* $name = $val,)+
+        }
+
+        impl RequestCode {
+            /// All codes defined by this crate, in declaration order.
+            pub const ALL: &'static [RequestCode] = &[$(RequestCode::$name,)+];
+
+            /// Decodes a raw 16-bit code; returns `None` for codes not
+            /// defined by this crate (servers must still handle those —
+            /// see [`is_csname_request_raw`]).
+            pub const fn from_u16(raw: u16) -> Option<RequestCode> {
+                match raw {
+                    $($val => Some(RequestCode::$name),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+request_codes! {
+    /// Standard V-System operation codes.
+    ///
+    /// Codes with [`CSNAME_BIT`] set are CSname requests (paper §5.3): their
+    /// messages carry a context id, a name index, and a name length, with the
+    /// name bytes travelling in the request payload (the sender's memory,
+    /// readable by the server via `MoveFrom`).
+    pub enum RequestCode {
+        // ---- plain requests (no CSname) ----
+        /// Diagnostic echo; the server replies with the same message body.
+        Echo = 0x0001,
+        /// Read bytes from an open instance (V I/O protocol).
+        ReadInstance = 0x0002,
+        /// Write bytes to an open instance (V I/O protocol).
+        WriteInstance = 0x0003,
+        /// Release (close) an open instance (V I/O protocol).
+        ReleaseInstance = 0x0004,
+        /// Query the descriptor of an open instance.
+        QueryInstance = 0x0005,
+        /// Inverse mapping: (server, context-id) → CSname (paper §5.7).
+        GetContextName = 0x0006,
+        /// Inverse mapping: (server, instance-id) → CSname (paper §5.7).
+        GetInstanceName = 0x0007,
+        /// Ask a server for the current time (simple service example).
+        GetTime = 0x0008,
+        /// Modify the descriptor of an open instance.
+        SetInstanceOwner = 0x0009,
+        /// Open an object by its low-level globally-registered identifier —
+        /// the extra naming level required by the *centralized* model of
+        /// paper §2.1 (implemented only by the baseline object store).
+        OpenById = 0x000A,
+        /// Delete an object by its low-level identifier (baseline model).
+        RemoveById = 0x000B,
+
+        // ---- CSname requests (standard fields present) ----
+        /// Map a CSname that names a context into a (server-pid, context-id)
+        /// pair (paper §5.7, the standard mapping operation).
+        QueryName = 0x8001,
+        /// Get the description record of the named object (paper §5.5).
+        QueryObject = 0x8002,
+        /// Overwrite (parts of) the description record of the named object
+        /// (paper §5.5). Servers ignore fields that make no sense to change.
+        ModifyObject = 0x8003,
+        /// Open the named object as an I/O instance (V I/O protocol `Open`).
+        CreateInstance = 0x8004,
+        /// Delete the named object.
+        RemoveObject = 0x8005,
+        /// Rename the named object; the new name follows the old one in the
+        /// payload.
+        RenameObject = 0x8006,
+        /// Define a name for an existing context (optional op, ordinarily
+        /// implemented only in context prefix servers — paper §5.7).
+        AddContextName = 0x8007,
+        /// Delete a name previously defined for a context (optional op).
+        DeleteContextName = 0x8008,
+        /// Create the named object without opening it (mkdir and friends);
+        /// the descriptor template travels after the name in the payload.
+        CreateObject = 0x8009,
+    }
+}
+
+impl RequestCode {
+    /// Returns the raw 16-bit wire value.
+    pub const fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// Returns `true` if this operation's message follows the standard
+    /// CSname skeleton (paper §5.3).
+    pub const fn is_csname_request(self) -> bool {
+        is_csname_request_raw(self as u16)
+    }
+
+    /// Returns `true` for the optional context-prefix management operations
+    /// (paper §5.7: "ordinarily implemented only in context prefix servers").
+    pub const fn is_optional_op(self) -> bool {
+        matches!(
+            self,
+            RequestCode::AddContextName | RequestCode::DeleteContextName
+        )
+    }
+}
+
+impl fmt::Display for RequestCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+macro_rules! reply_codes {
+    ($(#[$enum_meta:meta])* pub enum ReplyCode { $($(#[$meta:meta])* $name:ident = $val:expr,)+ }) => {
+        $(#[$enum_meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(u16)]
+        pub enum ReplyCode {
+            $($(#[$meta])* $name = $val,)+
+        }
+
+        impl ReplyCode {
+            /// All codes defined by this crate, in declaration order.
+            pub const ALL: &'static [ReplyCode] = &[$(ReplyCode::$name,)+];
+
+            /// Decodes a raw 16-bit reply code, mapping unknown values to
+            /// [`ReplyCode::Unknown`].
+            pub const fn from_u16(raw: u16) -> ReplyCode {
+                match raw {
+                    $($val => ReplyCode::$name,)+
+                    _ => ReplyCode::Unknown,
+                }
+            }
+        }
+    };
+}
+
+reply_codes! {
+    /// Standard system reply codes (paper §3.2).
+    ///
+    /// A reply code appears at the beginning of each reply message,
+    /// indicating whether the request succeeded or failed, and in the latter
+    /// case, the reason for failure.
+    pub enum ReplyCode {
+        /// The request succeeded.
+        Ok = 0x0000,
+        /// No object with the given name exists in the given context.
+        NotFound = 0x0001,
+        /// The name is syntactically unacceptable to this server.
+        IllegalName = 0x0002,
+        /// A name component that must denote a context does not.
+        NotAContext = 0x0003,
+        /// The requester lacks permission for the operation.
+        NoPermission = 0x0004,
+        /// Malformed or out-of-range request parameters.
+        BadArgs = 0x0005,
+        /// The server does not implement the requested operation.
+        UnknownRequest = 0x0006,
+        /// Read past the end of an instance.
+        EndOfFile = 0x0007,
+        /// The server cannot allocate resources for the request.
+        NoServerResources = 0x0008,
+        /// Transient failure; the client may retry.
+        Retry = 0x0009,
+        /// The context id in the request does not name a live context —
+        /// e.g. the server was restarted and ordinary context ids died
+        /// with the old process (paper §5.2).
+        InvalidContext = 0x000A,
+        /// The name is already bound in the target context.
+        NameInUse = 0x000B,
+        /// The context must be empty for this operation (e.g. rmdir).
+        NotEmpty = 0x000C,
+        /// The instance id does not name a live instance.
+        InvalidInstance = 0x000D,
+        /// The instance is open in a mode that forbids this operation.
+        BadMode = 0x000E,
+        /// No server for the requested service could be found.
+        NoServer = 0x000F,
+        /// The operation timed out (e.g. a crashed server).
+        Timeout = 0x0010,
+        /// A name lookup was forwarded too many times without resolving —
+        /// the error-reporting difficulty the paper's §7 discusses.
+        ForwardLoop = 0x0011,
+        /// Catch-all decode for reply codes this crate does not know.
+        Unknown = 0xFFFF,
+    }
+}
+
+impl ReplyCode {
+    /// Returns the raw 16-bit wire value.
+    pub const fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// Returns `true` if the code denotes success.
+    pub const fn is_ok(self) -> bool {
+        matches!(self, ReplyCode::Ok)
+    }
+}
+
+impl fmt::Display for ReplyCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl std::error::Error for ReplyCode {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csname_bit_classifies_known_codes() {
+        assert!(RequestCode::CreateInstance.is_csname_request());
+        assert!(RequestCode::QueryName.is_csname_request());
+        assert!(!RequestCode::ReadInstance.is_csname_request());
+        assert!(!RequestCode::Echo.is_csname_request());
+    }
+
+    #[test]
+    fn csname_bit_classifies_unknown_codes() {
+        // A server must recognize CSname requests it has never seen.
+        assert!(is_csname_request_raw(0x8F42));
+        assert!(!is_csname_request_raw(0x0F42));
+    }
+
+    #[test]
+    fn request_roundtrip_all() {
+        for &code in RequestCode::ALL {
+            assert_eq!(RequestCode::from_u16(code.as_u16()), Some(code));
+        }
+        assert_eq!(RequestCode::from_u16(0x7777), None);
+    }
+
+    #[test]
+    fn reply_roundtrip_all() {
+        for &code in ReplyCode::ALL {
+            assert_eq!(ReplyCode::from_u16(code.as_u16()), code);
+        }
+        assert_eq!(ReplyCode::from_u16(0x1234), ReplyCode::Unknown);
+    }
+
+    #[test]
+    fn only_prefix_ops_are_optional() {
+        for &code in RequestCode::ALL {
+            let expect = matches!(
+                code,
+                RequestCode::AddContextName | RequestCode::DeleteContextName
+            );
+            assert_eq!(code.is_optional_op(), expect, "{code}");
+        }
+    }
+
+    #[test]
+    fn ok_is_the_only_success() {
+        for &code in ReplyCode::ALL {
+            assert_eq!(code.is_ok(), code == ReplyCode::Ok);
+        }
+    }
+}

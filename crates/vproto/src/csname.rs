@@ -1,0 +1,246 @@
+//! Character string names (paper §5.1) and the context-prefix syntax
+//! (paper §5.8).
+//!
+//! A CSname is a sequence of zero or more bytes — *not* necessarily UTF-8 —
+//! though usually meaningful human-readable ASCII. The name-handling protocol
+//! imposes minimal restrictions on name syntax; the only syntax the standard
+//! run-time routines know is the context prefix: a name beginning with `[`
+//! whose prefix is terminated by the matching `]`.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+
+/// Opening delimiter of a context prefix (paper §5.8).
+pub const PREFIX_OPEN: u8 = b'[';
+/// Closing delimiter of a context prefix (paper §5.8).
+pub const PREFIX_CLOSE: u8 = b']';
+
+/// A V-System character string name: an arbitrary byte string (paper §5.1).
+///
+/// `CsName` deliberately does **not** impose a component structure — how a
+/// name decomposes into components is the business of the server that
+/// interprets it (paper §5.4: "Names are ordinarily interpreted
+/// left-to-right, if the server implements hierarchical naming, though this
+/// is not required"). Helpers for `/`-separated interpretation live with the
+/// file server, and `@`-separated interpretation with the mail server.
+///
+/// # Examples
+///
+/// ```
+/// use vproto::CsName;
+///
+/// let name = CsName::from("[home]notes/todo.txt");
+/// assert!(name.has_prefix_syntax());
+/// let parse = name.parse_prefix().expect("well-formed prefix");
+/// assert_eq!(parse.prefix, b"home");
+/// assert_eq!(parse.rest_index, 6);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CsName(Vec<u8>);
+
+impl CsName {
+    /// Creates an empty name.
+    pub const fn new() -> Self {
+        CsName(Vec::new())
+    }
+
+    /// Creates a name from raw bytes.
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
+        CsName(bytes.into())
+    }
+
+    /// Returns the name bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Consumes the name, returning its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Returns the length of the name in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the name is empty (a zero-length CSname is legal
+    /// per §5.1).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns `true` if the name begins with the standard context prefix
+    /// character `[` — the test the run-time `Open` routine performs
+    /// (paper §6).
+    pub fn has_prefix_syntax(&self) -> bool {
+        self.0.first() == Some(&PREFIX_OPEN)
+    }
+
+    /// Parses a leading `[prefix]` (paper §5.8).
+    ///
+    /// Returns `None` if the name does not start with `[` or has no matching
+    /// `]`. An *empty* prefix (`[]name`) parses successfully; what it means
+    /// is up to the prefix server.
+    pub fn parse_prefix(&self) -> Option<PrefixParse<'_>> {
+        if !self.has_prefix_syntax() {
+            return None;
+        }
+        let close = self.0.iter().position(|&b| b == PREFIX_CLOSE)?;
+        Some(PrefixParse {
+            prefix: &self.0[1..close],
+            rest_index: close + 1,
+        })
+    }
+
+    /// Returns the suffix of the name starting at `index` — the portion not
+    /// yet interpreted, per the name-index field of §5.3.
+    pub fn suffix(&self, index: usize) -> &[u8] {
+        &self.0[index.min(self.0.len())..]
+    }
+
+    /// Returns a lossy UTF-8 rendering for diagnostics.
+    pub fn to_string_lossy(&self) -> String {
+        String::from_utf8_lossy(&self.0).into_owned()
+    }
+}
+
+/// The result of parsing a `[prefix]rest` name (paper §5.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixParse<'a> {
+    /// The bytes between `[` and `]`.
+    pub prefix: &'a [u8],
+    /// Byte index of the first character after `]` — the value a context
+    /// prefix server stores into the request's name-index field before
+    /// forwarding.
+    pub rest_index: usize,
+}
+
+impl fmt::Debug for CsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CsName({:?})", self.to_string_lossy())
+    }
+}
+
+impl fmt::Display for CsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_lossy())
+    }
+}
+
+impl From<&str> for CsName {
+    fn from(s: &str) -> Self {
+        CsName(s.as_bytes().to_vec())
+    }
+}
+
+impl From<String> for CsName {
+    fn from(s: String) -> Self {
+        CsName(s.into_bytes())
+    }
+}
+
+impl From<&[u8]> for CsName {
+    fn from(b: &[u8]) -> Self {
+        CsName(b.to_vec())
+    }
+}
+
+impl From<Vec<u8>> for CsName {
+    fn from(b: Vec<u8>) -> Self {
+        CsName(b)
+    }
+}
+
+impl Deref for CsName {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Borrow<[u8]> for CsName {
+    fn borrow(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for CsName {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl FromIterator<u8> for CsName {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        CsName(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_parse_simple() {
+        let n = CsName::from("[storage]src/main.rs");
+        let p = n.parse_prefix().unwrap();
+        assert_eq!(p.prefix, b"storage");
+        assert_eq!(&n.suffix(p.rest_index), b"src/main.rs");
+    }
+
+    #[test]
+    fn prefix_parse_empty_prefix() {
+        let n = CsName::from("[]whatever");
+        let p = n.parse_prefix().unwrap();
+        assert_eq!(p.prefix, b"");
+        assert_eq!(p.rest_index, 2);
+    }
+
+    #[test]
+    fn prefix_parse_empty_rest() {
+        let n = CsName::from("[home]");
+        let p = n.parse_prefix().unwrap();
+        assert_eq!(p.prefix, b"home");
+        assert_eq!(n.suffix(p.rest_index), b"");
+    }
+
+    #[test]
+    fn no_prefix_is_none() {
+        assert!(CsName::from("plain/name").parse_prefix().is_none());
+        assert!(CsName::new().parse_prefix().is_none());
+    }
+
+    #[test]
+    fn unterminated_prefix_is_none() {
+        let n = CsName::from("[unterminated");
+        assert!(n.has_prefix_syntax());
+        assert!(n.parse_prefix().is_none());
+    }
+
+    #[test]
+    fn names_may_contain_arbitrary_bytes() {
+        let n = CsName::from_bytes(vec![0xFF, 0x00, b'[', 0xAA]);
+        assert_eq!(n.len(), 4);
+        assert!(!n.has_prefix_syntax());
+        // Debug/Display never panic on non-UTF-8.
+        let _ = format!("{n:?} {n}");
+    }
+
+    #[test]
+    fn suffix_clamps_out_of_range_index() {
+        let n = CsName::from("abc");
+        assert_eq!(n.suffix(0), b"abc");
+        assert_eq!(n.suffix(2), b"c");
+        assert_eq!(n.suffix(99), b"");
+    }
+
+    #[test]
+    fn zero_length_name_is_legal() {
+        let n = CsName::new();
+        assert!(n.is_empty());
+        assert_eq!(n.len(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Process identifiers (paper §4.1, Figure 2).
+//!
+//! A V process identifier is a 32-bit value, unique within one V domain,
+//! structured as two 16-bit subfields: the *logical host* and the *local
+//! process identifier*. Process identifiers are the only absolute names in a
+//! V domain; all other names are relative to a pid.
+
+use std::fmt;
+
+/// The logical-host subfield of a [`Pid`] (paper §4.1).
+///
+/// A logical host is mapped to a particular host address by the kernel; each
+/// logical host independently generates unique local process identifiers, so
+/// pids never conflict across hosts.
+///
+/// # Examples
+///
+/// ```
+/// use vproto::{LogicalHost, Pid};
+///
+/// let host = LogicalHost::new(7);
+/// let pid = Pid::new(host, 42);
+/// assert_eq!(pid.logical_host(), host);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LogicalHost(u16);
+
+impl LogicalHost {
+    /// Creates a logical host identifier from its raw 16-bit value.
+    pub const fn new(raw: u16) -> Self {
+        LogicalHost(raw)
+    }
+
+    /// Returns the raw 16-bit value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for LogicalHost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+impl From<u16> for LogicalHost {
+    fn from(raw: u16) -> Self {
+        LogicalHost(raw)
+    }
+}
+
+/// A V process identifier: 16-bit logical host ∘ 16-bit local pid
+/// (paper §4.1, Figure 2).
+///
+/// A pid uniquely identifies a process within one V domain. It is *spatially*
+/// unique but not unique in time — the kernel attempts to maximize the time
+/// before a local pid is reused. The structure makes three things efficient:
+/// locating a process (route by logical host), generating unique pids without
+/// coordination (per-host local counters), and testing whether a named
+/// process is local or remote.
+///
+/// # Examples
+///
+/// ```
+/// use vproto::{LogicalHost, Pid};
+///
+/// let pid = Pid::new(LogicalHost::new(3), 9);
+/// assert_eq!(pid.local_pid(), 9);
+/// assert!(pid.is_on(LogicalHost::new(3)));
+/// assert_eq!(Pid::from_raw(pid.raw()), pid);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(u32);
+
+impl Pid {
+    /// The null pid: never assigned to a process. Used in message fields to
+    /// mean "no process".
+    pub const NULL: Pid = Pid(0);
+
+    /// Creates a pid from its logical-host and local-pid subfields.
+    pub const fn new(host: LogicalHost, local: u16) -> Self {
+        Pid(((host.raw() as u32) << 16) | local as u32)
+    }
+
+    /// Reconstructs a pid from its raw 32-bit wire representation.
+    pub const fn from_raw(raw: u32) -> Self {
+        Pid(raw)
+    }
+
+    /// Returns the raw 32-bit wire representation.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the logical-host subfield.
+    pub const fn logical_host(self) -> LogicalHost {
+        LogicalHost::new((self.0 >> 16) as u16)
+    }
+
+    /// Returns the local-process-identifier subfield.
+    pub const fn local_pid(self) -> u16 {
+        self.0 as u16
+    }
+
+    /// Returns `true` if this is the null pid.
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if the process lives on `host`.
+    ///
+    /// The paper notes that determining locality from a pid alone is "an
+    /// important issue for some servers"; this is that test.
+    pub const fn is_on(self, host: LogicalHost) -> bool {
+        self.logical_host().raw() == host.raw()
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.logical_host(), self.local_pid())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_join_roundtrip() {
+        let pid = Pid::new(LogicalHost::new(0xBEEF), 0xCAFE);
+        assert_eq!(pid.logical_host().raw(), 0xBEEF);
+        assert_eq!(pid.local_pid(), 0xCAFE);
+        assert_eq!(Pid::from_raw(pid.raw()), pid);
+    }
+
+    #[test]
+    fn null_pid_is_null() {
+        assert!(Pid::NULL.is_null());
+        assert!(!Pid::new(LogicalHost::new(0), 1).is_null());
+        assert!(!Pid::new(LogicalHost::new(1), 0).is_null());
+    }
+
+    #[test]
+    fn locality_test() {
+        let a = LogicalHost::new(1);
+        let b = LogicalHost::new(2);
+        let pid = Pid::new(a, 5);
+        assert!(pid.is_on(a));
+        assert!(!pid.is_on(b));
+    }
+
+    #[test]
+    fn display_shows_subfields() {
+        let pid = Pid::new(LogicalHost::new(3), 17);
+        assert_eq!(pid.to_string(), "host3.17");
+    }
+
+    #[test]
+    fn ordering_groups_by_host() {
+        let lo = Pid::new(LogicalHost::new(1), 0xFFFF);
+        let hi = Pid::new(LogicalHost::new(2), 0);
+        assert!(lo < hi);
+    }
+}

@@ -1,0 +1,175 @@
+//! Service naming (paper §4.2).
+//!
+//! Most V-System services are provided by dedicated server processes. Because
+//! a pid names only the process *currently* implementing a service — and a
+//! server recreated after a crash has a different pid — the kernel supports a
+//! separate service-naming facility: `SetPid(service, pid, scope)` registers
+//! a process as providing a service, and `GetPid(service, scope)` returns the
+//! registered pid, broadcasting to other kernels if the local table misses.
+
+use std::fmt;
+
+/// A well-known numeric identifier for a V-System service (paper §4.2).
+///
+/// Programs are written in terms of services; the binding of service to
+/// server process happens at time of use via `GetPid`.
+///
+/// # Examples
+///
+/// ```
+/// use vproto::ServiceId;
+///
+/// let svc = ServiceId::FILE_SERVER;
+/// assert_eq!(ServiceId::new(svc.raw()), svc);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServiceId(u32);
+
+impl ServiceId {
+    /// Storage (file) service.
+    pub const FILE_SERVER: ServiceId = ServiceId(1);
+    /// Per-user context prefix service (paper §5.8).
+    pub const CONTEXT_PREFIX: ServiceId = ServiceId(2);
+    /// Virtual graphics terminal service.
+    pub const TERMINAL_SERVER: ServiceId = ServiceId(3);
+    /// Printer service.
+    pub const PRINT_SERVER: ServiceId = ServiceId(4);
+    /// Internet (IP/TCP) service.
+    pub const INTERNET_SERVER: ServiceId = ServiceId(5);
+    /// Program manager (programs in execution).
+    pub const PROGRAM_MANAGER: ServiceId = ServiceId(6);
+    /// Time service.
+    pub const TIME_SERVER: ServiceId = ServiceId(7);
+    /// Exception service.
+    pub const EXCEPTION_SERVER: ServiceId = ServiceId(8);
+    /// Computer-mail naming service (extensibility demo, paper §2.2).
+    pub const MAIL_SERVER: ServiceId = ServiceId(9);
+    /// Centralized name server (baseline model of paper §2.1, for comparison
+    /// experiments only — not part of the V design).
+    pub const CENTRAL_NAME_SERVER: ServiceId = ServiceId(10);
+    /// Pipe service (pipes are among the §3.2 I/O protocol's sources/sinks).
+    pub const PIPE_SERVER: ServiceId = ServiceId(11);
+
+    /// First identifier available for user-defined services.
+    pub const FIRST_USER: ServiceId = ServiceId(1000);
+
+    /// Creates a service identifier from its raw value.
+    pub const fn new(raw: u32) -> Self {
+        ServiceId(raw)
+    }
+
+    /// Returns the raw numeric value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let known = match *self {
+            ServiceId::FILE_SERVER => Some("file-server"),
+            ServiceId::CONTEXT_PREFIX => Some("context-prefix"),
+            ServiceId::TERMINAL_SERVER => Some("terminal-server"),
+            ServiceId::PRINT_SERVER => Some("print-server"),
+            ServiceId::INTERNET_SERVER => Some("internet-server"),
+            ServiceId::PROGRAM_MANAGER => Some("program-manager"),
+            ServiceId::TIME_SERVER => Some("time-server"),
+            ServiceId::EXCEPTION_SERVER => Some("exception-server"),
+            ServiceId::MAIL_SERVER => Some("mail-server"),
+            ServiceId::CENTRAL_NAME_SERVER => Some("central-name-server"),
+            ServiceId::PIPE_SERVER => Some("pipe-server"),
+            _ => None,
+        };
+        match known {
+            Some(name) => write!(f, "{name}"),
+            None => write!(f, "service{}", self.0),
+        }
+    }
+}
+
+/// Registration/lookup scope for service naming (paper §4.2).
+///
+/// The paper: "Scope is one of 'local' to this machine, 'remote', or 'both
+/// local and remote'. We have found it important to distinguish between
+/// simple local servers and remotely-available 'public' servers, and even to
+/// allow both simultaneously for the same service."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scope {
+    /// Visible only to processes on the same logical host.
+    Local,
+    /// Visible only to processes on *other* logical hosts.
+    Remote,
+    /// Visible everywhere.
+    #[default]
+    Both,
+}
+
+impl Scope {
+    /// Whether a registration with this scope answers a *local* lookup
+    /// (client on the same host as the registered server).
+    pub fn serves_local(self) -> bool {
+        matches!(self, Scope::Local | Scope::Both)
+    }
+
+    /// Whether a registration with this scope answers a *remote* lookup
+    /// (client on a different host).
+    pub fn serves_remote(self) -> bool {
+        matches!(self, Scope::Remote | Scope::Both)
+    }
+
+    /// Whether a lookup with this scope may consult other hosts at all.
+    pub fn searches_remote(self) -> bool {
+        matches!(self, Scope::Remote | Scope::Both)
+    }
+
+    /// Whether a lookup with this scope may consult the local host table.
+    pub fn searches_local(self) -> bool {
+        matches!(self, Scope::Local | Scope::Both)
+    }
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Local => write!(f, "local"),
+            Scope::Remote => write!(f, "remote"),
+            Scope::Both => write!(f, "both"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_visibility_matrix() {
+        assert!(Scope::Local.serves_local());
+        assert!(!Scope::Local.serves_remote());
+        assert!(!Scope::Remote.serves_local());
+        assert!(Scope::Remote.serves_remote());
+        assert!(Scope::Both.serves_local());
+        assert!(Scope::Both.serves_remote());
+    }
+
+    #[test]
+    fn scope_search_matrix() {
+        assert!(Scope::Local.searches_local());
+        assert!(!Scope::Local.searches_remote());
+        assert!(Scope::Remote.searches_remote());
+        assert!(!Scope::Remote.searches_local());
+        assert!(Scope::Both.searches_local());
+        assert!(Scope::Both.searches_remote());
+    }
+
+    #[test]
+    fn known_service_display() {
+        assert_eq!(ServiceId::FILE_SERVER.to_string(), "file-server");
+        assert_eq!(ServiceId::new(4242).to_string(), "service4242");
+    }
+
+    #[test]
+    fn user_services_do_not_collide_with_well_known() {
+        assert!(ServiceId::FIRST_USER.raw() > ServiceId::CENTRAL_NAME_SERVER.raw());
+    }
+}

@@ -1,0 +1,238 @@
+//! Minimal little-endian wire encoding helpers used by descriptor records
+//! and context directories.
+//!
+//! V messages are fixed 32-byte structures, but descriptor records and
+//! directory contents are variable-length byte streams transferred as
+//! payloads. This module provides the (deliberately tiny) reader/writer both
+//! ends share.
+
+use crate::descriptor::DecodeError;
+
+/// Append-only little-endian encoder.
+///
+/// # Examples
+///
+/// ```
+/// use vproto::{WireWriter, WireReader};
+///
+/// let mut w = WireWriter::new();
+/// w.u16(7).u32(42).bytes(b"hi");
+/// let buf = w.into_vec();
+/// let mut r = WireReader::new(&buf);
+/// assert_eq!(r.u16().unwrap(), 7);
+/// assert_eq!(r.u32().unwrap(), 42);
+/// assert_eq!(r.bytes().unwrap(), b"hi");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        WireWriter::default()
+    }
+
+    /// Appends a `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a length-prefixed byte string (u16 length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() > u16::MAX as usize`.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        assert!(b.len() <= u16::MAX as usize, "wire byte string too long");
+        self.u16(b.len() as u16);
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn raw(&mut self, b: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Returns the number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential little-endian decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Returns the current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Returns the number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns `true` if all bytes have been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] if fewer than 2 bytes remain.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] if fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] if fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("len 8")))
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] if the buffer ends early.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.u16()? as usize;
+        self.take(len)
+    }
+
+    /// Reads exactly `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] if fewer than `n` bytes remain.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = WireWriter::new();
+        w.u16(0xA1B2).u32(0xDEADBEEF).u64(0x0123_4567_89AB_CDEF);
+        let v = w.into_vec();
+        let mut r = WireReader::new(&v);
+        assert_eq!(r.u16().unwrap(), 0xA1B2);
+        assert_eq!(r.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn byte_string_roundtrip() {
+        let mut w = WireWriter::new();
+        w.bytes(b"").bytes(b"name.txt");
+        let v = w.into_vec();
+        let mut r = WireReader::new(&v);
+        assert_eq!(r.bytes().unwrap(), b"");
+        assert_eq!(r.bytes().unwrap(), b"name.txt");
+    }
+
+    #[test]
+    fn truncation_reports_needed_bytes() {
+        let mut r = WireReader::new(&[0x01]);
+        match r.u32() {
+            Err(DecodeError::Truncated { needed, available }) => {
+                assert_eq!(needed, 4);
+                assert_eq!(available, 1);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_byte_string() {
+        // Length prefix claims 10 bytes, only 2 present.
+        let mut w = WireWriter::new();
+        w.u16(10).raw(b"ab");
+        let v = w.into_vec();
+        let mut r = WireReader::new(&v);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn position_tracking() {
+        let mut w = WireWriter::new();
+        w.u16(1).u16(2);
+        let v = w.into_vec();
+        let mut r = WireReader::new(&v);
+        assert_eq!(r.position(), 0);
+        r.u16().unwrap();
+        assert_eq!(r.position(), 2);
+        assert_eq!(r.remaining(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Static checks that per-message field layouts do not overlap — the class
+//! of bug (two fields written to the same word of a reply) that typed wire
+//! formats exist to prevent.
+
+use vproto::fields::*;
+use vproto::MSG_WORDS;
+
+/// Expands to a check that the listed (label, word-range) fields of one
+/// message kind are pairwise disjoint and in bounds.
+fn assert_disjoint(kind: &str, fields: &[(&str, std::ops::Range<usize>)]) {
+    for (name, range) in fields {
+        assert!(
+            range.end <= MSG_WORDS,
+            "{kind}: field {name} out of bounds ({range:?})"
+        );
+        assert!(
+            range.start >= 1,
+            "{kind}: field {name} overlaps the code word"
+        );
+    }
+    for (i, (name_a, a)) in fields.iter().enumerate() {
+        for (name_b, b) in fields.iter().skip(i + 1) {
+            let overlap = a.start < b.end && b.start < a.end;
+            assert!(
+                !overlap,
+                "{kind}: fields {name_a} ({a:?}) and {name_b} ({b:?}) overlap"
+            );
+        }
+    }
+}
+
+const CSNAME_SKELETON: [(&str, std::ops::Range<usize>); 3] = [
+    ("context_id", 1..3),
+    ("name_index", 3..4),
+    ("name_length", 4..5),
+];
+
+#[test]
+fn open_reply_layout() {
+    assert_disjoint(
+        "CreateInstance reply",
+        &[
+            ("server_pid", W_PID_LO..W_PID_LO + 2),
+            ("size", W_SIZE_LO..W_SIZE_LO + 2),
+            ("instance", W_INSTANCE..W_INSTANCE + 1),
+            ("object_id", W_OBJECT_ID_LO..W_OBJECT_ID_LO + 2),
+        ],
+    );
+}
+
+#[test]
+fn create_instance_request_layout() {
+    let mut fields: Vec<(&str, std::ops::Range<usize>)> = CSNAME_SKELETON.to_vec();
+    fields.push(("mode", W_MODE..W_MODE + 1));
+    fields.push(("forward_count", W_FORWARD_COUNT..W_FORWARD_COUNT + 1));
+    assert_disjoint("CreateInstance request", &fields);
+}
+
+#[test]
+fn io_request_layout() {
+    assert_disjoint(
+        "Read/WriteInstance request",
+        &[
+            ("instance", W_IO_INSTANCE..W_IO_INSTANCE + 1),
+            ("offset", W_IO_OFFSET_LO..W_IO_OFFSET_LO + 2),
+            ("count", W_IO_COUNT..W_IO_COUNT + 1),
+        ],
+    );
+}
+
+#[test]
+fn add_context_name_request_layout() {
+    let mut fields: Vec<(&str, std::ops::Range<usize>)> = CSNAME_SKELETON.to_vec();
+    fields.push(("target_pid", W_TARGET_PID_LO..W_TARGET_PID_LO + 2));
+    fields.push(("target_ctx", W_TARGET_CTX_LO..W_TARGET_CTX_LO + 2));
+    fields.push(("logical", W_LOGICAL..W_LOGICAL + 1));
+    fields.push(("forward_count", W_FORWARD_COUNT..W_FORWARD_COUNT + 1));
+    assert_disjoint("AddContextName request", &fields);
+}
+
+#[test]
+fn rename_request_layout() {
+    let mut fields: Vec<(&str, std::ops::Range<usize>)> = CSNAME_SKELETON.to_vec();
+    fields.push(("name2_index", W_NAME2_INDEX..W_NAME2_INDEX + 1));
+    fields.push(("name2_len", W_NAME2_LEN..W_NAME2_LEN + 1));
+    fields.push(("forward_count", W_FORWARD_COUNT..W_FORWARD_COUNT + 1));
+    assert_disjoint("RenameObject request", &fields);
+}
+
+#[test]
+fn query_name_reply_layout() {
+    assert_disjoint(
+        "QueryName reply",
+        &[
+            ("context_id", 1..3),
+            ("server_pid", W_PID_LO..W_PID_LO + 2),
+            ("object_id (central model)", W_OBJECT_ID_LO..W_OBJECT_ID_LO + 2),
+        ],
+    );
+}
+
+#[test]
+fn invert_request_layout() {
+    assert_disjoint(
+        "GetContextName/GetInstanceName request",
+        &[("invert_id", W_INVERT_ID_LO..W_INVERT_ID_LO + 2)],
+    );
+}
+
+#[test]
+fn time_reply_layout() {
+    assert_disjoint("GetTime reply", &[("seconds", W_TIME_LO..W_TIME_LO + 2)]);
+}

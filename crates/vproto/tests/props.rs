@@ -1,0 +1,162 @@
+//! Property-based tests for the wire-level types (FIG-2 and FIG-3 of the
+//! experiment index in DESIGN.md).
+
+use proptest::prelude::*;
+use vproto::{
+    ContextId, ContextPair, CsName, DescriptorExt, DescriptorTag, Message,
+    ObjectDescriptor, ObjectId, Permissions, Pid, WireWriter,
+};
+
+fn arb_csname() -> impl Strategy<Value = CsName> {
+    proptest::collection::vec(any::<u8>(), 0..64).prop_map(CsName::from)
+}
+
+fn arb_ext() -> impl Strategy<Value = (u16, DescriptorExt)> {
+    prop_oneof![
+        Just((DescriptorTag::File.as_u16(), DescriptorExt::None)),
+        (any::<u32>(), any::<u32>()).prop_map(|(c, e)| (
+            DescriptorTag::Directory.as_u16(),
+            DescriptorExt::Directory {
+                context: ContextId::new(c),
+                entries: e,
+            }
+        )),
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(p, c, l)| (
+            DescriptorTag::ContextPrefix.as_u16(),
+            DescriptorExt::ContextPrefix {
+                target: ContextPair::new(Pid::from_raw(p), ContextId::new(c)),
+                logical_service: l,
+            }
+        )),
+        (any::<u16>(), any::<u16>()).prop_map(|(c, r)| (
+            DescriptorTag::Terminal.as_u16(),
+            DescriptorExt::Terminal {
+                columns: c,
+                rows: r
+            }
+        )),
+        any::<u32>().prop_map(|q| (
+            DescriptorTag::PrintJob.as_u16(),
+            DescriptorExt::PrintJob { queue_position: q }
+        )),
+        any::<u32>().prop_map(|p| (
+            DescriptorTag::Program.as_u16(),
+            DescriptorExt::Program {
+                pid: Pid::from_raw(p)
+            }
+        )),
+        (any::<u32>(), any::<u16>(), any::<u16>()).prop_map(|(h, p, s)| (
+            DescriptorTag::TcpConnection.as_u16(),
+            DescriptorExt::TcpConnection {
+                remote_host: h,
+                remote_port: p,
+                state: s,
+            }
+        )),
+        any::<u32>().prop_map(|u| (
+            DescriptorTag::Mailbox.as_u16(),
+            DescriptorExt::Mailbox { unread: u }
+        )),
+    ]
+}
+
+fn arb_descriptor() -> impl Strategy<Value = ObjectDescriptor> {
+    (
+        arb_ext(),
+        arb_csname(),
+        arb_csname(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u16>(),
+    )
+        .prop_map(|((tag_raw, ext), name, owner, oid, size, modified, perms)| {
+            ObjectDescriptor {
+                tag_raw,
+                name,
+                owner,
+                object_id: ObjectId(oid),
+                size,
+                modified,
+                permissions: Permissions(perms),
+                ext,
+            }
+        })
+}
+
+proptest! {
+    /// FIG-2: pid subfield split/join is lossless for every 32-bit value.
+    #[test]
+    fn pid_split_join_roundtrip(raw in any::<u32>()) {
+        let pid = Pid::from_raw(raw);
+        let rebuilt = Pid::new(pid.logical_host(), pid.local_pid());
+        prop_assert_eq!(rebuilt, pid);
+        prop_assert_eq!(rebuilt.raw(), raw);
+    }
+
+    /// FIG-2: two pids are equal iff both subfields are equal.
+    #[test]
+    fn pid_equality_is_subfield_equality(a in any::<u32>(), b in any::<u32>()) {
+        let (pa, pb) = (Pid::from_raw(a), Pid::from_raw(b));
+        let same_fields = pa.logical_host() == pb.logical_host()
+            && pa.local_pid() == pb.local_pid();
+        prop_assert_eq!(pa == pb, same_fields);
+    }
+
+    /// Message 32-byte wire encoding is lossless.
+    #[test]
+    fn message_bytes_roundtrip(words in proptest::collection::vec(any::<u16>(), 16)) {
+        let mut m = Message::new();
+        for (i, w) in words.iter().enumerate() {
+            m.set_word(i, *w);
+        }
+        prop_assert_eq!(Message::from_bytes(&m.to_bytes()), m);
+    }
+
+    /// FIG-3: descriptor records roundtrip for every tag and field content.
+    #[test]
+    fn descriptor_roundtrip(d in arb_descriptor()) {
+        let back = ObjectDescriptor::decode_one(&d.encode()).unwrap();
+        prop_assert_eq!(back, d);
+    }
+
+    /// FIG-3: a directory stream of arbitrary records decodes to the same
+    /// sequence — the context-directory invariant of paper §5.6.
+    #[test]
+    fn directory_stream_roundtrip(ds in proptest::collection::vec(arb_descriptor(), 0..8)) {
+        let mut w = WireWriter::new();
+        for d in &ds {
+            d.encode_into(&mut w);
+        }
+        let decoded = ObjectDescriptor::decode_directory(&w.into_vec()).unwrap();
+        prop_assert_eq!(decoded, ds);
+    }
+
+    /// Prefix parsing: for any prefix body without ']' and any rest, the
+    /// composed name parses back to exactly that prefix and rest index.
+    #[test]
+    fn prefix_parse_inverts_composition(
+        prefix in proptest::collection::vec(any::<u8>().prop_filter("no ]", |b| *b != b']'), 0..16),
+        rest in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut composed = vec![b'['];
+        composed.extend_from_slice(&prefix);
+        composed.push(b']');
+        composed.extend_from_slice(&rest);
+        let name = CsName::from(composed);
+        let parse = name.parse_prefix().expect("composed prefix parses");
+        prop_assert_eq!(parse.prefix, &prefix[..]);
+        prop_assert_eq!(name.suffix(parse.rest_index), &rest[..]);
+    }
+
+    /// Truncating an encoded descriptor anywhere strictly inside it never
+    /// panics and always errors.
+    #[test]
+    fn truncated_descriptor_errors(d in arb_descriptor(), frac in 0.0f64..1.0) {
+        let bytes = d.encode();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(ObjectDescriptor::decode_one(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,585 @@
+//! The [`NameClient`] run-time library.
+
+use bytes::Bytes;
+use vio::{FileHandle, IoError, OpenOutcome};
+use vkernel::Ipc;
+use vnaming::build_csname_request;
+use vproto::{
+    fields, ContextId, ContextPair, CsName, Message, ObjectDescriptor, OpenMode, Pid, ReplyCode,
+    RequestCode, Scope, ServiceId,
+};
+
+fn check(code: ReplyCode) -> Result<(), IoError> {
+    if code.is_ok() {
+        Ok(())
+    } else {
+        Err(IoError::Server(code))
+    }
+}
+
+/// The standard run-time routines of paper §6, bound to one process and one
+/// current context.
+///
+/// # Examples
+///
+/// See the `quickstart` example and the crate-level docs; construction
+/// requires a running domain with a prefix server and at least one CSNH
+/// server.
+pub struct NameClient<'a> {
+    ipc: &'a dyn Ipc,
+    prefix_server: Option<Pid>,
+    current: ContextPair,
+    cache: Option<std::cell::RefCell<NameCache>>,
+}
+
+/// Client-side prefix→context cache — the design the paper *rejects* in
+/// §2.2 ("Caching the name in the client would introduce inconsistency
+/// problems and only benefit the few applications that reuse names").
+/// Implemented here, off by default, so EXP-10 can measure both halves of
+/// that sentence.
+#[derive(Debug, Default)]
+struct NameCache {
+    entries: std::collections::HashMap<Vec<u8>, ContextPair>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl NameCache {
+    fn lookup(&mut self, prefix: &[u8]) -> Option<ContextPair> {
+        match self.entries.get(prefix) {
+            Some(pair) => {
+                self.hits += 1;
+                Some(*pair)
+            }
+            None => None,
+        }
+    }
+}
+
+/// Cache statistics for the ablation experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests routed via a cached binding.
+    pub hits: u64,
+    /// Requests that went through the prefix server.
+    pub misses: u64,
+    /// Stale entries dropped after a transport failure.
+    pub invalidations: u64,
+}
+
+impl<'a> NameClient<'a> {
+    /// Creates a client with an explicit current context; discovers the
+    /// workstation's context prefix server via `GetPid` (local first, as
+    /// each workstation runs its own — paper §6).
+    pub fn new(ipc: &'a dyn Ipc, current: ContextPair) -> Self {
+        let prefix_server = ipc
+            .get_pid(ServiceId::CONTEXT_PREFIX, Scope::Local)
+            .or_else(|| ipc.get_pid(ServiceId::CONTEXT_PREFIX, Scope::Both));
+        NameClient {
+            ipc,
+            prefix_server,
+            current,
+            cache: None,
+        }
+    }
+
+    /// Enables the client-side name cache the paper argues against (§2.2) —
+    /// used by the EXP-10 ablation. Cached prefix bindings route requests
+    /// straight to the remembered (server, context), bypassing the prefix
+    /// server; transport failures invalidate the entry and retry through
+    /// the prefix server.
+    pub fn enable_name_cache(&mut self) {
+        self.cache = Some(std::cell::RefCell::new(NameCache::default()));
+    }
+
+    /// Plants a cache entry directly — experiment support for simulating a
+    /// client that cached a binding before a server crash (EXP-10).
+    pub fn plant_cache_entry(&mut self, prefix: &[u8], target: ContextPair) {
+        if let Some(cache) = &self.cache {
+            cache.borrow_mut().entries.insert(prefix.to_vec(), target);
+        }
+    }
+
+    /// Cache statistics (zeroes when the cache is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        match &self.cache {
+            Some(c) => {
+                let c = c.borrow();
+                CacheStats {
+                    hits: c.hits,
+                    misses: c.misses,
+                    invalidations: c.invalidations,
+                }
+            }
+            None => CacheStats::default(),
+        }
+    }
+
+    /// Creates a client whose current context is resolved from `initial`
+    /// (typically `"[home]"`), the way a newly executed program is passed
+    /// its current context (paper §6).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the prefix server is missing or the name does not map.
+    pub fn login(ipc: &'a dyn Ipc, initial: &str) -> Result<Self, IoError> {
+        let mut client = NameClient::new(
+            ipc,
+            ContextPair::new(Pid::NULL, ContextId::DEFAULT),
+        );
+        let pair = client.query_name(initial)?;
+        client.current = pair;
+        Ok(client)
+    }
+
+    /// The current context (the analogue of the Unix working directory).
+    pub fn current_context(&self) -> ContextPair {
+        self.current
+    }
+
+    /// The discovered prefix server, if any.
+    pub fn prefix_server(&self) -> Option<Pid> {
+        self.prefix_server
+    }
+
+    /// The single common routine that checks for `[` (paper §6): decides
+    /// which server interprets `name` and in which starting context.
+    fn route(&self, name: &CsName) -> Result<(Pid, ContextId), IoError> {
+        if name.has_prefix_syntax() {
+            match self.prefix_server {
+                Some(pid) => Ok((pid, ContextId::DEFAULT)),
+                None => Err(IoError::Server(ReplyCode::NoServer)),
+            }
+        } else {
+            if self.current.server.is_null() {
+                return Err(IoError::Server(ReplyCode::InvalidContext));
+            }
+            Ok((self.current.server, self.current.context))
+        }
+    }
+
+    /// Sends a CSname request along the routed path and returns the reply.
+    fn csname_transaction(
+        &self,
+        op: RequestCode,
+        name: &CsName,
+        extra: &[u8],
+        tune: impl FnOnce(&mut Message) + Copy,
+        recv_cap: usize,
+    ) -> Result<(Message, Bytes), IoError> {
+        // Cached route first (EXP-10 ablation; off by default).
+        if let Some((server, ctx, index)) = self.cached_route(name)? {
+            let (mut msg, payload) = build_csname_request(op, ctx, name, extra);
+            msg.set_name_index(index as u16);
+            tune(&mut msg);
+            match self.ipc.send(server, msg, payload, recv_cap) {
+                Ok(reply) => {
+                    check(reply.msg.reply_code())?;
+                    return Ok((reply.msg, reply.data));
+                }
+                Err(_) => {
+                    // The paper's predicted inconsistency: the cached
+                    // binding went stale. Invalidate and fall through to
+                    // the prefix server.
+                    self.invalidate_cached(name);
+                }
+            }
+        }
+        let (server, ctx) = self.route(name)?;
+        let (mut msg, payload) = build_csname_request(op, ctx, name, extra);
+        tune(&mut msg);
+        let reply = self.ipc.send(server, msg, payload, recv_cap)?;
+        check(reply.msg.reply_code())?;
+        Ok((reply.msg, reply.data))
+    }
+
+    /// Resolves a bracketed name through the cache, filling it on a miss.
+    /// `Ok(None)` when the cache is off or the name is not bracketed.
+    fn cached_route(&self, name: &CsName) -> Result<Option<(Pid, ContextId, usize)>, IoError> {
+        let Some(cache) = &self.cache else {
+            return Ok(None);
+        };
+        let Some(parse) = name.parse_prefix() else {
+            return Ok(None);
+        };
+        let prefix = parse.prefix.to_vec();
+        let rest_index = parse.rest_index;
+        if let Some(pair) = cache.borrow_mut().lookup(&prefix) {
+            return Ok(Some((pair.server, pair.context, rest_index)));
+        }
+        // Miss: one mapping transaction through the prefix server, cached.
+        let mut bare = Vec::with_capacity(prefix.len() + 2);
+        bare.push(b'[');
+        bare.extend_from_slice(&prefix);
+        bare.push(b']');
+        let (server, ctx) = self.route(name)?;
+        let (msg, payload) =
+            build_csname_request(RequestCode::QueryName, ctx, &CsName::from(bare), &[]);
+        let reply = self.ipc.send(server, msg, payload, 0)?;
+        check(reply.msg.reply_code())?;
+        let pair = ContextPair::new(reply.msg.pid_at(fields::W_PID_LO), reply.msg.context_id());
+        let mut c = cache.borrow_mut();
+        c.misses += 1;
+        c.entries.insert(prefix, pair);
+        Ok(Some((pair.server, pair.context, rest_index)))
+    }
+
+    fn invalidate_cached(&self, name: &CsName) {
+        if let (Some(cache), Some(parse)) = (&self.cache, name.parse_prefix()) {
+            let mut c = cache.borrow_mut();
+            if c.entries.remove(parse.prefix).is_some() {
+                c.invalidations += 1;
+            }
+        }
+    }
+
+    /// Opens `name` (the paper's measured `Open`, §6). The returned handle
+    /// points at whichever server actually implements the object, after any
+    /// forwarding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and server reply codes.
+    pub fn open(&self, name: &str, mode: OpenMode) -> Result<FileHandle, IoError> {
+        // The client stub cost of building the request and decoding the
+        // reply (calibrated from the paper's 1.21 ms local open).
+        if let Some(net) = self.ipc.net() {
+            self.ipc.charge(net.params().t_stub_open);
+        }
+        let name = CsName::from(name);
+        let (msg, _) = self.csname_transaction(
+            RequestCode::CreateInstance,
+            &name,
+            &[],
+            |m| {
+                m.set_mode(mode);
+            },
+            0,
+        )?;
+        Ok(FileHandle::new(OpenOutcome {
+            server: msg.pid_at(fields::W_PID_LO),
+            instance: vproto::InstanceId(msg.word(fields::W_INSTANCE)),
+            size: msg.word32(fields::W_SIZE_LO) as u64,
+        }))
+    }
+
+    /// Maps a context name to its (server-pid, context-id) pair — the
+    /// standard `QueryName` operation of paper §5.7.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplyCode::NotAContext`] if the name denotes a non-context object.
+    pub fn query_name(&self, name: &str) -> Result<ContextPair, IoError> {
+        let name = CsName::from(name);
+        let (msg, _) =
+            self.csname_transaction(RequestCode::QueryName, &name, &[], |_| {}, 0)?;
+        Ok(ContextPair::new(
+            msg.pid_at(fields::W_PID_LO),
+            msg.context_id(),
+        ))
+    }
+
+    /// Gets the description record of the named object (paper §5.5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates server reply codes; decode failures map to
+    /// [`ReplyCode::BadArgs`].
+    pub fn query(&self, name: &str) -> Result<ObjectDescriptor, IoError> {
+        let name = CsName::from(name);
+        let (_, data) =
+            self.csname_transaction(RequestCode::QueryObject, &name, &[], |_| {}, 4096)?;
+        ObjectDescriptor::decode_one(&data).map_err(|_| IoError::Server(ReplyCode::BadArgs))
+    }
+
+    /// Overwrites the modifiable parts of the named object's description
+    /// (paper §5.5) — e.g. access-control bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server reply codes.
+    pub fn modify(&self, name: &str, descriptor: &ObjectDescriptor) -> Result<(), IoError> {
+        let name = CsName::from(name);
+        self.csname_transaction(
+            RequestCode::ModifyObject,
+            &name,
+            &descriptor.encode(),
+            |_| {},
+            0,
+        )?;
+        Ok(())
+    }
+
+    /// Deletes the named object — the uniform `Delete(object_name)` of the
+    /// paper's introduction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server reply codes ([`ReplyCode::NotEmpty`] for non-empty
+    /// directories, ...).
+    pub fn remove(&self, name: &str) -> Result<(), IoError> {
+        let name = CsName::from(name);
+        self.csname_transaction(RequestCode::RemoveObject, &name, &[], |_| {}, 0)?;
+        Ok(())
+    }
+
+    /// Renames an object within one server. The new name is interpreted in
+    /// the same starting context as the old one (after any prefix routing),
+    /// so renaming `[home]a/b.txt` to `a/c.txt` keeps the file in `a`,
+    /// while a bare `c.txt` moves it to the `[home]` context itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server reply codes ([`ReplyCode::NameInUse`], ...).
+    pub fn rename(&self, old: &str, new: &str) -> Result<(), IoError> {
+        let old_name = CsName::from(old);
+        let new_bytes = new.as_bytes().to_vec();
+        let old_len = old_name.len();
+        self.csname_transaction(
+            RequestCode::RenameObject,
+            &old_name,
+            &new_bytes,
+            |m| {
+                m.set_word(fields::W_NAME2_INDEX, old_len as u16);
+                m.set_word(fields::W_NAME2_LEN, new_bytes.len() as u16);
+            },
+            0,
+        )?;
+        Ok(())
+    }
+
+    /// Creates a directory (a new context) at `name`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server reply codes.
+    pub fn make_directory(&self, name: &str) -> Result<(), IoError> {
+        let template = ObjectDescriptor::new(vproto::DescriptorTag::Directory, CsName::new())
+            .with_ext(vproto::DescriptorExt::Directory {
+                context: ContextId::DEFAULT,
+                entries: 0,
+            })
+            .encode();
+        let name = CsName::from(name);
+        self.csname_transaction(RequestCode::CreateObject, &name, &template, |_| {}, 0)?;
+        Ok(())
+    }
+
+    /// Changes the current context — the analogue of `chdir` (paper §6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures; on failure the current context is
+    /// unchanged.
+    pub fn change_context(&mut self, name: &str) -> Result<ContextPair, IoError> {
+        let pair = self.query_name(name)?;
+        self.current = pair;
+        Ok(pair)
+    }
+
+    /// Determines the CSname of the current context by asking its server
+    /// for the inverse mapping (paper §5.7/§6 — with all the caveats the
+    /// paper lists about inverting a many-to-one mapping).
+    ///
+    /// # Errors
+    ///
+    /// [`ReplyCode::InvalidContext`] if the context died with its server.
+    pub fn current_context_name(&self) -> Result<CsName, IoError> {
+        let mut msg = Message::request(RequestCode::GetContextName);
+        msg.set_word32(fields::W_INVERT_ID_LO, self.current.context.raw());
+        let reply = self.ipc.send(self.current.server, msg, Bytes::new(), 4096)?;
+        check(reply.msg.reply_code())?;
+        Ok(CsName::from(reply.data.to_vec()))
+    }
+
+    /// Reads the context directory for `name` (paper §5.6): every object's
+    /// description record, optionally server-filtered by a glob `pattern` —
+    /// the paper's proposed extension.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/read failures; undecodable directories map to
+    /// [`ReplyCode::BadArgs`].
+    pub fn list_directory(
+        &self,
+        name: &str,
+        pattern: Option<&str>,
+    ) -> Result<Vec<ObjectDescriptor>, IoError> {
+        let csname = CsName::from(name);
+        let (msg, _) = self.csname_transaction(
+            RequestCode::CreateInstance,
+            &csname,
+            pattern.map(|p| p.as_bytes()).unwrap_or(&[]),
+            |m| {
+                m.set_mode(OpenMode::Directory);
+            },
+            0,
+        )?;
+        let mut handle = FileHandle::new(OpenOutcome {
+            server: msg.pid_at(fields::W_PID_LO),
+            instance: vproto::InstanceId(msg.word(fields::W_INSTANCE)),
+            size: msg.word32(fields::W_SIZE_LO) as u64,
+        });
+        let bytes = handle.read_to_end(self.ipc)?;
+        handle.close(self.ipc)?;
+        ObjectDescriptor::decode_directory(&bytes).map_err(|_| IoError::Server(ReplyCode::BadArgs))
+    }
+
+    /// Defines a context prefix bound to a concrete (server, context) pair
+    /// (the optional `AddContextName` of paper §5.7).
+    ///
+    /// # Errors
+    ///
+    /// [`ReplyCode::NoServer`] if no prefix server was found.
+    pub fn add_prefix(&self, prefix: &str, target: ContextPair) -> Result<(), IoError> {
+        self.add_prefix_raw(prefix, |m| {
+            m.set_pid_at(fields::W_TARGET_PID_LO, target.server);
+            m.set_word32(fields::W_TARGET_CTX_LO, target.context.raw());
+            m.set_word(fields::W_LOGICAL, 0);
+        })
+    }
+
+    /// Defines a *logical* context prefix: a (service, well-known-context)
+    /// pair re-resolved via `GetPid` on each use (paper §6).
+    ///
+    /// # Errors
+    ///
+    /// [`ReplyCode::NoServer`] if no prefix server was found.
+    pub fn add_logical_prefix(
+        &self,
+        prefix: &str,
+        service: ServiceId,
+        context: ContextId,
+    ) -> Result<(), IoError> {
+        self.add_prefix_raw(prefix, |m| {
+            m.set_word32(fields::W_TARGET_PID_LO, service.raw());
+            m.set_word32(fields::W_TARGET_CTX_LO, context.raw());
+            m.set_word(fields::W_LOGICAL, 1);
+        })
+    }
+
+    fn add_prefix_raw(
+        &self,
+        prefix: &str,
+        tune: impl FnOnce(&mut Message),
+    ) -> Result<(), IoError> {
+        let server = self
+            .prefix_server
+            .ok_or(IoError::Server(ReplyCode::NoServer))?;
+        let name = CsName::from(prefix);
+        let (mut msg, payload) =
+            build_csname_request(RequestCode::AddContextName, ContextId::DEFAULT, &name, &[]);
+        tune(&mut msg);
+        let reply = self.ipc.send(server, msg, payload, 0)?;
+        check(reply.msg.reply_code())
+    }
+
+    /// Creates a cross-server link: a directory entry at `name` pointing to
+    /// a context on another server — the curved arrow of the paper's
+    /// Figure 4. Routed like any other CSname operation, so the entry can
+    /// be created on whichever server implements the parent directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server reply codes ([`ReplyCode::NameInUse`], ...).
+    pub fn add_link(&self, name: &str, target: ContextPair) -> Result<(), IoError> {
+        let csname = CsName::from(name);
+        self.csname_transaction(
+            RequestCode::AddContextName,
+            &csname,
+            &[],
+            |m| {
+                m.set_pid_at(fields::W_TARGET_PID_LO, target.server);
+                m.set_word32(fields::W_TARGET_CTX_LO, target.context.raw());
+                m.set_word(fields::W_LOGICAL, 0);
+            },
+            0,
+        )?;
+        Ok(())
+    }
+
+    /// Removes a context prefix definition (paper §5.7).
+    ///
+    /// # Errors
+    ///
+    /// [`ReplyCode::NotFound`] if the prefix is not defined.
+    pub fn delete_prefix(&self, prefix: &str) -> Result<(), IoError> {
+        let server = self
+            .prefix_server
+            .ok_or(IoError::Server(ReplyCode::NoServer))?;
+        let name = CsName::from(prefix);
+        let (msg, payload) = build_csname_request(
+            RequestCode::DeleteContextName,
+            ContextId::DEFAULT,
+            &name,
+            &[],
+        );
+        let reply = self.ipc.send(server, msg, payload, 0)?;
+        check(reply.msg.reply_code())
+    }
+
+    /// Explains a failing name: where interpretation stopped and which
+    /// component was at fault — addressing the paper's §7 deficiency that
+    /// "if a name lookup fails after the name has been forwarded through a
+    /// series of servers, it is difficult to properly inform the user".
+    ///
+    /// Returns `Ok(None)` if the name actually resolves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn diagnose(&self, name: &str) -> Result<Option<String>, IoError> {
+        let csname = CsName::from(name);
+        let (server, ctx) = self.route(&csname)?;
+        let (msg, payload) =
+            build_csname_request(RequestCode::QueryObject, ctx, &csname, &[]);
+        let reply = self.ipc.send(server, msg, payload, 4096)?;
+        let code = reply.msg.reply_code();
+        if code.is_ok() {
+            return Ok(None);
+        }
+        let index = reply.msg.word(fields::W_FAIL_INDEX) as usize;
+        let bytes = csname.as_bytes();
+        let upto = index.min(bytes.len());
+        // The failing component runs from `index` to the next separator.
+        let end = bytes[upto..]
+            .iter()
+            .position(|&b| b == b'/')
+            .map(|i| upto + i)
+            .unwrap_or(bytes.len());
+        let component = String::from_utf8_lossy(&bytes[upto..end]);
+        let interpreted = String::from_utf8_lossy(&bytes[..upto]);
+        Ok(Some(format!(
+            "{code} at byte {index}: interpreted {interpreted:?}, failed on component {component:?}"
+        )))
+    }
+
+    /// Convenience: writes `data` to `name`, creating the object if absent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/write failures.
+    pub fn write_file(&self, name: &str, data: &[u8]) -> Result<(), IoError> {
+        let mut handle = self.open(name, OpenMode::Create)?;
+        handle.write_next(self.ipc, data)?;
+        handle.close(self.ipc)
+    }
+
+    /// Convenience: reads all of `name`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/read failures.
+    pub fn read_file(&self, name: &str) -> Result<Vec<u8>, IoError> {
+        let mut handle = self.open(name, OpenMode::Read)?;
+        let data = handle.read_to_end(self.ipc)?;
+        handle.close(self.ipc)?;
+        Ok(data)
+    }
+
+    /// The kernel interface this client runs over.
+    pub fn ipc(&self) -> &dyn Ipc {
+        self.ipc
+    }
+}

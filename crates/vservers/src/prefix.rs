@@ -1,0 +1,320 @@
+//! The per-user context prefix server (paper §5.8, §6).
+//!
+//! "V makes available standard context prefix servers, which provide each
+//! user with locally defined character string names for contexts on servers
+//! of interest." A context prefix is the part of a CSname parsed by this
+//! server to decide where to forward the request; the syntax is `[prefix]`
+//! with the prefix terminated by the closing `]`.
+//!
+//! Entries are either *direct* — a concrete (server-pid, context-id) pair —
+//! or *logical*: a (service, well-known-context) pair re-resolved via
+//! `GetPid` on every use (paper §6), which is how generic services get
+//! character string names and how rebinding after a server crash works
+//! without updating the prefix table.
+
+use crate::common::{forward_csname, reply_code, reply_data, reply_descriptor};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use vio::{serve_read, InstanceTable};
+use vkernel::{Ipc, Received};
+use vnaming::{CsRequest, DirectoryBuilder};
+use vproto::{
+    fields, ContextId, ContextPair, CsName, DescriptorExt, DescriptorTag, InstanceId, Message,
+    ObjectDescriptor, OpenMode, Pid, ReplyCode, RequestCode, Scope, ServiceId,
+};
+
+/// One prefix table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PrefixTarget {
+    /// Forward to a concrete (server, context) pair.
+    Direct(ContextPair),
+    /// Re-resolve the service via `GetPid` on each use (paper §6).
+    Logical {
+        service: ServiceId,
+        context: ContextId,
+    },
+}
+
+/// Configuration for a [`prefix_server`] process.
+#[derive(Debug, Clone)]
+pub struct PrefixConfig {
+    /// Registration scope for [`ServiceId::CONTEXT_PREFIX`]. Per-user
+    /// prefix servers are `Local` — each workstation runs its own
+    /// (paper §6).
+    pub scope: Scope,
+}
+
+impl Default for PrefixConfig {
+    fn default() -> Self {
+        PrefixConfig {
+            scope: Scope::Local,
+        }
+    }
+}
+
+/// Estimated resident size of a prefix table with the given entries —
+/// the reproduction's analogue of the paper's "4.5 kilobytes of code plus
+/// 2.6 kilobytes of data" (§6), reported by EXP-5.
+pub fn prefix_footprint_bytes(n_entries: usize, total_name_bytes: usize) -> usize {
+    use std::mem::size_of;
+    // Key Vec header + bytes, value, and an estimated B-tree per-entry share.
+    n_entries * (size_of::<Vec<u8>>() + size_of::<ContextPair>() + size_of::<u32>() * 2 + 16)
+        + total_name_bytes
+}
+
+/// Runs a context prefix server until the domain shuts down.
+///
+/// Implements the optional add/delete context-name operations (paper §5.7),
+/// routing of every bracketed CSname request, a context directory of the
+/// prefixes themselves, and the inverse (server, context) → `[prefix]`
+/// mapping.
+pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
+    let mut table: BTreeMap<Vec<u8>, PrefixTarget> = BTreeMap::new();
+    let mut instances: InstanceTable<Vec<u8>> = InstanceTable::new();
+    ctx.set_pid(ServiceId::CONTEXT_PREFIX, config.scope);
+
+    while let Ok(rx) = ctx.receive() {
+        let msg = rx.msg;
+        if msg.is_csname_request() {
+            let payload = match ctx.move_from(&rx) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            let req = match CsRequest::parse(&msg, &payload) {
+                Ok(r) => r,
+                Err(code) => {
+                    reply_code(ctx, rx, code);
+                    continue;
+                }
+            };
+            handle_csname(ctx, rx, &mut table, &mut instances, req);
+            continue;
+        }
+        match msg.request_code() {
+            Some(RequestCode::ReadInstance) => {
+                let id = InstanceId(msg.word(fields::W_IO_INSTANCE));
+                let offset = msg.word32(fields::W_IO_OFFSET_LO) as u64;
+                let count = msg.word(fields::W_IO_COUNT) as usize;
+                match instances
+                    .check(id, false)
+                    .and_then(|inst| serve_read(&inst.state, offset, count))
+                {
+                    Ok(window) => {
+                        let window = window.to_vec();
+                        let mut m = Message::ok();
+                        m.set_word(fields::W_IO_COUNT, window.len() as u16);
+                        reply_data(ctx, rx, m, window);
+                    }
+                    Err(code) => reply_code(ctx, rx, code),
+                }
+            }
+            Some(RequestCode::ReleaseInstance) => {
+                let id = InstanceId(msg.word(fields::W_IO_INSTANCE));
+                let code = if instances.release(id).is_some() {
+                    ReplyCode::Ok
+                } else {
+                    ReplyCode::InvalidInstance
+                };
+                reply_code(ctx, rx, code);
+            }
+            Some(RequestCode::GetContextName) => {
+                // Inverse mapping: (server, context) → "[prefix]" (§5.7).
+                let server = msg.pid_at(fields::W_TARGET_PID_LO);
+                let target_ctx = ContextId::new(msg.word32(fields::W_TARGET_CTX_LO));
+                let looking_for = ContextPair::new(server, target_ctx);
+                let found = table.iter().find_map(|(name, t)| match t {
+                    PrefixTarget::Direct(pair) if *pair == looking_for => Some(name.clone()),
+                    _ => None,
+                });
+                match found {
+                    Some(name) => {
+                        let mut out = Vec::with_capacity(name.len() + 2);
+                        out.push(b'[');
+                        out.extend_from_slice(&name);
+                        out.push(b']');
+                        reply_data(ctx, rx, Message::ok(), out);
+                    }
+                    // Paper §6: "there is no guarantee that there is an
+                    // inverse mapping".
+                    None => reply_code(ctx, rx, ReplyCode::NotFound),
+                }
+            }
+            Some(RequestCode::Echo) => {
+                let _ = ctx.reply(rx, msg, Bytes::new());
+            }
+            _ => reply_code(ctx, rx, ReplyCode::UnknownRequest),
+        }
+    }
+}
+
+fn strip_brackets(name: &[u8]) -> &[u8] {
+    if name.first() == Some(&b'[') && name.last() == Some(&b']') && name.len() >= 2 {
+        &name[1..name.len() - 1]
+    } else {
+        name
+    }
+}
+
+fn handle_csname(
+    ctx: &dyn Ipc,
+    rx: Received,
+    table: &mut BTreeMap<Vec<u8>, PrefixTarget>,
+    instances: &mut InstanceTable<Vec<u8>>,
+    req: CsRequest,
+) {
+    let msg = rx.msg;
+    // Add/delete with a bracketed name and a nonempty remainder are meant
+    // for the server behind the prefix (e.g. creating a cross-server link
+    // in a file server directory) — those fall through to forwarding below.
+    let is_definition = matches!(
+        msg.request_code(),
+        Some(RequestCode::AddContextName) | Some(RequestCode::DeleteContextName)
+    ) && match CsName::from(req.remaining()).parse_prefix() {
+        Some(p) => req.remaining()[p.rest_index..].is_empty(),
+        None => true,
+    };
+    match msg.request_code() {
+        Some(RequestCode::AddContextName) if !is_definition => {}
+        Some(RequestCode::DeleteContextName) if !is_definition => {}
+        Some(RequestCode::AddContextName) => {
+            // The optional definition operation (paper §5.7): bind a prefix
+            // to an existing context.
+            let name = strip_brackets(req.remaining()).to_vec();
+            if name.is_empty() || name.contains(&b'[') || name.contains(&b']') {
+                return reply_code(ctx, rx, ReplyCode::IllegalName);
+            }
+            let target = if msg.word(fields::W_LOGICAL) != 0 {
+                PrefixTarget::Logical {
+                    service: ServiceId::new(msg.word32(fields::W_TARGET_PID_LO)),
+                    context: ContextId::new(msg.word32(fields::W_TARGET_CTX_LO)),
+                }
+            } else {
+                PrefixTarget::Direct(ContextPair::new(
+                    msg.pid_at(fields::W_TARGET_PID_LO),
+                    ContextId::new(msg.word32(fields::W_TARGET_CTX_LO)),
+                ))
+            };
+            table.insert(name, target);
+            reply_code(ctx, rx, ReplyCode::Ok);
+            return;
+        }
+        Some(RequestCode::DeleteContextName) => {
+            let name = strip_brackets(req.remaining()).to_vec();
+            let code = if table.remove(&name).is_some() {
+                ReplyCode::Ok
+            } else {
+                ReplyCode::NotFound
+            };
+            reply_code(ctx, rx, code);
+            return;
+        }
+        _ => {}
+    }
+
+    let remaining = req.remaining();
+    if remaining.is_empty() {
+        // The name denotes the prefix context itself.
+        return handle_own_context(ctx, rx, table, instances, &req);
+    }
+    let parsed = match CsName::from(remaining).parse_prefix() {
+        Some(p) => (p.prefix.to_vec(), p.rest_index),
+        None => {
+            // Not a bracketed name: this server defines no other bindings.
+            return reply_code(ctx, rx, ReplyCode::IllegalName);
+        }
+    };
+    let (prefix, rest_index) = parsed;
+
+    // The measured cost of the paper's §6 table lives here: parsing the
+    // prefix, scanning the table, rewriting and forwarding the message.
+    if let Some(net) = ctx.net() {
+        ctx.charge(net.params().t_prefix_processing);
+    }
+
+    let target = match table.get(&prefix) {
+        Some(t) => *t,
+        None => return reply_code(ctx, rx, ReplyCode::NotFound),
+    };
+    let (server, target_ctx) = match target {
+        PrefixTarget::Direct(pair) => (pair.server, pair.context),
+        PrefixTarget::Logical { service, context } => {
+            // Re-resolved on every use (paper §6) — this is what makes the
+            // entry survive server restarts.
+            match ctx.get_pid(service, Scope::Both) {
+                Some(pid) => (pid, context),
+                None => return reply_code(ctx, rx, ReplyCode::NoServer),
+            }
+        }
+    };
+    let absolute_index = req.index + rest_index;
+    forward_csname(ctx, rx, server, target_ctx, absolute_index);
+}
+
+/// Operations on the prefix server's own (single) context: directory
+/// listing, query, mapping.
+fn handle_own_context(
+    ctx: &dyn Ipc,
+    rx: Received,
+    table: &BTreeMap<Vec<u8>, PrefixTarget>,
+    instances: &mut InstanceTable<Vec<u8>>,
+    req: &CsRequest,
+) {
+    let msg = rx.msg;
+    match msg.request_code() {
+        Some(RequestCode::CreateInstance)
+            if matches!(msg.mode(), Some(OpenMode::Directory) | Some(OpenMode::Read)) =>
+        {
+            let pattern = if req.extra.is_empty() {
+                None
+            } else {
+                Some(req.extra.clone())
+            };
+            let mut b = match pattern {
+                Some(p) => DirectoryBuilder::with_pattern(p),
+                None => DirectoryBuilder::new(),
+            };
+            for (name, target) in table {
+                let (pair, logical) = match target {
+                    PrefixTarget::Direct(pair) => (*pair, 0u32),
+                    PrefixTarget::Logical { service, context } => (
+                        ContextPair::new(Pid::NULL, *context),
+                        service.raw(),
+                    ),
+                };
+                let d = ObjectDescriptor::new(
+                    DescriptorTag::ContextPrefix,
+                    CsName::from(name.clone()),
+                )
+                .with_ext(DescriptorExt::ContextPrefix {
+                    target: pair,
+                    logical_service: logical,
+                });
+                b.push(&d);
+            }
+            let snapshot = b.finish();
+            let size = snapshot.len() as u64;
+            let inst = instances.open(rx.from, OpenMode::Directory, snapshot);
+            let mut m = Message::ok();
+            m.set_word(fields::W_INSTANCE, inst.0)
+                .set_word32(fields::W_SIZE_LO, size as u32)
+                .set_pid_at(fields::W_PID_LO, ctx.my_pid());
+            reply_data(ctx, rx, m, Vec::new());
+        }
+        Some(RequestCode::QueryName) => {
+            let mut m = Message::ok();
+            m.set_context_id(ContextId::DEFAULT);
+            m.set_pid_at(fields::W_PID_LO, ctx.my_pid());
+            reply_data(ctx, rx, m, Vec::new());
+        }
+        Some(RequestCode::QueryObject) => {
+            let d = ObjectDescriptor::new(DescriptorTag::Directory, CsName::from("[]"))
+                .with_size(table.len() as u64)
+                .with_ext(DescriptorExt::Directory {
+                    context: ContextId::DEFAULT,
+                    entries: table.len() as u32,
+                });
+            reply_descriptor(ctx, rx, &d);
+        }
+        _ => reply_code(ctx, rx, ReplyCode::UnknownRequest),
+    }
+}

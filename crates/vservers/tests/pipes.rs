@@ -1,0 +1,156 @@
+//! Tests for the pipe server: blocking reads via deferred replies, EOF
+//! propagation, capacity limits — on both kernels.
+
+use vkernel::{Domain, Ipc, SimDomain};
+use vnet::Params1984;
+use vproto::{ContextId, ContextPair, OpenMode, ReplyCode, Scope, ServiceId};
+use vruntime::NameClient;
+use vservers::{pipe_server, PipeConfig};
+
+fn wait_for(domain: &Domain, host: vproto::LogicalHost) {
+    while domain
+        .registry()
+        .lookup(ServiceId::PIPE_SERVER, Scope::Both, host)
+        .is_none()
+    {
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn write_then_read_same_client() {
+    let domain = Domain::new();
+    let host = domain.add_host();
+    let srv = domain.spawn(host, "pipes", |ctx| pipe_server(ctx, PipeConfig::default()));
+    wait_for(&domain, host);
+    domain.client(host, move |ctx| {
+        let client = NameClient::new(ctx, ContextPair::new(srv, ContextId::DEFAULT));
+        let mut w = client.open("p", OpenMode::Write).unwrap();
+        let mut r = client.open("p", OpenMode::Read).unwrap();
+        w.write_next(ctx, b"through the pipe").unwrap();
+        let data = r.read_next(ctx).unwrap().unwrap();
+        assert_eq!(&data[..], b"through the pipe");
+        // Close the writer; the reader then sees EOF.
+        w.close(ctx).unwrap();
+        assert!(r.read_next(ctx).unwrap().is_none());
+        r.close(ctx).unwrap();
+    });
+}
+
+#[test]
+fn empty_read_blocks_until_writer_produces() {
+    // The deferred-reply path: a reader blocks in its Send while the server
+    // keeps serving; a later write releases it with the data.
+    let domain = Domain::new();
+    let host = domain.add_host();
+    let srv = domain.spawn(host, "pipes", |ctx| pipe_server(ctx, PipeConfig::default()));
+    wait_for(&domain, host);
+
+    let (tx, rx_chan) = crossbeam::channel::bounded::<Vec<u8>>(1);
+    let d = domain.clone();
+    let reader = std::thread::spawn(move || {
+        d.client(host, move |ctx| {
+            let client = NameClient::new(ctx, ContextPair::new(srv, ContextId::DEFAULT));
+            let mut r = client.open("blocked", OpenMode::Read).unwrap();
+            // This read arrives before any data exists.
+            let data = r.read_next(ctx).unwrap().unwrap();
+            let _ = tx.send(data.to_vec());
+        })
+    });
+    // Give the reader time to block inside the server.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(rx_chan.is_empty(), "reader must still be blocked");
+    domain.client(host, move |ctx| {
+        let client = NameClient::new(ctx, ContextPair::new(srv, ContextId::DEFAULT));
+        let mut w = client.open("blocked", OpenMode::Write).unwrap();
+        w.write_next(ctx, b"finally").unwrap();
+        w.close(ctx).unwrap();
+    });
+    assert_eq!(rx_chan.recv().unwrap(), b"finally");
+    reader.join().unwrap();
+}
+
+#[test]
+fn producer_consumer_on_the_sim_kernel_is_deterministic() {
+    let run = || {
+        let domain = SimDomain::new(Params1984::ethernet_3mbit());
+        let host = domain.add_host();
+        let srv = domain.spawn(host, "pipes", |ctx| pipe_server(ctx, PipeConfig::default()));
+        domain.run();
+        let collected = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let out = std::sync::Arc::clone(&collected);
+        domain.spawn(host, "consumer", move |ctx| {
+            let client = NameClient::new(ctx, ContextPair::new(srv, ContextId::DEFAULT));
+            let mut r = client.open("stream", OpenMode::Read).unwrap();
+            while let Some(chunk) = r.read_next(ctx).unwrap() {
+                out.lock().unwrap().extend_from_slice(&chunk);
+            }
+        });
+        domain.spawn(host, "producer", move |ctx| {
+            let client = NameClient::new(ctx, ContextPair::new(srv, ContextId::DEFAULT));
+            let mut w = client.open("stream", OpenMode::Write).unwrap();
+            for i in 0..5u8 {
+                w.write_next(ctx, &[i; 10]).unwrap();
+                ctx.sleep(std::time::Duration::from_millis(3));
+            }
+            w.close(ctx).unwrap();
+        });
+        let end = domain.run();
+        let data = collected.lock().unwrap().clone();
+        (data, end.as_nanos())
+    };
+    let (data_a, t_a) = run();
+    let (data_b, t_b) = run();
+    assert_eq!(data_a.len(), 50);
+    assert_eq!(data_a, data_b);
+    assert_eq!(t_a, t_b, "pipe scheduling must be deterministic");
+}
+
+#[test]
+fn capacity_limit_refuses_oversized_writes() {
+    let domain = Domain::new();
+    let host = domain.add_host();
+    let srv = domain.spawn(host, "pipes", |ctx| {
+        pipe_server(
+            ctx,
+            PipeConfig {
+                capacity: 16,
+                ..PipeConfig::default()
+            },
+        )
+    });
+    wait_for(&domain, host);
+    domain.client(host, move |ctx| {
+        let client = NameClient::new(ctx, ContextPair::new(srv, ContextId::DEFAULT));
+        let mut w = client.open("small", OpenMode::Write).unwrap();
+        w.write_next(ctx, &[0u8; 16]).unwrap();
+        let err = w.write_next(ctx, &[0u8; 1]).unwrap_err();
+        assert_eq!(err.reply_code(), Some(ReplyCode::NoServerResources));
+        // Draining the pipe makes room again.
+        let mut r = client.open("small", OpenMode::Read).unwrap();
+        assert_eq!(r.read_next(ctx).unwrap().unwrap().len(), 16);
+        w.write_next(ctx, &[1u8; 8]).unwrap();
+    });
+}
+
+#[test]
+fn removing_a_pipe_releases_blocked_readers() {
+    let domain = Domain::new();
+    let host = domain.add_host();
+    let srv = domain.spawn(host, "pipes", |ctx| pipe_server(ctx, PipeConfig::default()));
+    wait_for(&domain, host);
+    let d = domain.clone();
+    let reader = std::thread::spawn(move || {
+        d.client(host, move |ctx| {
+            let client = NameClient::new(ctx, ContextPair::new(srv, ContextId::DEFAULT));
+            let mut r = client.open("doomed", OpenMode::Read).unwrap();
+            r.read_next(ctx).unwrap() // EOF (None) once the pipe is removed
+        })
+    });
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    domain.client(host, move |ctx| {
+        let client = NameClient::new(ctx, ContextPair::new(srv, ContextId::DEFAULT));
+        client.remove("doomed").unwrap();
+    });
+    assert!(reader.join().unwrap().is_none());
+}

@@ -1,0 +1,12 @@
+//! Regenerates every experiment in the index (EXP-1 .. EXP-9) and prints
+//! the paper-vs-measured tables used in EXPERIMENTS.md.
+fn main() {
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    for rep in vsim::run_all() {
+        if markdown {
+            println!("{}", rep.to_markdown());
+        } else {
+            println!("{rep}");
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates EXP-10 of the experiment index (see DESIGN.md).
+fn main() {
+    println!("{}", vsim::exp10::run());
+}

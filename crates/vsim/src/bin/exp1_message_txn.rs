@@ -1,0 +1,4 @@
+//! Regenerates EXP-1 of the experiment index (see DESIGN.md).
+fn main() {
+    println!("{}", vsim::exp1::run());
+}

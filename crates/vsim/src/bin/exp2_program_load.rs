@@ -1,0 +1,4 @@
+//! Regenerates EXP-2 of the experiment index (see DESIGN.md).
+fn main() {
+    println!("{}", vsim::exp2::run());
+}

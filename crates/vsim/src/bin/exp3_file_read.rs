@@ -1,0 +1,4 @@
+//! Regenerates EXP-3 of the experiment index (see DESIGN.md).
+fn main() {
+    println!("{}", vsim::exp3::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates EXP-4 of the experiment index (see DESIGN.md).
+fn main() {
+    println!("{}", vsim::exp4::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates EXP-5 of the experiment index (see DESIGN.md).
+fn main() {
+    println!("{}", vsim::exp5::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates EXP-6 of the experiment index (see DESIGN.md).
+fn main() {
+    println!("{}", vsim::exp6::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates EXP-7 of the experiment index (see DESIGN.md).
+fn main() {
+    println!("{}", vsim::exp7::run());
+}

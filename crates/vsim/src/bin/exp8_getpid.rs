@@ -1,0 +1,4 @@
+//! Regenerates EXP-8 of the experiment index (see DESIGN.md).
+fn main() {
+    println!("{}", vsim::exp8::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates EXP-9 of the experiment index (see DESIGN.md).
+fn main() {
+    println!("{}", vsim::exp9::run());
+}

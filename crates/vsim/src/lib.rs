@@ -1,0 +1,51 @@
+//! Experiment harness regenerating every quantitative claim of Cheriton &
+//! Mann, *Uniform Access to Distributed Name Interpretation in the
+//! V-System* (ICDCS 1984).
+//!
+//! Each experiment is a pure function returning an [`report::ExpReport`]
+//! (paper value vs measured value per row), shared by:
+//!
+//! * the `exp*` binaries (`cargo run -p vsim --bin exp4_open_table`),
+//! * the reproduction tests (`cargo test -p vsim`), which assert shape
+//!   fidelity against the paper, and
+//! * EXPERIMENTS.md, whose tables are these reports verbatim.
+//!
+//! All timing experiments run on the deterministic virtual-time kernel
+//! ([`vkernel::SimDomain`]) with the calibrated 1984 cost model
+//! ([`vnet::Params1984`]); see DESIGN.md §4 for the substitution argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp1;
+pub mod exp10;
+pub mod exp2;
+pub mod exp3;
+pub mod exp4;
+pub mod exp5;
+pub mod exp6;
+pub mod exp7;
+pub mod exp8;
+pub mod exp9;
+pub mod report;
+pub mod world;
+
+pub use report::{ExpReport, ExpRow};
+pub use world::SimWorld;
+
+/// Runs every experiment, in order. Used by the `all_experiments` binary
+/// and by EXPERIMENTS.md generation.
+pub fn run_all() -> Vec<ExpReport> {
+    vec![
+        exp1::run(),
+        exp2::run(),
+        exp3::run(),
+        exp4::run(),
+        exp5::run(),
+        exp6::run(),
+        exp7::run(),
+        exp8::run(),
+        exp9::run(),
+        exp10::run(),
+    ]
+}

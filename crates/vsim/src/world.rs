@@ -1,0 +1,140 @@
+//! A standard simulated V installation used by several experiments:
+//! a diskless workstation (client + per-user prefix server + local file
+//! server) and a remote server machine, on one simulated Ethernet.
+
+use vkernel::SimDomain;
+use vnet::Params1984;
+use vproto::{ContextId, ContextPair, LogicalHost, Pid, Scope};
+use vruntime::NameClient;
+use vservers::{file_server, prefix_server, FileServerConfig, PrefixConfig};
+
+/// The simulated installation.
+pub struct SimWorld {
+    /// The virtual-time domain.
+    pub domain: SimDomain,
+    /// The user's workstation.
+    pub workstation: LogicalHost,
+    /// The remote server machine.
+    pub server_machine: LogicalHost,
+    /// The per-user context prefix server (on the workstation).
+    pub prefix: Pid,
+    /// A file server on the workstation ("adding a disk and local file
+    /// server process to a workstation requires no changes" — paper §3).
+    pub local_fs: Pid,
+    /// The network file server.
+    pub remote_fs: Pid,
+}
+
+/// Boots the standard world and defines the standard prefixes:
+/// `[local]` → local fs root, `[remote]` → remote fs root,
+/// `[home]` → local fs home. Both file servers hold `paper.txt`.
+pub fn boot_world(params: Params1984) -> SimWorld {
+    let domain = SimDomain::new(params);
+    let workstation = domain.add_host();
+    let server_machine = domain.add_host();
+
+    let fs_config = |preload: Vec<(String, Vec<u8>)>, scope| FileServerConfig {
+        service_scope: Some(scope),
+        preload,
+        home: Some("ng/user".into()),
+        bin: Some("bin".into()),
+        simulate_disk: false,
+    };
+    let local_fs = domain.spawn(workstation, "local-fs", {
+        let cfg = fs_config(
+            vec![
+                ("paper.txt".into(), b"V naming, local copy".to_vec()),
+                ("ng/user/notes.txt".into(), b"local home".to_vec()),
+            ],
+            Scope::Local,
+        );
+        move |ctx| file_server(ctx, cfg)
+    });
+    let remote_fs = domain.spawn(server_machine, "remote-fs", {
+        let cfg = fs_config(
+            vec![
+                ("paper.txt".into(), b"V naming, remote copy".to_vec()),
+                ("ng/user/thesis.txt".into(), b"remote home".to_vec()),
+            ],
+            Scope::Both,
+        );
+        move |ctx| file_server(ctx, cfg)
+    });
+    let prefix = domain.spawn(workstation, "prefix", |ctx| {
+        prefix_server(ctx, PrefixConfig::default())
+    });
+    domain.run();
+
+    // Define the user's standard prefixes from a setup process.
+    domain.client(workstation, move |ctx| {
+        let client = NameClient::new(ctx, ContextPair::new(local_fs, ContextId::DEFAULT));
+        client
+            .add_prefix("local", ContextPair::new(local_fs, ContextId::DEFAULT))
+            .expect("define [local]");
+        client
+            .add_prefix("remote", ContextPair::new(remote_fs, ContextId::DEFAULT))
+            .expect("define [remote]");
+        client
+            .add_prefix("home", ContextPair::new(local_fs, ContextId::HOME))
+            .expect("define [home]");
+    });
+
+    SimWorld {
+        domain,
+        workstation,
+        server_machine,
+        prefix,
+        local_fs,
+        remote_fs,
+    }
+}
+
+impl SimWorld {
+    /// Runs `f` as a client on the workstation, driving the simulation to
+    /// quiescence, and returns its result.
+    pub fn client<T, F>(&self, f: F) -> T
+    where
+        T: Send + 'static,
+        F: FnOnce(&dyn vkernel::Ipc) -> T + Send + 'static,
+    {
+        self.domain
+            .client(self.workstation, f)
+            .expect("sim client completed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vproto::OpenMode;
+
+    #[test]
+    fn world_boots_and_serves_all_paths() {
+        let w = boot_world(Params1984::ethernet_3mbit());
+        let local_fs = w.local_fs;
+        let (a, b, c) = w.client(move |ctx| {
+            let client = NameClient::new(ctx, ContextPair::new(local_fs, ContextId::DEFAULT));
+            let a = client.read_file("[local]paper.txt").unwrap();
+            let b = client.read_file("[remote]paper.txt").unwrap();
+            let c = client.read_file("[home]notes.txt").unwrap();
+            (a, b, c)
+        });
+        assert_eq!(a, b"V naming, local copy");
+        assert_eq!(b, b"V naming, remote copy");
+        assert_eq!(c, b"local home");
+    }
+
+    #[test]
+    fn open_reports_final_server() {
+        let w = boot_world(Params1984::ethernet_3mbit());
+        let (local_fs, remote_fs) = (w.local_fs, w.remote_fs);
+        let (s1, s2) = w.client(move |ctx| {
+            let client = NameClient::new(ctx, ContextPair::new(local_fs, ContextId::DEFAULT));
+            let h1 = client.open("[local]paper.txt", OpenMode::Read).unwrap();
+            let h2 = client.open("[remote]paper.txt", OpenMode::Read).unwrap();
+            (h1.server(), h2.server())
+        });
+        assert_eq!(s1, local_fs);
+        assert_eq!(s2, remote_fs);
+    }
+}

@@ -1,0 +1,45 @@
+//! The whole experiment suite must be deterministic: identical virtual-time
+//! results on every run — the property that makes the reproduction's
+//! numbers citable.
+
+fn snapshot() -> Vec<(String, String)> {
+    vsim::run_all()
+        .into_iter()
+        .flat_map(|rep| {
+            rep.rows
+                .into_iter()
+                .map(move |r| (format!("{}/{}", rep.id, r.label), format!("{:.6}", r.measured)))
+        })
+        .collect()
+}
+
+#[test]
+fn all_experiments_are_bit_deterministic() {
+    let a = snapshot();
+    let b = snapshot();
+    assert_eq!(a.len(), b.len());
+    for ((label_a, val_a), (label_b, val_b)) in a.iter().zip(b.iter()) {
+        assert_eq!(label_a, label_b);
+        assert_eq!(val_a, val_b, "{label_a} differs across runs");
+    }
+}
+
+#[test]
+fn every_paper_row_is_within_tolerance() {
+    // The global shape check: every row with a paper value must land
+    // within 25% (most are within 2%; EXP-3's no-overlap model and EXP-5's
+    // footprint analogue are the documented outliers).
+    for rep in vsim::run_all() {
+        for row in &rep.rows {
+            if let Some(dev) = row.deviation_pct() {
+                assert!(
+                    dev.abs() < 25.0,
+                    "{}/{}: {:+.1}% off the paper",
+                    rep.id,
+                    row.label,
+                    dev
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! A miniature V *executive* (shell) — the paper's §6 notes the naming
+//! system's "functionality matches well with our multiple window and
+//! executive system". Every command below is implemented purely with the
+//! standard run-time routines; the executive knows nothing about which
+//! server implements which name.
+//!
+//! ```sh
+//! cargo run -p vexamples --example executive            # runs a demo script
+//! cargo run -p vexamples --example executive -- 'ls [home]' 'pwd'
+//! ```
+
+use vexamples::wait_for_service;
+use vkernel::Domain;
+use vproto::{ContextId, ContextPair, OpenMode, ServiceId};
+use vruntime::NameClient;
+use vservers::{file_server, prefix_server, printer_server, FileServerConfig, PrefixConfig, PrinterConfig};
+
+fn run_command(client: &mut NameClient<'_>, line: &str) {
+    println!("v> {line}");
+    let mut parts = line.splitn(3, ' ');
+    let cmd = parts.next().unwrap_or("");
+    let arg1 = parts.next().unwrap_or("");
+    let arg2 = parts.next().unwrap_or("");
+    let outcome = match cmd {
+        "ls" => client.list_directory(arg1, None).map(|records| {
+            for r in &records {
+                println!("   {r}");
+            }
+        }),
+        "cd" => client.change_context(arg1).map(|pair| {
+            println!("   now in {pair}");
+        }),
+        "pwd" => client.current_context_name().map(|name| {
+            println!("   {name}");
+        }),
+        "cat" => client.read_file(arg1).map(|data| {
+            println!("   {}", String::from_utf8_lossy(&data));
+        }),
+        "write" => client.write_file(arg1, arg2.as_bytes()),
+        "mkdir" => client.make_directory(arg1),
+        "rm" => client.remove(arg1),
+        "mv" => client.rename(arg1, arg2),
+        "stat" => client.query(arg1).map(|d| {
+            println!("   {d} perms={} owner={}", d.permissions, d.owner);
+        }),
+        "lpr" => {
+            // Print a file: read it, then write it to a job on the print
+            // queue — two servers, one uniform interface.
+            client.read_file(arg1).and_then(|data| {
+                let leaf = arg1
+                    .rsplit(['/', ']'])
+                    .next()
+                    .unwrap_or(arg1);
+                client.write_file(&format!("[printer]{leaf}"), &data)
+            })
+        }
+        "" => Ok(()),
+        other => {
+            println!("   unknown command: {other}");
+            Ok(())
+        }
+    };
+    if let Err(e) = outcome {
+        println!("   error: {e}");
+    }
+}
+
+fn main() {
+    let domain = Domain::new();
+    let ws = domain.add_host();
+    let fs = domain.spawn(ws, "files", |ctx| {
+        file_server(
+            ctx,
+            FileServerConfig {
+                preload: vec![
+                    ("ng/mann/naming.mss".into(), b"Uniform Access to Distributed Name Interpretation".to_vec()),
+                    ("ng/mann/drafts/icdcs.txt".into(), b"camera ready".to_vec()),
+                ],
+                home: Some("ng/mann".into()),
+                ..FileServerConfig::default()
+            },
+        )
+    });
+    let printer = domain.spawn(ws, "printer", |ctx| {
+        printer_server(ctx, PrinterConfig::default())
+    });
+    domain.spawn(ws, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+    wait_for_service(&domain, ws, ServiceId::CONTEXT_PREFIX);
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    domain.client(ws, move |ctx| {
+        let mut client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
+        client
+            .add_prefix("home", ContextPair::new(fs, ContextId::HOME))
+            .unwrap();
+        client
+            .add_prefix("printer", ContextPair::new(printer, ContextId::DEFAULT))
+            .unwrap();
+        client.change_context("[home]").unwrap();
+
+        let script: Vec<String> = if args.is_empty() {
+            [
+                "pwd",
+                "ls [home]",
+                "cat naming.mss",
+                "mkdir notes",
+                "write notes/todo.txt ship the reproduction",
+                "cat notes/todo.txt",
+                "mv notes/todo.txt notes/done.txt",
+                "stat notes/done.txt",
+                "lpr [home]naming.mss",
+                "ls [printer]",
+                "cd drafts",
+                "pwd",
+                "cat icdcs.txt",
+                "rm [home]notes/done.txt",
+                "rm [home]notes",
+                "ls [home]",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+        } else {
+            args
+        };
+        for line in &script {
+            run_command(&mut client, line);
+        }
+        // Leave no dangling instances behind.
+        let _ = client.open("naming.mss", OpenMode::Read).map(|h| h.close(ctx));
+    });
+    println!("executive complete");
+}

@@ -1,0 +1,17 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each example boots a small V domain on the real-thread kernel (or the
+//! virtual-time kernel for the timing example) and drives it through the
+//! standard run-time routines, mirroring scenarios from the paper.
+
+#![forbid(unsafe_code)]
+
+use vkernel::Domain;
+use vproto::{LogicalHost, Scope, ServiceId};
+
+/// Blocks until `svc` is registered and visible from `host`.
+pub fn wait_for_service(domain: &Domain, host: LogicalHost, svc: ServiceId) {
+    while domain.registry().lookup(svc, Scope::Both, host).is_none() {
+        std::thread::yield_now();
+    }
+}

@@ -1,0 +1,154 @@
+//! The paper's §6 "single list directory command": one generic program that
+//! lists *any* context — disk files, virtual terminals, print jobs, TCP
+//! connections, programs in execution, context prefixes — relying only on
+//! the typed description records of §5.5/§5.6.
+//!
+//! ```sh
+//! cargo run -p vexamples --example list_directory
+//! ```
+
+use bytes::Bytes;
+use vexamples::wait_for_service;
+use vkernel::Domain;
+use vnaming::build_csname_request;
+use vproto::{
+    ContextId, ContextPair, CsName, DescriptorExt, ObjectDescriptor, OpenMode, RequestCode,
+    ServiceId,
+};
+use vruntime::NameClient;
+use vservers::{
+    file_server, internet_server, mail_server, prefix_server, printer_server, program_manager,
+    terminal_server, FileServerConfig, InternetConfig, MailConfig, PrefixConfig, PrinterConfig,
+    ProgramConfig, TerminalConfig,
+};
+
+/// The generic "list directory" command: works on every CSNH server because
+/// they all speak the same protocol. This is the whole program — no
+/// per-server code.
+fn list(client: &NameClient<'_>, what: &str, name: &str) {
+    println!("{what} ({})", if name.is_empty() { "<default>" } else { name });
+    match client.list_directory(name, None) {
+        Ok(records) if records.is_empty() => println!("  (empty)"),
+        Ok(records) => {
+            for r in records {
+                print!("  {r}");
+                // The tag tells the generic program how to render extras.
+                match &r.ext {
+                    DescriptorExt::Terminal { columns, rows } => print!("  {columns}x{rows}"),
+                    DescriptorExt::PrintJob { queue_position } => {
+                        print!("  queue position {queue_position}")
+                    }
+                    DescriptorExt::Program { pid } => print!("  pid {pid}"),
+                    DescriptorExt::TcpConnection {
+                        remote_port, state, ..
+                    } => print!("  :{remote_port} state {state}"),
+                    DescriptorExt::Mailbox { unread } => print!("  {unread} unread"),
+                    DescriptorExt::ContextPrefix { target, .. } => print!("  -> {target}"),
+                    _ => {}
+                }
+                println!();
+            }
+        }
+        Err(e) => println!("  error: {e}"),
+    }
+}
+
+fn main() {
+    let domain = Domain::new();
+    let ws = domain.add_host();
+
+    // One of everything (paper §6's workstation runs exactly this mix).
+    let fs = domain.spawn(ws, "files", |ctx| {
+        file_server(
+            ctx,
+            FileServerConfig {
+                preload: vec![
+                    ("src/naming.rs".into(), b"mod v;".to_vec()),
+                    ("src/kernel.rs".into(), b"mod ipc;".to_vec()),
+                ],
+                ..FileServerConfig::default()
+            },
+        )
+    });
+    let term = domain.spawn(ws, "terminals", |ctx| {
+        terminal_server(ctx, TerminalConfig::default())
+    });
+    let printer = domain.spawn(ws, "printer", |ctx| {
+        printer_server(ctx, PrinterConfig::default())
+    });
+    let net = domain.spawn(ws, "internet", |ctx| {
+        internet_server(ctx, InternetConfig::default())
+    });
+    let programs = domain.spawn(ws, "programs", |ctx| {
+        program_manager(ctx, ProgramConfig::default())
+    });
+    let mail = domain.spawn(ws, "mail", |ctx| {
+        mail_server(ctx, MailConfig::new("su-score.ARPA"))
+    });
+    let prefix = domain.spawn(ws, "prefix", |ctx| {
+        prefix_server(ctx, PrefixConfig::default())
+    });
+    wait_for_service(&domain, ws, ServiceId::CONTEXT_PREFIX);
+
+    domain.client(ws, move |ctx| {
+        let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
+        // Populate each context a little.
+        client.write_file("src/extra.rs", b"// extra").unwrap();
+        let t = NameClient::new(ctx, ContextPair::new(term, ContextId::DEFAULT));
+        t.write_file("console", b"login: mann").unwrap();
+        t.write_file("debug", b"").unwrap();
+        let p = NameClient::new(ctx, ContextPair::new(printer, ContextId::DEFAULT));
+        p.write_file("thesis.dvi", b"...300 pages...").unwrap();
+        let n = NameClient::new(ctx, ContextPair::new(net, ContextId::DEFAULT));
+        n.open("10.0.0.5:25", OpenMode::Create).unwrap();
+        let m = NameClient::new(ctx, ContextPair::new(mail, ContextId::DEFAULT));
+        let mut mb = m.open("cheriton@su-score.ARPA", OpenMode::Append).unwrap();
+        mb.write_next(ctx, b"ICDCS deadline approaching").unwrap();
+        mb.close(ctx).unwrap();
+        // Register two "programs in execution".
+        for prog in ["exec", "listdir"] {
+            let (msg, payload) = build_csname_request(
+                RequestCode::CreateObject,
+                ContextId::DEFAULT,
+                &CsName::from(prog),
+                &ObjectDescriptor::new(vproto::DescriptorTag::Program, CsName::new())
+                    .with_ext(DescriptorExt::Program { pid: ctx.my_pid() })
+                    .encode(),
+            );
+            ctx.send(programs, msg, payload, 0).unwrap();
+        }
+        // Standard prefixes so the generic program can name every context.
+        client
+            .add_prefix("src", ContextPair::new(fs, ContextId::DEFAULT))
+            .unwrap();
+        client
+            .add_prefix("tty", ContextPair::new(term, ContextId::DEFAULT))
+            .unwrap();
+        client
+            .add_prefix("printer", ContextPair::new(printer, ContextId::DEFAULT))
+            .unwrap();
+        client
+            .add_prefix("tcp", ContextPair::new(net, ContextId::DEFAULT))
+            .unwrap();
+        client
+            .add_prefix("programs", ContextPair::new(programs, ContextId::DEFAULT))
+            .unwrap();
+        client
+            .add_prefix("mail", ContextPair::new(mail, ContextId::DEFAULT))
+            .unwrap();
+
+        // THE single list-directory command, across every object type.
+        list(&client, "disk files", "[src]src");
+        list(&client, "virtual terminals", "[tty]");
+        list(&client, "print queue", "[printer]");
+        list(&client, "tcp connections", "[tcp]");
+        list(&client, "programs in execution", "[programs]");
+        list(&client, "mailboxes", "[mail]");
+        // And the prefix table itself, via the prefix server's own context.
+        let pclient = NameClient::new(ctx, ContextPair::new(prefix, ContextId::DEFAULT));
+        list(&pclient, "context prefixes", "");
+        // Send one payload the example ignores, to show Bytes in the API.
+        let _ = Bytes::new();
+    });
+    println!("list_directory complete");
+}

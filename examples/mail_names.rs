@@ -1,0 +1,67 @@
+//! Extensibility demo (paper §2.2): mailbox names like
+//! `cheriton@su-score.ARPA` — a syntax "imposed by standards established
+//! outside of the system" — handled by the servers that own the mailboxes,
+//! with zero changes to the protocol, the run-time, or any other server.
+//!
+//! ```sh
+//! cargo run -p vexamples --example mail_names
+//! ```
+
+use vkernel::Domain;
+use vproto::{ContextId, ContextPair, OpenMode};
+use vruntime::NameClient;
+use vservers::{mail_server, MailConfig};
+
+fn main() {
+    let domain = Domain::new();
+    let score_host = domain.add_host();
+    let navajo_host = domain.add_host();
+
+    // Two mail servers, one per "ARPA host"; each knows the other as a peer.
+    let score = domain.spawn(score_host, "mail-score", |ctx| {
+        mail_server(ctx, MailConfig::new("su-score.ARPA"))
+    });
+    let navajo = domain.spawn(navajo_host, "mail-navajo", move |ctx| {
+        mail_server(
+            ctx,
+            MailConfig::new("su-navajo.ARPA").with_peer("su-score.ARPA", score),
+        )
+    });
+
+    domain.client(navajo_host, move |ctx| {
+        let client = NameClient::new(ctx, ContextPair::new(navajo, ContextId::DEFAULT));
+
+        // Deliver locally on navajo.
+        let mut mbox = client.open("mann@su-navajo.ARPA", OpenMode::Append).unwrap();
+        mbox.write_next(ctx, b"camera-ready figures attached").unwrap();
+        mbox.close(ctx).unwrap();
+        println!("delivered to mann@su-navajo.ARPA (local)");
+
+        // Deliver to the other host: navajo recognizes the foreign host
+        // part and FORWARDS the request — ordinary §5.4 forwarding, even
+        // though the name syntax is user@host rather than a pathname.
+        let mut remote = client
+            .open("cheriton@su-score.ARPA", OpenMode::Append)
+            .unwrap();
+        println!(
+            "opened cheriton@su-score.ARPA via navajo; owning server is {} (score)",
+            remote.server()
+        );
+        remote.write_next(ctx, b"please review section 6").unwrap();
+        remote.close(ctx).unwrap();
+
+        // The same uniform query operation works on mailboxes.
+        let d = client.query("cheriton@su-score.ARPA").unwrap();
+        println!("descriptor: {d} ext={:?}", d.ext);
+
+        // And the same list-directory machinery lists each host's boxes.
+        for (label, server) in [("su-navajo.ARPA", navajo), ("su-score.ARPA", score)] {
+            let c = NameClient::new(ctx, ContextPair::new(server, ContextId::DEFAULT));
+            println!("mailboxes on {label}:");
+            for r in c.list_directory("", None).unwrap() {
+                println!("  {r}");
+            }
+        }
+    });
+    println!("mail_names complete");
+}

@@ -1,0 +1,78 @@
+//! Multi-server name interpretation: one name crosses two file servers via
+//! a cross-server link — Figure 4's "curved arrow" — with the request
+//! forwarded mid-interpretation (paper §5.4).
+//!
+//! ```sh
+//! cargo run -p vexamples --example multi_server
+//! ```
+
+use vexamples::wait_for_service;
+use vkernel::Domain;
+use vproto::{ContextId, ContextPair, OpenMode, ServiceId};
+use vruntime::NameClient;
+use vservers::{file_server, prefix_server, FileServerConfig, PrefixConfig};
+
+fn main() {
+    let domain = Domain::new();
+    // Two "machines": the user's workstation and a second file server host.
+    let ws = domain.add_host();
+    let machine_b = domain.add_host();
+
+    let fs_a = domain.spawn(ws, "server-a", |ctx| {
+        file_server(
+            ctx,
+            FileServerConfig {
+                home: Some("ng/user".into()),
+                ..FileServerConfig::default()
+            },
+        )
+    });
+    let fs_b = domain.spawn(machine_b, "server-b", |ctx| {
+        file_server(
+            ctx,
+            FileServerConfig {
+                service_scope: None, // reached only through links/prefixes
+                preload: vec![(
+                    "archive/1983/kernel-paper.txt".into(),
+                    b"The Distributed V Kernel and its Performance...".to_vec(),
+                )],
+                ..FileServerConfig::default()
+            },
+        )
+    });
+    domain.spawn(ws, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+    wait_for_service(&domain, ws, ServiceId::CONTEXT_PREFIX);
+
+    domain.client(ws, move |ctx| {
+        let client = NameClient::new(ctx, ContextPair::new(fs_a, ContextId::DEFAULT));
+        client
+            .add_prefix("home", ContextPair::new(fs_a, ContextId::HOME))
+            .unwrap();
+
+        // The curved arrow: [home]papers points at server B's root context.
+        client
+            .add_link("[home]papers", ContextPair::new(fs_b, ContextId::DEFAULT))
+            .unwrap();
+        println!("linked [home]papers -> server B ({fs_b})");
+
+        // One name, interpreted by three servers in turn: the prefix server
+        // parses "[home]", server A parses "papers/", server B parses the
+        // rest and answers the original client directly.
+        let name = "[home]papers/archive/1983/kernel-paper.txt";
+        let handle = client.open(name, OpenMode::Read).unwrap();
+        println!(
+            "opened {name}\n  request entered at server A ({fs_a}),\n  reply came from server {} — forwarding is invisible to the client",
+            handle.server()
+        );
+        assert_eq!(handle.server(), fs_b);
+        let text = client.read_file(name).unwrap();
+        println!("contents: {}", String::from_utf8_lossy(&text));
+
+        // The link shows up in A's directory listing as a context pointer.
+        println!("directory of [home]:");
+        for record in client.list_directory("[home]", None).unwrap() {
+            println!("  {record}");
+        }
+    });
+    println!("multi_server complete");
+}

@@ -1,0 +1,28 @@
+//! The paper's §6 `Open` cost table, regenerated live on the virtual-time
+//! kernel (this is EXP-4 of the experiment index, as an example program).
+//!
+//! ```sh
+//! cargo run -p vexamples --example open_timing
+//! ```
+
+use vnet::Params1984;
+use vsim::exp4::{measure_open, OpenCase};
+use vsim::world::boot_world;
+
+fn main() {
+    println!("Open timing on simulated 1984 hardware (10 MHz SUNs, 3 Mbit Ethernet)\n");
+    let world = boot_world(Params1984::ethernet_3mbit());
+    println!("{:<36} {:>10} {:>10}", "configuration", "paper", "measured");
+    for case in OpenCase::ALL {
+        let measured = measure_open(&world, case, 20);
+        println!(
+            "{:<36} {:>7.2} ms {:>7.2} ms",
+            format!("{case:?}"),
+            case.paper_ms(),
+            measured.as_nanos() as f64 / 1e6,
+        );
+    }
+    println!("\nThe ~4 ms prefix overhead is the context prefix server's processing");
+    println!("time, independent of whether the target server is local or remote —");
+    println!("exactly the paper's observation.");
+}

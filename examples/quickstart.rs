@@ -1,0 +1,79 @@
+//! Quickstart: boot a one-workstation V installation, define context
+//! prefixes, and use the standard run-time routines.
+//!
+//! ```sh
+//! cargo run -p vexamples --example quickstart
+//! ```
+
+use vexamples::wait_for_service;
+use vkernel::Domain;
+use vproto::{ContextId, ContextPair, OpenMode, ServiceId};
+use vruntime::NameClient;
+use vservers::{file_server, prefix_server, FileServerConfig, PrefixConfig};
+
+fn main() {
+    // A V domain with one logical host: the user's diskless workstation
+    // (the file server here stands in for the network storage server).
+    let domain = Domain::new();
+    let ws = domain.add_host();
+
+    let fs = domain.spawn(ws, "fileserver", |ctx| {
+        file_server(
+            ctx,
+            FileServerConfig {
+                preload: vec![(
+                    "ng/mann/naming.mss".into(),
+                    b"We have been exploring distributed name interpretation...".to_vec(),
+                )],
+                home: Some("ng/mann".into()),
+                ..FileServerConfig::default()
+            },
+        )
+    });
+    domain.spawn(ws, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+    wait_for_service(&domain, ws, ServiceId::CONTEXT_PREFIX);
+    wait_for_service(&domain, ws, ServiceId::FILE_SERVER);
+
+    domain.client(ws, move |ctx| {
+        // The per-user prefix table: `[home]` and `[storage]`.
+        let mut client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
+        client
+            .add_prefix("home", ContextPair::new(fs, ContextId::HOME))
+            .unwrap();
+        client
+            .add_prefix("storage", ContextPair::new(fs, ContextId::DEFAULT))
+            .unwrap();
+
+        // Read a file through the prefix server.
+        let text = client.read_file("[home]naming.mss").unwrap();
+        println!("[home]naming.mss: {}", String::from_utf8_lossy(&text));
+
+        // Create a new file and inspect its typed descriptor (paper §5.5).
+        client.write_file("[home]todo.txt", b"1. reproduce the paper").unwrap();
+        let d = client.query("[home]todo.txt").unwrap();
+        println!("descriptor: {d}  perms={}", d.permissions);
+
+        // Change the current context (paper §6's analogue of chdir) and use
+        // a plain relative name.
+        client.change_context("[storage]ng/mann").unwrap();
+        println!(
+            "current context is now {}",
+            client.current_context_name().unwrap()
+        );
+        let again = client.read_file("todo.txt").unwrap();
+        assert_eq!(again, b"1. reproduce the paper");
+
+        // List the context directory (paper §5.6).
+        println!("directory of [home]:");
+        for record in client.list_directory("[home]", None).unwrap() {
+            println!("  {record}");
+        }
+
+        // Clean up via the uniform Delete(object_name) of the paper's intro.
+        client.remove("[home]todo.txt").unwrap();
+        let gone = client.open("[home]todo.txt", OpenMode::Read);
+        assert!(gone.is_err());
+        println!("removed [home]todo.txt");
+    });
+    println!("quickstart complete");
+}

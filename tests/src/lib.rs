@@ -1,0 +1,96 @@
+//! Shared helpers for the cross-crate integration tests.
+
+#![forbid(unsafe_code)]
+
+use vkernel::{Domain, Ipc, SimDomain};
+use vnet::Params1984;
+use vproto::{LogicalHost, Pid, Scope, ServiceId};
+
+/// Blocks until `svc` is registered and visible from `host` (thread
+/// kernel; the sim kernel's `run()` makes this unnecessary there).
+pub fn wait_for_service(domain: &Domain, host: LogicalHost, svc: ServiceId) {
+    while domain.registry().lookup(svc, Scope::Both, host).is_none() {
+        std::thread::yield_now();
+    }
+}
+
+/// A kernel-agnostic handle: both kernels behind one spawn/client surface,
+/// so the same scenario can assert identical behaviour on each.
+pub enum AnyDomain {
+    /// Real-thread kernel.
+    Thread(Domain),
+    /// Virtual-time kernel.
+    Sim(SimDomain),
+}
+
+impl AnyDomain {
+    /// Both kernels, freshly booted.
+    pub fn both() -> Vec<AnyDomain> {
+        vec![
+            AnyDomain::Thread(Domain::new()),
+            AnyDomain::Sim(SimDomain::new(Params1984::ethernet_3mbit())),
+        ]
+    }
+
+    /// Adds a logical host.
+    pub fn add_host(&self) -> LogicalHost {
+        match self {
+            AnyDomain::Thread(d) => d.add_host(),
+            AnyDomain::Sim(d) => d.add_host(),
+        }
+    }
+
+    /// Spawns a process.
+    pub fn spawn<F>(&self, host: LogicalHost, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&dyn Ipc) + Send + 'static,
+    {
+        match self {
+            AnyDomain::Thread(d) => d.spawn(host, name, f),
+            AnyDomain::Sim(d) => d.spawn(host, name, f),
+        }
+    }
+
+    /// Runs a client to completion and returns its result.
+    pub fn client<T, F>(&self, host: LogicalHost, f: F) -> T
+    where
+        T: Send + 'static,
+        F: FnOnce(&dyn Ipc) -> T + Send + 'static,
+    {
+        match self {
+            AnyDomain::Thread(d) => d.client(host, f),
+            AnyDomain::Sim(d) => d.client(host, f).expect("sim client completed"),
+        }
+    }
+
+    /// Kills a process.
+    pub fn kill(&self, pid: Pid) {
+        match self {
+            AnyDomain::Thread(d) => d.kill(pid),
+            AnyDomain::Sim(d) => d.kill(pid),
+        }
+    }
+
+    /// Settles background work: drives the sim to quiescence; yields on the
+    /// thread kernel until `svc` (if given) is registered.
+    pub fn settle(&self, host: LogicalHost, svc: Option<ServiceId>) {
+        match self {
+            AnyDomain::Thread(d) => {
+                if let Some(svc) = svc {
+                    wait_for_service(d, host, svc);
+                }
+            }
+            AnyDomain::Sim(d) => {
+                d.run();
+            }
+        }
+    }
+
+    /// A short label for assertion messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnyDomain::Thread(_) => "thread kernel",
+            AnyDomain::Sim(_) => "sim kernel",
+        }
+    }
+}

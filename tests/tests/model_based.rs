@@ -1,0 +1,202 @@
+//! Model-based testing of the full naming stack: arbitrary operation
+//! sequences are applied both to the real system (NameClient → prefix
+//! server → file server, over the thread kernel) and to a trivial
+//! in-memory reference model; observable behaviour must match exactly.
+
+use integration_tests::wait_for_service;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use vkernel::Domain;
+use vproto::{ContextId, ContextPair, OpenMode, ServiceId};
+use vruntime::NameClient;
+use vservers::{file_server, prefix_server, FileServerConfig, PrefixConfig};
+
+/// Operations over a small universe of names (so collisions happen often).
+#[derive(Debug, Clone)]
+enum Op {
+    Write { dir: u8, file: u8, body: Vec<u8> },
+    Read { dir: u8, file: u8 },
+    Mkdir { dir: u8 },
+    RemoveFile { dir: u8, file: u8 },
+    RemoveDir { dir: u8 },
+    List { dir: u8 },
+    Rename { dir: u8, file: u8, new_file: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let d = 0u8..3;
+    let f = 0u8..4;
+    prop_oneof![
+        (d.clone(), f.clone(), proptest::collection::vec(any::<u8>(), 0..12))
+            .prop_map(|(dir, file, body)| Op::Write { dir, file, body }),
+        (d.clone(), f.clone()).prop_map(|(dir, file)| Op::Read { dir, file }),
+        d.clone().prop_map(|dir| Op::Mkdir { dir }),
+        (d.clone(), f.clone()).prop_map(|(dir, file)| Op::RemoveFile { dir, file }),
+        d.clone().prop_map(|dir| Op::RemoveDir { dir }),
+        d.clone().prop_map(|dir| Op::List { dir }),
+        (d, f.clone(), f).prop_map(|(dir, file, new_file)| Op::Rename { dir, file, new_file }),
+    ]
+}
+
+/// The reference model: directories of files, nothing else.
+#[derive(Default)]
+struct Model {
+    dirs: BTreeMap<u8, BTreeMap<u8, Vec<u8>>>,
+}
+
+/// Observable outcome of one op, comparable between system and model.
+#[derive(Debug, PartialEq, Eq)]
+enum Outcome {
+    Ok,
+    Data(Vec<u8>),
+    Names(Vec<String>),
+    Err, // any failure — codes are compared only for reads
+}
+
+impl Model {
+    fn apply(&mut self, op: &Op) -> Outcome {
+        match op {
+            Op::Write { dir, file, body } => match self.dirs.get_mut(dir) {
+                Some(d) => {
+                    d.insert(*file, body.clone());
+                    Outcome::Ok
+                }
+                None => Outcome::Err,
+            },
+            Op::Read { dir, file } => match self.dirs.get(dir).and_then(|d| d.get(file)) {
+                Some(body) => Outcome::Data(body.clone()),
+                None => Outcome::Err,
+            },
+            Op::Mkdir { dir } => {
+                if self.dirs.contains_key(dir) {
+                    Outcome::Err
+                } else {
+                    self.dirs.insert(*dir, BTreeMap::new());
+                    Outcome::Ok
+                }
+            }
+            Op::RemoveFile { dir, file } => {
+                match self.dirs.get_mut(dir).map(|d| d.remove(file)) {
+                    Some(Some(_)) => Outcome::Ok,
+                    _ => Outcome::Err,
+                }
+            }
+            Op::RemoveDir { dir } => match self.dirs.get(dir) {
+                Some(d) if d.is_empty() => {
+                    self.dirs.remove(dir);
+                    Outcome::Ok
+                }
+                _ => Outcome::Err,
+            },
+            Op::List { dir } => match self.dirs.get(dir) {
+                Some(d) => Outcome::Names(d.keys().map(|f| format!("f{f}")).collect()),
+                None => Outcome::Err,
+            },
+            Op::Rename { dir, file, new_file } => {
+                let d = match self.dirs.get_mut(dir) {
+                    Some(d) => d,
+                    None => return Outcome::Err,
+                };
+                if !d.contains_key(file) || d.contains_key(new_file) || file == new_file {
+                    return Outcome::Err;
+                }
+                let body = d.remove(file).expect("checked");
+                d.insert(*new_file, body);
+                Outcome::Ok
+            }
+        }
+    }
+}
+
+fn apply_real(client: &NameClient<'_>, ipc: &dyn vkernel::Ipc, op: &Op) -> Outcome {
+    let dir_name = |d: u8| format!("[w]d{d}");
+    match op {
+        Op::Write { dir, file, body } => {
+            // Overwrite semantics: open-create then truncating write needs
+            // remove-first when the file exists; emulate by remove+create.
+            let name = format!("{}/f{file}", dir_name(*dir));
+            if client.query(&dir_name(*dir)).is_err() {
+                return Outcome::Err;
+            }
+            let _ = client.remove(&name);
+            match client.open(&name, OpenMode::Create) {
+                Ok(mut h) => {
+                    h.write_next(ipc, body).unwrap();
+                    h.close(ipc).unwrap();
+                    Outcome::Ok
+                }
+                Err(_) => Outcome::Err,
+            }
+        }
+        Op::Read { dir, file } => {
+            match client.read_file(&format!("{}/f{file}", dir_name(*dir))) {
+                Ok(data) => Outcome::Data(data),
+                Err(_) => Outcome::Err,
+            }
+        }
+        Op::Mkdir { dir } => match client.make_directory(&dir_name(*dir)) {
+            Ok(()) => Outcome::Ok,
+            Err(_) => Outcome::Err,
+        },
+        Op::RemoveFile { dir, file } => {
+            match client.remove(&format!("{}/f{file}", dir_name(*dir))) {
+                Ok(()) => Outcome::Ok,
+                Err(_) => Outcome::Err,
+            }
+        }
+        Op::RemoveDir { dir } => match client.remove(&dir_name(*dir)) {
+            Ok(()) => Outcome::Ok,
+            Err(_) => Outcome::Err,
+        },
+        Op::List { dir } => match client.list_directory(&dir_name(*dir), None) {
+            Ok(records) => {
+                Outcome::Names(records.iter().map(|r| r.name.to_string_lossy()).collect())
+            }
+            Err(_) => Outcome::Err,
+        },
+        Op::Rename { dir, file, new_file } => {
+            if file == new_file {
+                return Outcome::Err;
+            }
+            let old = format!("{}/f{file}", dir_name(*dir));
+            // The new name is interpreted in the request's context (the
+            // prefix target, i.e. the server root), so spell out the
+            // directory.
+            match client.rename(&old, &format!("d{dir}/f{new_file}")) {
+                Ok(()) => Outcome::Ok,
+                Err(_) => Outcome::Err,
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The real stack and the reference model agree on every observable
+    /// outcome of every operation sequence.
+    #[test]
+    fn file_server_matches_reference_model(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        let domain = Domain::new();
+        let host = domain.add_host();
+        let fs = domain.spawn(host, "fs", |ctx| file_server(ctx, FileServerConfig::default()));
+        domain.spawn(host, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+        wait_for_service(&domain, host, ServiceId::CONTEXT_PREFIX);
+        wait_for_service(&domain, host, ServiceId::FILE_SERVER);
+
+        let divergence = domain.client(host, move |ctx| {
+            let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
+            client.add_prefix("w", ContextPair::new(fs, ContextId::DEFAULT)).unwrap();
+            let mut model = Model::default();
+            for (i, op) in ops.iter().enumerate() {
+                let expected = model.apply(op);
+                let actual = apply_real(&client, ctx, op);
+                if expected != actual {
+                    return Some(format!("step {i} {op:?}: model {expected:?} vs real {actual:?}"));
+                }
+            }
+            None
+        });
+        prop_assert!(divergence.is_none(), "{}", divergence.unwrap());
+    }
+}

@@ -1,0 +1,181 @@
+//! The V naming forest (paper Figure 4): several per-server trees unified
+//! by the context prefix server, with occasional cross-server pointers —
+//! exercised end to end across both kernels.
+
+use integration_tests::AnyDomain;
+use vproto::{ContextId, ContextPair, OpenMode, ReplyCode, ServiceId};
+use vruntime::NameClient;
+use vservers::{file_server, prefix_server, FileServerConfig, PrefixConfig};
+
+/// Builds the Figure-4 forest: three file servers, a prefix server, and a
+/// cross-server link from server 1 into server 3.
+fn build_forest(domain: &AnyDomain) -> (vproto::LogicalHost, [vproto::Pid; 3]) {
+    let ws = domain.add_host();
+    let (m2, m3) = (domain.add_host(), domain.add_host());
+    let mk = |name: &str, files: Vec<(String, Vec<u8>)>| FileServerConfig {
+        service_scope: None,
+        preload: files,
+        home: Some(format!("users/{name}")),
+        ..FileServerConfig::default()
+    };
+    let fs1 = domain.spawn(ws, "fs1", {
+        let cfg = mk(
+            "mann",
+            vec![("users/mann/naming.mss".into(), b"tree one".to_vec())],
+        );
+        move |ctx| file_server(ctx, cfg)
+    });
+    let fs2 = domain.spawn(m2, "fs2", {
+        let cfg = mk(
+            "cheriton",
+            vec![("users/cheriton/naming.mss".into(), b"tree two".to_vec())],
+        );
+        move |ctx| file_server(ctx, cfg)
+    });
+    let fs3 = domain.spawn(m3, "fs3", {
+        let cfg = mk(
+            "archive",
+            vec![("public/thoth.txt".into(), b"tree three".to_vec())],
+        );
+        move |ctx| file_server(ctx, cfg)
+    });
+    domain.spawn(ws, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+    domain.settle(ws, Some(ServiceId::CONTEXT_PREFIX));
+    domain.client(ws, move |ctx| {
+        let client = NameClient::new(ctx, ContextPair::new(fs1, ContextId::DEFAULT));
+        client
+            .add_prefix("mann", ContextPair::new(fs1, ContextId::HOME))
+            .unwrap();
+        client
+            .add_prefix("cheriton", ContextPair::new(fs2, ContextId::HOME))
+            .unwrap();
+        client
+            .add_prefix("archive", ContextPair::new(fs3, ContextId::DEFAULT))
+            .unwrap();
+        // The curved arrow: a link in tree 1 pointing into tree 3.
+        client
+            .add_link("[mann]shared", ContextPair::new(fs3, ContextId::DEFAULT))
+            .unwrap();
+    });
+    (ws, [fs1, fs2, fs3])
+}
+
+#[test]
+fn same_leaf_name_means_different_files_per_context() {
+    // The paper's §5.2 example: "naming.mss" names different files
+    // depending on the context it is interpreted in.
+    for domain in AnyDomain::both() {
+        let (ws, _) = build_forest(&domain);
+        let (a, b) = domain.client(ws, |ctx| {
+            let client = NameClient::new(
+                ctx,
+                ContextPair::new(vproto::Pid::NULL, ContextId::DEFAULT),
+            );
+            let a = client.read_file("[mann]naming.mss").unwrap();
+            let b = client.read_file("[cheriton]naming.mss").unwrap();
+            (a, b)
+        });
+        assert_eq!(a, b"tree one", "{}", domain.label());
+        assert_eq!(b, b"tree two", "{}", domain.label());
+    }
+}
+
+#[test]
+fn cross_server_pointer_unifies_trees() {
+    for domain in AnyDomain::both() {
+        let (ws, [_, _, fs3]) = build_forest(&domain);
+        let (data, server) = domain.client(ws, move |ctx| {
+            let client = NameClient::new(
+                ctx,
+                ContextPair::new(vproto::Pid::NULL, ContextId::DEFAULT),
+            );
+            let h = client
+                .open("[mann]shared/public/thoth.txt", OpenMode::Read)
+                .unwrap();
+            let data = client.read_file("[mann]shared/public/thoth.txt").unwrap();
+            (data, h.server())
+        });
+        assert_eq!(data, b"tree three", "{}", domain.label());
+        assert_eq!(server, fs3, "{}", domain.label());
+    }
+}
+
+#[test]
+fn forwarding_loops_are_detected() {
+    // Two links pointing at each other's directory: interpretation could
+    // bounce forever; the forward budget must stop it with ForwardLoop.
+    for domain in AnyDomain::both() {
+        let (ws, [fs1, fs2, _]) = build_forest(&domain);
+        let code = domain.client(ws, move |ctx| {
+            let client = NameClient::new(
+                ctx,
+                ContextPair::new(vproto::Pid::NULL, ContextId::DEFAULT),
+            );
+            client
+                .add_link("[mann]loop", ContextPair::new(fs2, ContextId::HOME))
+                .unwrap();
+            client
+                .add_link("[cheriton]loop", ContextPair::new(fs1, ContextId::HOME))
+                .unwrap();
+            // A name that ping-pongs: loop/loop/loop/...
+            let err = client
+                .read_file("[mann]loop/loop/loop/loop/loop/loop/loop/loop/loop/loop/x")
+                .unwrap_err();
+            err.reply_code()
+        });
+        assert_eq!(code, Some(ReplyCode::ForwardLoop), "{}", domain.label());
+    }
+}
+
+#[test]
+fn deep_hierarchies_resolve() {
+    for domain in AnyDomain::both() {
+        let (ws, _) = build_forest(&domain);
+        let data = domain.client(ws, |ctx| {
+            let client = NameClient::new(
+                ctx,
+                ContextPair::new(vproto::Pid::NULL, ContextId::DEFAULT),
+            );
+            // Creating the leaf does not imply the ancestors (open-with-
+            // create makes only the final component, like the real V):
+            // build the chain one context at a time.
+            let mut path = String::from("[archive]");
+            for _ in 0..40 {
+                path.push_str("d/");
+                client.make_directory(path.trim_end_matches('/')).unwrap();
+            }
+            let deep = format!("{path}leaf.txt");
+            client.write_file(&deep, b"deep down").unwrap();
+            client.read_file(&deep).unwrap()
+        });
+        assert_eq!(data, b"deep down", "{}", domain.label());
+    }
+}
+
+#[test]
+fn identical_functional_results_on_both_kernels() {
+    // The same scenario must produce byte-identical answers on the thread
+    // kernel and the virtual-time kernel — the property that lets the
+    // timing experiments speak for the real implementation.
+    let mut listings: Vec<Vec<String>> = Vec::new();
+    for domain in AnyDomain::both() {
+        let (ws, _) = build_forest(&domain);
+        let names = domain.client(ws, |ctx| {
+            let client = NameClient::new(
+                ctx,
+                ContextPair::new(vproto::Pid::NULL, ContextId::DEFAULT),
+            );
+            client.write_file("[mann]b.txt", b"2").unwrap();
+            client.write_file("[mann]a.txt", b"1").unwrap();
+            client
+                .list_directory("[mann]", None)
+                .unwrap()
+                .iter()
+                .map(|d| format!("{d}"))
+                .collect::<Vec<String>>()
+        });
+        listings.push(names);
+    }
+    assert_eq!(listings[0], listings[1]);
+    assert!(listings[0].iter().any(|l| l.contains("a.txt")));
+}

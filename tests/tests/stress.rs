@@ -1,0 +1,157 @@
+//! Stress and robustness: concurrency on the thread kernel, odd names,
+//! many objects, big transfers.
+
+use integration_tests::wait_for_service;
+use vkernel::Domain;
+use vproto::{ContextId, ContextPair, CsName, OpenMode, ServiceId};
+use vruntime::NameClient;
+use vservers::{file_server, prefix_server, FileServerConfig, PrefixConfig};
+
+#[test]
+fn many_concurrent_clients_share_one_file_server() {
+    let domain = Domain::new();
+    let host = domain.add_host();
+    let fs = domain.spawn(host, "fs", |ctx| file_server(ctx, FileServerConfig::default()));
+    wait_for_service(&domain, host, ServiceId::FILE_SERVER);
+    let mut handles = Vec::new();
+    for i in 0..16u32 {
+        let d = domain.clone();
+        handles.push(std::thread::spawn(move || {
+            d.client(host, move |ctx| {
+                let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
+                let dir = format!("user{i}");
+                client.make_directory(&dir).unwrap();
+                for j in 0..20 {
+                    let name = format!("{dir}/f{j}.dat");
+                    let body = format!("client {i} file {j}");
+                    client.write_file(&name, body.as_bytes()).unwrap();
+                    assert_eq!(client.read_file(&name).unwrap(), body.as_bytes());
+                }
+                client.list_directory(&dir, None).unwrap().len()
+            })
+        }));
+    }
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 20);
+    }
+}
+
+#[test]
+fn large_file_round_trip() {
+    let domain = Domain::new();
+    let host = domain.add_host();
+    let fs = domain.spawn(host, "fs", |ctx| file_server(ctx, FileServerConfig::default()));
+    wait_for_service(&domain, host, ServiceId::FILE_SERVER);
+    domain.client(host, move |ctx| {
+        let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
+        let body: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        // Write in (16 KB - epsilon) chunks via the stream interface —
+        // each WriteInstance carries a u16 count, so stay under 64 KB.
+        let mut h = client.open("big.bin", OpenMode::Create).unwrap();
+        for chunk in body.chunks(16_000) {
+            h.write_next(ctx, chunk).unwrap();
+        }
+        h.close(ctx).unwrap();
+        let mut h = client.open("big.bin", OpenMode::Read).unwrap().with_block(8192);
+        let back = h.read_to_end(ctx).unwrap();
+        h.close(ctx).unwrap();
+        assert_eq!(back.len(), body.len());
+        assert_eq!(back, body);
+    });
+}
+
+#[test]
+fn names_with_unusual_bytes_work() {
+    // CSnames are byte strings (paper §5.1); only '/' (the file server's
+    // separator) and the prefix brackets are structural anywhere.
+    let domain = Domain::new();
+    let host = domain.add_host();
+    let fs = domain.spawn(host, "fs", |ctx| file_server(ctx, FileServerConfig::default()));
+    wait_for_service(&domain, host, ServiceId::FILE_SERVER);
+    domain.client(host, move |ctx| {
+        let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
+        for name in [
+            "spaces in names are fine",
+            "unicode-名前-π",
+            "dots.and..runs",
+            "trailing.dot.",
+            "-leading-dash",
+        ] {
+            client.write_file(name, name.as_bytes()).unwrap();
+            assert_eq!(client.read_file(name).unwrap(), name.as_bytes());
+        }
+        // Raw non-UTF8 bytes through the low-level interface.
+        let raw = CsName::from_bytes(vec![b'f', 0xFF, 0xFE, b'x']);
+        let outcome = vio::open_at(ctx, fs, ContextId::DEFAULT, &raw, OpenMode::Create).unwrap();
+        vio::write_at(ctx, fs, outcome.instance, 0, b"binary-named").unwrap();
+        vio::release(ctx, fs, outcome.instance).unwrap();
+        let outcome = vio::open_at(ctx, fs, ContextId::DEFAULT, &raw, OpenMode::Read).unwrap();
+        let data = vio::read_at(ctx, fs, outcome.instance, 0, 64).unwrap();
+        assert_eq!(&data[..], b"binary-named");
+    });
+}
+
+#[test]
+fn hundreds_of_objects_in_one_context() {
+    let domain = Domain::new();
+    let host = domain.add_host();
+    let fs = domain.spawn(host, "fs", |ctx| file_server(ctx, FileServerConfig::default()));
+    wait_for_service(&domain, host, ServiceId::FILE_SERVER);
+    domain.client(host, move |ctx| {
+        let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
+        client.make_directory("flat").unwrap();
+        for i in 0..300 {
+            client
+                .write_file(&format!("flat/obj{i:05}"), format!("{i}").as_bytes())
+                .unwrap();
+        }
+        let all = client.list_directory("flat", None).unwrap();
+        assert_eq!(all.len(), 300);
+        // Names come back sorted (BTreeMap order): spot-check.
+        assert_eq!(all[0].name.to_string_lossy(), "obj00000");
+        assert_eq!(all[299].name.to_string_lossy(), "obj00299");
+        // Pattern filtering narrows server-side.
+        let some = client.list_directory("flat", Some("obj0000?")).unwrap();
+        assert_eq!(some.len(), 10);
+    });
+}
+
+#[test]
+fn prefix_server_handles_concurrent_routing() {
+    let domain = Domain::new();
+    let host = domain.add_host();
+    let fs = domain.spawn(host, "fs", |ctx| {
+        file_server(
+            ctx,
+            FileServerConfig {
+                preload: vec![("shared.txt".into(), b"routed".to_vec())],
+                ..FileServerConfig::default()
+            },
+        )
+    });
+    domain.spawn(host, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+    wait_for_service(&domain, host, ServiceId::CONTEXT_PREFIX);
+    wait_for_service(&domain, host, ServiceId::FILE_SERVER);
+    domain.client(host, move |ctx| {
+        let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
+        client
+            .add_prefix("s", ContextPair::new(fs, ContextId::DEFAULT))
+            .unwrap();
+    });
+    let mut handles = Vec::new();
+    for _ in 0..12 {
+        let d = domain.clone();
+        handles.push(std::thread::spawn(move || {
+            d.client(host, |ctx| {
+                let client =
+                    NameClient::new(ctx, ContextPair::new(vproto::Pid::NULL, ContextId::DEFAULT));
+                for _ in 0..25 {
+                    assert_eq!(client.read_file("[s]shared.txt").unwrap(), b"routed");
+                }
+            })
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
