@@ -54,7 +54,8 @@ fn bench_listing(c: &mut Criterion) {
             // §5.6 alternative the paper argues against.
             let records = nc.list_directory("dir", None).unwrap();
             for r in &records {
-                nc.query(&format!("dir/{}", r.name.to_string_lossy())).unwrap();
+                nc.query(&format!("dir/{}", r.name.to_string_lossy()))
+                    .unwrap();
             }
         });
         group.bench_with_input(BenchmarkId::new("enumerate_plus_query", n), &n, |b, _| {

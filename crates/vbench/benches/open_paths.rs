@@ -36,7 +36,9 @@ fn bench_open(c: &mut Criterion) {
             },
         )
     });
-    domain.spawn(ws, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+    domain.spawn(ws, "prefix", |ctx| {
+        prefix_server(ctx, PrefixConfig::default())
+    });
     while domain
         .registry()
         .lookup(ServiceId::CONTEXT_PREFIX, Scope::Both, ws)

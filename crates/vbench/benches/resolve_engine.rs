@@ -86,9 +86,10 @@ fn bench_descriptor_codec(c: &mut Criterion) {
 
     let mut builder = DirectoryBuilder::new();
     for i in 0..128 {
-        builder.push(
-            &ObjectDescriptor::new(DescriptorTag::File, CsName::from(format!("file{i:04}"))),
-        );
+        builder.push(&ObjectDescriptor::new(
+            DescriptorTag::File,
+            CsName::from(format!("file{i:04}")),
+        ));
     }
     let dir = builder.finish();
     c.bench_function("descriptor/decode_directory_128", |b| {

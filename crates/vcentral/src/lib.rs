@@ -138,8 +138,7 @@ pub fn object_store(ctx: &dyn Ipc) {
                     None => {
                         // The dangling-name outcome: the central server said
                         // this id exists, but the object is gone.
-                        let _ =
-                            ctx.reply(rx, Message::reply(ReplyCode::NotFound), Bytes::new());
+                        let _ = ctx.reply(rx, Message::reply(ReplyCode::NotFound), Bytes::new());
                     }
                 }
             }
@@ -414,7 +413,9 @@ mod tests {
         let (domain, host, store) = boot();
         domain.client(host, move |ctx| {
             let client = CentralClient::new(ctx).unwrap();
-            client.create(store, "docs/paper.txt", b"centralized").unwrap();
+            client
+                .create(store, "docs/paper.txt", b"centralized")
+                .unwrap();
             assert_eq!(client.read("docs/paper.txt").unwrap(), b"centralized");
         });
     }

@@ -1,0 +1,177 @@
+//! Pass 2: the determinism gate.
+//!
+//! The virtual-time kernel is the substrate for every quantitative claim in
+//! this repository, so its scheduling must be bit-for-bit reproducible:
+//! the same workload run twice must produce the *same ordered event
+//! stream*, not merely the same summary numbers. This pass runs each
+//! workload twice and compares:
+//!
+//! * the kernel-level event-stream hash ([`vkernel::SimDomain::event_hash`]
+//!   — every delivery and sender resumption, with virtual times and
+//!   transaction ids) for a canned rendezvous/forward/multicast scenario;
+//! * an FNV hash of the full report (labels, values, notes) for a sample of
+//!   the `vsim` experiments.
+
+use crate::{fnv1a, Violation};
+use bytes::Bytes;
+use vkernel::SimDomain;
+use vnet::Params1984;
+use vproto::{Message, RequestCode};
+use vsim::ExpReport;
+
+/// Runs a canned multi-host scenario — rendezvous, a forward chain, a
+/// multicast group send, and a mid-flight kill — and returns the kernel's
+/// event-stream hash at quiescence.
+pub fn scenario_event_hash() -> u64 {
+    let domain = SimDomain::new(Params1984::ethernet_3mbit());
+    let (a, b, c) = (domain.add_host(), domain.add_host(), domain.add_host());
+
+    // An echo server on host B, and a relay on host C that forwards
+    // everything to the echo server (a 2-hop forward chain).
+    let echo = domain.spawn(b, "echo", |ctx| {
+        while let Ok(rx) = ctx.receive() {
+            let msg = rx.msg;
+            ctx.reply(rx, msg, Bytes::new()).ok();
+        }
+    });
+    let relay = domain.spawn(c, "relay", move |ctx| {
+        while let Ok(rx) = ctx.receive() {
+            let msg = rx.msg;
+            ctx.forward(rx, echo, msg).ok();
+        }
+    });
+
+    // A multicast group of two members on different hosts.
+    let group = domain
+        .client(a, |ctx| ctx.create_group())
+        .expect("group client completes");
+    for (host, name) in [(b, "m1"), (c, "m2")] {
+        domain.spawn(host, name, move |ctx| {
+            ctx.join_group(group).ok();
+            while let Ok(rx) = ctx.receive() {
+                let msg = rx.msg;
+                ctx.reply(rx, msg, Bytes::new()).ok();
+            }
+        });
+    }
+    domain.run();
+
+    let victim = domain.spawn(b, "victim", |ctx| {
+        while let Ok(rx) = ctx.receive() {
+            let msg = rx.msg;
+            ctx.reply(rx, msg, Bytes::new()).ok();
+        }
+    });
+
+    domain.client(a, move |ctx| {
+        for _ in 0..4 {
+            ctx.send(echo, Message::request(RequestCode::Echo), Bytes::new(), 0)
+                .ok();
+        }
+        ctx.send(
+            relay,
+            Message::request(RequestCode::Echo),
+            Bytes::from_static(b"via relay"),
+            0,
+        )
+        .ok();
+        ctx.send_group(group, Message::request(RequestCode::Echo), Bytes::new())
+            .ok();
+    });
+    domain.kill(victim);
+    domain.run();
+    domain.event_hash()
+}
+
+/// Hashes everything observable about an experiment report.
+pub fn report_hash(report: &ExpReport) -> u64 {
+    let mut text = String::new();
+    text.push_str(report.id);
+    text.push('\n');
+    text.push_str(&report.title);
+    text.push('\n');
+    for row in &report.rows {
+        text.push_str(&row.label);
+        text.push('|');
+        if let Some(p) = row.paper {
+            text.push_str(&format!("{:016x}", p.to_bits()));
+        }
+        text.push('|');
+        text.push_str(&format!("{:016x}", row.measured.to_bits()));
+        text.push('|');
+        text.push_str(row.unit);
+        text.push('\n');
+    }
+    for note in &report.notes {
+        text.push_str(note);
+        text.push('\n');
+    }
+    fnv1a(text.into_bytes())
+}
+
+/// The experiments sampled by the gate (report id, runner).
+type ExpRunner = (&'static str, fn() -> ExpReport);
+
+/// Sample of experiments run twice by the gate: the basic IPC timing, the
+/// per-operation name-resolution costs, and the GetPid lookup paths.
+pub const SAMPLED_EXPERIMENTS: &[ExpRunner] = &[
+    ("EXP-1", vsim::exp1::run),
+    ("EXP-4", vsim::exp4::run),
+    ("EXP-8", vsim::exp8::run),
+];
+
+/// Runs the determinism gate: every workload twice, comparing hashes.
+pub fn run() -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    let (h1, h2) = (scenario_event_hash(), scenario_event_hash());
+    if let Some(v) = compare("kernel scenario event stream", h1, h2) {
+        out.push(v);
+    }
+
+    for (id, runner) in SAMPLED_EXPERIMENTS {
+        let (r1, r2) = (report_hash(&runner()), report_hash(&runner()));
+        if let Some(v) = compare(&format!("experiment {id}"), r1, r2) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Returns a violation if two same-seed runs hashed differently.
+pub fn compare(what: &str, first: u64, second: u64) -> Option<Violation> {
+    (first != second).then(|| Violation {
+        pass: "determinism",
+        file: String::new(),
+        line: 0,
+        message: format!(
+            "{what} diverged between two same-seed runs \
+             ({first:016x} vs {second:016x})"
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_hash_is_stable() {
+        assert_eq!(scenario_event_hash(), scenario_event_hash());
+    }
+
+    #[test]
+    fn compare_flags_divergence() {
+        assert!(compare("x", 1, 2).is_some());
+        assert!(compare("x", 7, 7).is_none());
+    }
+
+    #[test]
+    fn report_hash_sees_value_changes() {
+        let mut a = ExpReport::new("EXP-T", "t");
+        a.push(vsim::ExpRow::with_paper("row", 1.0, 2.0, "ms"));
+        let mut b = ExpReport::new("EXP-T", "t");
+        b.push(vsim::ExpRow::with_paper("row", 1.0, 2.5, "ms"));
+        assert_ne!(report_hash(&a), report_hash(&b));
+    }
+}

@@ -1,0 +1,78 @@
+//! `vcheck`: workspace-wide static analysis, protocol-invariant lints, and
+//! a determinism/race gate for the V-System kernels.
+//!
+//! Three passes, all run by `cargo run -p vcheck` (exits nonzero on any
+//! violation):
+//!
+//! 1. **Source lints** ([`lints`]) over `crates/*/src`:
+//!    * no wall-clock or ambient randomness (`std::time::Instant`,
+//!      `SystemTime`, `rand::*`) outside the allowlisted wall-clock crates —
+//!      everything else must take time from the kernel (`Ipc::now`) so the
+//!      virtual-time experiments stay deterministic;
+//!    * no `unwrap()`/`expect()`/`panic!()` in the server and resolution hot
+//!      paths — a server must answer with a reply code, not die;
+//!    * every op code declared in `vproto::codes` appears in a wire
+//!      round-trip test.
+//!
+//!    Individually justified exceptions carry an inline
+//!    `// vcheck: allow(<rule>)` marker.
+//!
+//! 2. **Determinism gate** ([`determinism`]): runs kernel workloads and a
+//!    sample of the `vsim` experiments twice and compares hashes of the
+//!    event streams; any divergence between same-seed runs fails the gate.
+//!
+//! 3. **Dynamic invariant checks** ([`dynamics`]): drives both kernels
+//!    through rendezvous, forward-chain, multicast, and crash scenarios
+//!    under the debug-build [`vkernel::invariants`] ledger, which panics on
+//!    any violation of the Send/Reply/Forward state machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod determinism;
+pub mod dynamics;
+pub mod lints;
+pub mod source;
+
+use std::fmt;
+
+/// One finding from any pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which pass produced the finding (`"lint"`, `"determinism"`,
+    /// `"invariant"`).
+    pub pass: &'static str,
+    /// Offending file, workspace-relative where possible; empty for
+    /// findings without a file.
+    pub file: String,
+    /// 1-based line number; 0 for findings without a line.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.file.is_empty() {
+            write!(f, "[{}] {}", self.pass, self.message)
+        } else if self.line == 0 {
+            write!(f, "[{}] {}: {}", self.pass, self.file, self.message)
+        } else {
+            write!(
+                f,
+                "[{}] {}:{}: {}",
+                self.pass, self.file, self.line, self.message
+            )
+        }
+    }
+}
+
+/// FNV-1a, the workspace's standard seed/stream hash.
+pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

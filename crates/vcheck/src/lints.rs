@@ -1,0 +1,274 @@
+//! Pass 1: protocol-aware source lints over `crates/*/src`.
+//!
+//! Three rules, each with an inline escape hatch — a line carrying
+//! `// vcheck: allow(<rule>)` is individually exempted, so every exception
+//! in the tree is visible and greppable:
+//!
+//! * `wall-clock` — no `std::time::Instant`, `SystemTime`, or ambient
+//!   randomness outside the allowlisted wall-clock modules. Kernel-level
+//!   code must take time from `Ipc::now`/`Ipc::charge` so the virtual-time
+//!   experiments stay deterministic and reproducible.
+//! * `panic-path` — no `unwrap()`/`expect()`/`panic!()` family calls in the
+//!   server and name-resolution hot paths; a server answers a bad request
+//!   with a reply code, it does not die (paper §2.2's availability
+//!   argument).
+//! * opcode coverage — every request/reply code declared in
+//!   `crates/vproto/src/codes.rs` must be named in a test under
+//!   `crates/vproto/tests/`, pinning the wire value of each.
+
+use crate::source::{strip_comments_and_strings, test_region_mask};
+use crate::Violation;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Tokens banned by the `wall-clock` rule.
+const WALL_CLOCK_TOKENS: &[&str] = &[
+    "std::time::Instant",
+    "Instant::now",
+    "SystemTime",
+    "rand::rng",
+    "rand::random",
+    "thread_rng",
+];
+
+/// Files/directories (workspace-relative prefixes) where wall-clock time is
+/// the point: the real-thread kernel and the wall-clock benchmarks.
+const WALL_CLOCK_ALLOWED: &[&str] = &["crates/vkernel/src/thread.rs", "crates/vbench/"];
+
+/// Tokens banned by the `panic-path` rule.
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Server/resolution hot paths covered by the `panic-path` rule
+/// (workspace-relative prefixes).
+const PANIC_PATHS: &[&str] = &[
+    "crates/vservers/src/",
+    "crates/vnaming/src/resolve.rs",
+    "crates/vio/src/client.rs",
+];
+
+fn has_allow_marker(raw_line: &str, rule: &str) -> bool {
+    raw_line
+        .find("vcheck: allow(")
+        .map(|pos| raw_line[pos + "vcheck: allow(".len()..].starts_with(rule))
+        .unwrap_or(false)
+}
+
+fn rel(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files_under(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scans one file's contents; `rel_path` is its workspace-relative path.
+/// Exposed for vcheck's own tests, which feed synthetic sources.
+pub fn scan_file(rel_path: &str, contents: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let stripped = strip_comments_and_strings(contents);
+    let mask = test_region_mask(&stripped);
+    let raw_lines: Vec<&str> = contents.lines().collect();
+
+    let wall_clock_applies = !WALL_CLOCK_ALLOWED.iter().any(|p| rel_path.starts_with(p));
+    let panic_applies = PANIC_PATHS.iter().any(|p| rel_path.starts_with(p));
+    if !wall_clock_applies && !panic_applies {
+        return out;
+    }
+
+    for (n, line) in stripped.lines().enumerate() {
+        if mask.get(n).copied().unwrap_or(false) {
+            continue;
+        }
+        let raw = raw_lines.get(n).copied().unwrap_or("");
+        if wall_clock_applies {
+            for token in WALL_CLOCK_TOKENS {
+                if line.contains(token) && !has_allow_marker(raw, "wall-clock") {
+                    out.push(Violation {
+                        pass: "lint",
+                        file: rel_path.to_string(),
+                        line: n + 1,
+                        message: format!(
+                            "wall-clock/randomness source `{token}` outside the allowlisted \
+                             modules (use Ipc::now/charge, or mark \
+                             `// vcheck: allow(wall-clock)` with a justification)"
+                        ),
+                    });
+                }
+            }
+        }
+        if panic_applies {
+            for token in PANIC_TOKENS {
+                if line.contains(token) && !has_allow_marker(raw, "panic-path") {
+                    out.push(Violation {
+                        pass: "lint",
+                        file: rel_path.to_string(),
+                        line: n + 1,
+                        message: format!(
+                            "`{token}` in a server/resolution hot path (answer with a reply \
+                             code instead, or mark `// vcheck: allow(panic-path)` with a \
+                             justification)",
+                            token = token.trim_start_matches('.')
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extracts every enum variant declared as `Name = 0x…,` from the stripped
+/// text of `codes.rs`.
+pub fn declared_codes(codes_source: &str) -> Vec<String> {
+    let stripped = strip_comments_and_strings(codes_source);
+    let mut out = Vec::new();
+    for line in stripped.lines() {
+        let t = line.trim();
+        if let Some((name, rest)) = t.split_once('=') {
+            let name = name.trim();
+            let rest = rest.trim();
+            if rest.starts_with("0x")
+                && rest.ends_with(',')
+                && !name.is_empty()
+                && name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && name.chars().all(|c| c.is_ascii_alphanumeric())
+            {
+                out.push(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Checks that every code declared in `crates/vproto/src/codes.rs` is named
+/// in at least one test under `crates/vproto/tests/`.
+pub fn check_opcode_coverage(root: &Path) -> Vec<Violation> {
+    let codes_path = root.join("crates/vproto/src/codes.rs");
+    let Ok(codes_src) = fs::read_to_string(&codes_path) else {
+        return vec![Violation {
+            pass: "lint",
+            file: "crates/vproto/src/codes.rs".into(),
+            line: 0,
+            message: "cannot read op-code declarations".into(),
+        }];
+    };
+    let mut tests = String::new();
+    let mut test_files = Vec::new();
+    rust_files_under(&root.join("crates/vproto/tests"), &mut test_files);
+    for f in &test_files {
+        if let Ok(s) = fs::read_to_string(f) {
+            tests.push_str(&s);
+        }
+    }
+    declared_codes(&codes_src)
+        .into_iter()
+        .filter(|code| !tests.contains(code.as_str()))
+        .map(|code| Violation {
+            pass: "lint",
+            file: "crates/vproto/src/codes.rs".into(),
+            line: 0,
+            message: format!(
+                "op code `{code}` is not exercised by any test in crates/vproto/tests \
+                 (add it to the wire round-trip test)"
+            ),
+        })
+        .collect()
+}
+
+/// Runs the whole lint pass over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Vec<Violation> {
+    let mut files = Vec::new();
+    let Ok(crates) = fs::read_dir(root.join("crates")) else {
+        return vec![Violation {
+            pass: "lint",
+            file: String::new(),
+            line: 0,
+            message: format!("workspace root {} has no crates/ directory", root.display()),
+        }];
+    };
+    let mut crate_dirs: Vec<_> = crates.flatten().map(|e| e.path()).collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        rust_files_under(&dir.join("src"), &mut files);
+    }
+
+    let mut out = Vec::new();
+    for path in files {
+        if let Ok(contents) = fs::read_to_string(&path) {
+            out.extend(scan_file(&rel(&path, root), &contents));
+        }
+    }
+    out.extend(check_opcode_coverage(root));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_flagged_outside_allowlist() {
+        let v = scan_file("crates/vnaming/src/lib.rs", "let t = Instant::now();\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("Instant::now"));
+    }
+
+    #[test]
+    fn wall_clock_fine_in_thread_kernel_and_bench() {
+        assert!(scan_file("crates/vkernel/src/thread.rs", "Instant::now();").is_empty());
+        assert!(scan_file("crates/vbench/src/lib.rs", "Instant::now();").is_empty());
+    }
+
+    #[test]
+    fn allow_marker_exempts_a_line() {
+        let src = "let t = Instant::now(); // vcheck: allow(wall-clock) calibration\n";
+        assert!(scan_file("crates/vnaming/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panics_flagged_only_in_hot_paths() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(scan_file("crates/vservers/src/file.rs", src).len(), 1);
+        assert!(scan_file("crates/vruntime/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(scan_file("crates/vservers/src/file.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trip_lints() {
+        let src = "// Instant::now() is banned\nlet s = \"panic!(no)\";\n";
+        assert!(scan_file("crates/vservers/src/file.rs", src).is_empty());
+    }
+
+    #[test]
+    fn declared_codes_extracts_variants() {
+        let src =
+            "pub enum X {\n    Echo = 0x0001,\n    QueryName = 0x8001,\n}\nconst Y: u16 = 3;\n";
+        assert_eq!(declared_codes(src), vec!["Echo", "QueryName"]);
+    }
+}

@@ -1,0 +1,34 @@
+//! The `vcheck` binary: runs all three passes over the workspace and exits
+//! nonzero if any violation is found. See the crate docs in `lib.rs`.
+
+use std::path::PathBuf;
+use vcheck::{determinism, dynamics, lints, Violation};
+
+fn workspace_root() -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    root.canonicalize().unwrap_or(root)
+}
+
+fn main() {
+    let root = workspace_root();
+    let mut violations: Vec<Violation> = Vec::new();
+
+    eprintln!("vcheck: pass 1/3 — source lints over crates/*/src");
+    violations.extend(lints::run(&root));
+
+    eprintln!("vcheck: pass 2/3 — determinism gate (same-seed double runs)");
+    violations.extend(determinism::run());
+
+    eprintln!("vcheck: pass 3/3 — dynamic rendezvous invariants (both kernels)");
+    violations.extend(dynamics::run());
+
+    if violations.is_empty() {
+        eprintln!("vcheck: all passes clean");
+        return;
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    eprintln!("vcheck: {} violation(s)", violations.len());
+    std::process::exit(1);
+}

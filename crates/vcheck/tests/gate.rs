@@ -1,0 +1,159 @@
+//! End-to-end checks that each vcheck pass (a) accepts the real workspace
+//! and (b) rejects a deliberately introduced violation.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use vcheck::{determinism, dynamics, lints};
+use vkernel::invariants::{InvariantLedger, TxnKind};
+
+fn workspace_root() -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    root.canonicalize().unwrap_or(root)
+}
+
+/// Builds a throwaway synthetic workspace under `target/` and returns its
+/// root. Each caller gets its own directory.
+fn synthetic_workspace(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = workspace_root()
+        .join("target/vcheck-test-scratch")
+        .join(name);
+    let _ = fs::remove_dir_all(&root);
+    for (rel, contents) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().unwrap_or(Path::new("."))).expect("mkdir");
+        fs::write(&path, contents).expect("write fixture");
+    }
+    root
+}
+
+// ---- pass 1: source lints ----
+
+#[test]
+fn real_workspace_passes_the_lint_pass() {
+    let violations = lints::run(&workspace_root());
+    assert!(
+        violations.is_empty(),
+        "lint pass should be clean on the workspace:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn lint_pass_rejects_a_planted_wall_clock_call() {
+    let root = synthetic_workspace(
+        "wall-clock",
+        &[
+            (
+                "crates/vnaming/src/lib.rs",
+                "pub fn t() -> std::time::Instant { Instant::now() }\n",
+            ),
+            ("crates/vproto/src/codes.rs", ""),
+        ],
+    );
+    let violations = lints::run(&root);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.file == "crates/vnaming/src/lib.rs" && v.message.contains("Instant::now")),
+        "planted Instant::now must be flagged: {violations:?}"
+    );
+}
+
+#[test]
+fn lint_pass_rejects_a_planted_hot_path_unwrap() {
+    let root = synthetic_workspace(
+        "panic-path",
+        &[
+            (
+                "crates/vservers/src/file.rs",
+                "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+            ),
+            ("crates/vproto/src/codes.rs", ""),
+        ],
+    );
+    let violations = lints::run(&root);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].file, "crates/vservers/src/file.rs");
+    assert_eq!(violations[0].line, 1);
+}
+
+#[test]
+fn lint_pass_rejects_an_untested_op_code() {
+    let root = synthetic_workspace(
+        "opcode",
+        &[
+            (
+                "crates/vproto/src/codes.rs",
+                "pub enum RequestCode {\n    Echo = 0x0001,\n    Vanish = 0x0002,\n}\n",
+            ),
+            (
+                "crates/vproto/tests/wire.rs",
+                "// covers Echo only\nfn t() { let _ = Echo; }\n",
+            ),
+        ],
+    );
+    let violations = lints::run(&root);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert!(violations[0].message.contains("`Vanish`"));
+}
+
+// ---- pass 2: determinism gate ----
+
+#[test]
+fn determinism_gate_passes_the_real_workloads() {
+    assert!(determinism::run().is_empty());
+}
+
+#[test]
+fn determinism_gate_rejects_divergent_hashes() {
+    let v = determinism::compare("planted divergence", 0xAAAA, 0xBBBB)
+        .expect("differing hashes must be flagged");
+    assert_eq!(v.pass, "determinism");
+    assert!(v.message.contains("planted divergence"));
+}
+
+// ---- pass 3: dynamic invariants ----
+
+#[test]
+fn invariant_pass_accepts_both_kernels() {
+    if cfg!(debug_assertions) {
+        assert!(dynamics::run().is_empty());
+    } else {
+        // A release build must not silently pretend the ledger ran.
+        assert!(dynamics::run()[0].message.contains("disarmed"));
+    }
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn invariant_pass_rejects_a_leaked_reply_path() {
+    // A Send that is never resolved is exactly the bug class the ledger
+    // exists for; the gate must surface it as a violation, not a crash.
+    let result = std::panic::catch_unwind(|| {
+        let ledger = InvariantLedger::new();
+        ledger.on_send_open(7, TxnKind::Single);
+        ledger.assert_all_resolved();
+    });
+    let payload = result.expect_err("leaked reply path must panic");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("never resolved"), "{msg}");
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn invariant_pass_rejects_a_double_reply() {
+    let result = std::panic::catch_unwind(|| {
+        let ledger = InvariantLedger::new();
+        ledger.on_send_open(9, TxnKind::Single);
+        ledger.on_reply(9);
+        ledger.on_reply(9);
+    });
+    assert!(result.is_err(), "double reply on one Send must panic");
+}

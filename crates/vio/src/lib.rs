@@ -23,8 +23,8 @@ mod error;
 mod instance;
 
 pub use client::{
-    open_at, query_instance, read_at, release, write_at, FileHandle, HandleReader,
-    HandleWriter, OpenOutcome,
+    open_at, query_instance, read_at, release, write_at, FileHandle, HandleReader, HandleWriter,
+    OpenOutcome,
 };
 pub use error::IoError;
 pub use instance::{serve_read, Instance, InstanceTable};

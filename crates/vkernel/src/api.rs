@@ -122,8 +122,13 @@ pub trait Ipc {
     /// * [`IpcError::ProcessDied`] — the receiver died mid-transaction.
     /// * [`IpcError::BufferOverflow`] — the replier exceeded `recv_cap`.
     /// * [`IpcError::Shutdown`] — the domain is shutting down.
-    fn send(&self, to: Pid, msg: Message, payload: Bytes, recv_cap: usize)
-        -> Result<Reply, IpcError>;
+    fn send(
+        &self,
+        to: Pid,
+        msg: Message,
+        payload: Bytes,
+        recv_cap: usize,
+    ) -> Result<Reply, IpcError>;
 
     /// Multicasts `msg` to every member of `group` and blocks until the
     /// *first* reply; later replies are discarded (paper §7's group send).
@@ -134,8 +139,7 @@ pub trait Ipc {
     ///
     /// * [`IpcError::NoSuchGroup`] — the group does not exist.
     /// * [`IpcError::NoReply`] — no member replied (all dead or dropped).
-    fn send_group(&self, group: GroupId, msg: Message, payload: Bytes)
-        -> Result<Reply, IpcError>;
+    fn send_group(&self, group: GroupId, msg: Message, payload: Bytes) -> Result<Reply, IpcError>;
 
     /// Blocks until a request arrives.
     ///

@@ -64,6 +64,16 @@ impl GroupTable {
         }
     }
 
+    /// Returns `true` if `pid` belongs to any group. Used by the
+    /// shutdown-time invariant checks (a dead process must not remain a
+    /// multicast destination).
+    pub fn member_anywhere(&self, pid: Pid) -> bool {
+        self.groups
+            .read()
+            .values()
+            .any(|members| members.contains(&pid))
+    }
+
     /// Returns the members of `group` in deterministic (pid) order, or
     /// `None` if the group does not exist.
     pub fn members(&self, group: GroupId) -> Option<Vec<Pid>> {

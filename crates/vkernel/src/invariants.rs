@@ -1,0 +1,308 @@
+//! Dynamic checks of the rendezvous state machine (debug builds only).
+//!
+//! The synchronous `Send`-`Receive`-`Reply` protocol (paper §3.1) has a
+//! small number of global invariants that the type system cannot express
+//! across threads:
+//!
+//! * every `Send` opens exactly one transaction, and that transaction is
+//!   resolved exactly once — by a `Reply`, by the final `Reply` at the end
+//!   of a `Forward` chain, or by a failure delivered to the sender;
+//! * no reply path survives past domain shutdown (a leaked path would leave
+//!   a sender blocked forever);
+//! * a single-destination transaction is answered at most once (group
+//!   transactions take the first of many answers by design, §2.3/§7);
+//! * pids are never reused while the domain lives — the paper's §4.1 relies
+//!   on a delay before pid reuse so that stale pids fail cleanly instead of
+//!   naming an unrelated new process;
+//! * a dead process holds no registry entries and no group memberships.
+//!
+//! Both kernels report their transitions to an [`InvariantLedger`]. In
+//! release builds every method is an empty inline function; with
+//! `debug_assertions` the ledger keeps real state and panics the moment an
+//! invariant breaks, naming the transaction or pid involved. The `vcheck`
+//! binary drives both kernels through IPC scenarios under this ledger as
+//! its dynamic-invariant pass.
+
+#[cfg(debug_assertions)]
+use parking_lot::Mutex;
+#[cfg(debug_assertions)]
+use std::collections::{HashMap, HashSet};
+use vproto::Pid;
+
+/// Whether a transaction expects one answer or the first of many.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnKind {
+    /// Ordinary `Send` to one process: exactly one answer.
+    Single,
+    /// Group `Send` (multicast): the first answer wins, later ones are
+    /// discarded by the kernel.
+    Group,
+}
+
+#[cfg(debug_assertions)]
+#[derive(Debug)]
+struct TxnRecord {
+    kind: TxnKind,
+    answered: bool,
+}
+
+#[cfg(debug_assertions)]
+#[derive(Debug, Default)]
+struct LedgerState {
+    /// Transactions opened by a `Send` and not yet resolved to the sender.
+    open: HashMap<u64, TxnRecord>,
+    /// Every pid ever allocated by this domain (reuse detection, §4.1).
+    pids: HashSet<u32>,
+}
+
+/// Debug-build ledger of rendezvous state; see the module docs.
+///
+/// All methods are no-ops unless the crate is compiled with
+/// `debug_assertions`.
+#[derive(Debug, Default)]
+pub struct InvariantLedger {
+    #[cfg(debug_assertions)]
+    state: Mutex<LedgerState>,
+}
+
+impl InvariantLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        InvariantLedger::default()
+    }
+
+    /// Records that a `Send` opened transaction `txn`.
+    ///
+    /// # Panics
+    ///
+    /// If `txn` is already open — transaction ids must be unique for the
+    /// life of the domain.
+    #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+    pub fn on_send_open(&self, txn: u64, kind: TxnKind) {
+        #[cfg(debug_assertions)]
+        {
+            let prev = self.state.lock().open.insert(
+                txn,
+                TxnRecord {
+                    kind,
+                    answered: false,
+                },
+            );
+            assert!(
+                prev.is_none(),
+                "invariant violated: transaction id {txn} reused while still open"
+            );
+        }
+    }
+
+    /// Records that a receiver answered transaction `txn` (`Reply`, or the
+    /// failure reply the kernel synthesizes).
+    ///
+    /// A missing transaction is tolerated: the sender may already have been
+    /// resolved (it died, or a racing group member answered first and the
+    /// sender moved on) — the kernel discards such replies, as the real V
+    /// kernel does.
+    ///
+    /// # Panics
+    ///
+    /// If a [`TxnKind::Single`] transaction is answered a second time while
+    /// the sender is still waiting.
+    #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+    pub fn on_reply(&self, txn: u64) {
+        #[cfg(debug_assertions)]
+        {
+            if let Some(rec) = self.state.lock().open.get_mut(&txn) {
+                assert!(
+                    rec.kind == TxnKind::Group || !rec.answered,
+                    "invariant violated: transaction {txn} answered twice \
+                     (one Send must be matched by exactly one Reply)"
+                );
+                rec.answered = true;
+            }
+        }
+    }
+
+    /// Records that a receiver forwarded transaction `txn` onward. The
+    /// transaction stays open; the eventual answer comes from the new
+    /// target.
+    ///
+    /// # Panics
+    ///
+    /// If the transaction was already answered — a `Forward` after the
+    /// `Reply` would duplicate the rendezvous.
+    #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+    pub fn on_forward(&self, txn: u64) {
+        #[cfg(debug_assertions)]
+        {
+            if let Some(rec) = self.state.lock().open.get_mut(&txn) {
+                assert!(
+                    !rec.answered,
+                    "invariant violated: transaction {txn} forwarded after being answered"
+                );
+            }
+        }
+    }
+
+    /// Records that the blocked sender of `txn` resumed (with a reply or an
+    /// error) and the transaction is closed.
+    ///
+    /// # Panics
+    ///
+    /// If `txn` is not open — a sender resuming twice, or resuming a
+    /// transaction it never opened.
+    #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+    pub fn on_sender_resolved(&self, txn: u64) {
+        #[cfg(debug_assertions)]
+        {
+            let removed = self.state.lock().open.remove(&txn);
+            assert!(
+                removed.is_some(),
+                "invariant violated: sender resolved transaction {txn} which was not open"
+            );
+        }
+    }
+
+    /// Records the allocation of `pid`.
+    ///
+    /// # Panics
+    ///
+    /// If `pid` was ever allocated before in this domain (paper §4.1: pids
+    /// must not be reused while stale references may exist).
+    #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+    pub fn on_pid_alloc(&self, pid: Pid) {
+        #[cfg(debug_assertions)]
+        {
+            let fresh = self.state.lock().pids.insert(pid.raw());
+            assert!(
+                fresh,
+                "invariant violated: pid {pid} reused (§4.1 pid-reuse delay)"
+            );
+        }
+    }
+
+    /// Records that `pid` exited or was killed, *after* the kernel removed
+    /// its registrations and group memberships.
+    ///
+    /// # Panics
+    ///
+    /// If the process is still registered as a service or still a member of
+    /// any group — the registry and group table would then hand out a dead
+    /// pid.
+    #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+    pub fn on_process_exit(&self, pid: Pid, still_registered: bool, still_in_group: bool) {
+        #[cfg(debug_assertions)]
+        {
+            assert!(
+                !still_registered,
+                "invariant violated: dead process {pid} still has registry entries"
+            );
+            assert!(
+                !still_in_group,
+                "invariant violated: dead process {pid} still belongs to a process group"
+            );
+        }
+    }
+
+    /// Number of transactions currently open (0 in release builds).
+    pub fn open_transactions(&self) -> usize {
+        #[cfg(debug_assertions)]
+        {
+            self.state.lock().open.len()
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            0
+        }
+    }
+
+    /// Asserts that every opened transaction has been resolved. Called at
+    /// domain shutdown, after all process threads have been joined.
+    ///
+    /// # Panics
+    ///
+    /// If any transaction is still open — some sender's reply path leaked.
+    pub fn assert_all_resolved(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let st = self.state.lock();
+            if !st.open.is_empty() {
+                let mut ids: Vec<u64> = st.open.keys().copied().collect();
+                ids.sort_unstable();
+                panic!(
+                    "invariant violated: {} transaction(s) never resolved at shutdown \
+                     (leaked reply path): {ids:?}",
+                    ids.len()
+                );
+            }
+        }
+    }
+}
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+    use vproto::LogicalHost;
+
+    #[test]
+    fn clean_transaction_lifecycle() {
+        let l = InvariantLedger::new();
+        l.on_send_open(1, TxnKind::Single);
+        l.on_reply(1);
+        l.on_sender_resolved(1);
+        l.assert_all_resolved();
+    }
+
+    #[test]
+    fn forward_chain_then_reply() {
+        let l = InvariantLedger::new();
+        l.on_send_open(7, TxnKind::Single);
+        l.on_forward(7);
+        l.on_forward(7);
+        l.on_reply(7);
+        l.on_sender_resolved(7);
+        l.assert_all_resolved();
+    }
+
+    #[test]
+    fn group_transaction_tolerates_many_answers() {
+        let l = InvariantLedger::new();
+        l.on_send_open(3, TxnKind::Group);
+        l.on_reply(3);
+        l.on_reply(3);
+        l.on_sender_resolved(3);
+        l.assert_all_resolved();
+    }
+
+    #[test]
+    #[should_panic(expected = "answered twice")]
+    fn double_reply_panics() {
+        let l = InvariantLedger::new();
+        l.on_send_open(2, TxnKind::Single);
+        l.on_reply(2);
+        l.on_reply(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "never resolved")]
+    fn unmatched_send_panics_at_shutdown() {
+        let l = InvariantLedger::new();
+        l.on_send_open(9, TxnKind::Single);
+        l.assert_all_resolved();
+    }
+
+    #[test]
+    #[should_panic(expected = "pid")]
+    fn pid_reuse_panics() {
+        let l = InvariantLedger::new();
+        let pid = Pid::new(LogicalHost::new(1), 1);
+        l.on_pid_alloc(pid);
+        l.on_pid_alloc(pid);
+    }
+
+    #[test]
+    #[should_panic(expected = "registry entries")]
+    fn exit_while_registered_panics() {
+        let l = InvariantLedger::new();
+        l.on_process_exit(Pid::new(LogicalHost::new(1), 2), true, false);
+    }
+}

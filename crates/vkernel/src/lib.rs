@@ -54,12 +54,14 @@
 mod api;
 mod error;
 mod group;
+pub mod invariants;
 mod registry;
 mod sim;
 mod thread;
 
 pub use api::{GroupId, Ipc, Received, Reply};
 pub use error::IpcError;
+pub use invariants::InvariantLedger;
 pub use registry::{LookupPath, Registry};
 pub use sim::SimDomain;
 pub use thread::Domain;

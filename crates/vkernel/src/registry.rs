@@ -59,6 +59,16 @@ impl Registry {
         }
     }
 
+    /// Returns `true` if `pid` holds any registration, for any service.
+    /// Used by the shutdown-time invariant checks (a dead process must not
+    /// remain registered).
+    pub fn registered_anywhere(&self, pid: Pid) -> bool {
+        self.entries
+            .read()
+            .values()
+            .any(|list| list.iter().any(|e| e.pid == pid))
+    }
+
     /// Looks up `service` on behalf of a client on `from`, within `scope`.
     ///
     /// The local kernel table is consulted first (entries on `from` whose
@@ -133,8 +143,12 @@ mod tests {
         // Paper §4.2: "simple local servers" vs "public servers".
         let r = Registry::new();
         r.register(ServiceId::CONTEXT_PREFIX, pid(A, 3), Scope::Local);
-        assert!(r.lookup(ServiceId::CONTEXT_PREFIX, Scope::Both, B).is_none());
-        assert!(r.lookup(ServiceId::CONTEXT_PREFIX, Scope::Both, A).is_some());
+        assert!(r
+            .lookup(ServiceId::CONTEXT_PREFIX, Scope::Both, B)
+            .is_none());
+        assert!(r
+            .lookup(ServiceId::CONTEXT_PREFIX, Scope::Both, A)
+            .is_some());
     }
 
     #[test]

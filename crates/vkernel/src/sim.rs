@@ -23,6 +23,7 @@
 use crate::api::{GroupId, Ipc, PathInner, Received, Reply};
 use crate::error::IpcError;
 use crate::group::GroupTable;
+use crate::invariants::{InvariantLedger, TxnKind};
 use crate::registry::{LookupPath, Registry};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
@@ -78,13 +79,31 @@ struct SimState {
     next_seq: u64,
     next_txn: u64,
     clock_max: u64,
+    /// FNV-1a hash over the ordered stream of scheduler events (deliveries
+    /// and sender resumptions). Two runs of the same workload must produce
+    /// the same hash — the determinism gate `vcheck` enforces this.
+    event_hash: u64,
     shutdown: bool,
 }
+
+/// FNV-1a offset basis / prime (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 impl SimState {
     fn seq(&mut self) -> u64 {
         self.next_seq += 1;
         self.next_seq
+    }
+
+    /// Folds one scheduler event into the domain's event-stream hash.
+    fn note_event(&mut self, tag: u64, a: u64, b: u64, c: u64) {
+        for word in [tag, a, b, c] {
+            for byte in word.to_le_bytes() {
+                self.event_hash ^= u64::from(byte);
+                self.event_hash = self.event_hash.wrapping_mul(FNV_PRIME);
+            }
+        }
     }
 
     /// Picks the ready process with the smallest resume time and makes it
@@ -125,6 +144,7 @@ impl SimState {
             }
             _ => return,
         };
+        self.note_event(1, at, u64::from(sender.raw()), txn_id);
         if let Some(p) = self.procs.get_mut(&sender) {
             if p.status == Status::BlockedSend {
                 p.resume = Some(result);
@@ -150,6 +170,12 @@ impl SimState {
             }
             return false;
         }
+        self.note_event(
+            2,
+            arrival,
+            u64::from(env.from.raw()) << 32 | u64::from(to.raw()),
+            env.txn_id,
+        );
         let seq = self.seq();
         let seq2 = self.seq();
         let p = self.procs.get_mut(&to).expect("checked alive");
@@ -173,6 +199,7 @@ struct SimCore {
     cv: Condvar,
     registry: Registry,
     groups: GroupTable,
+    ledger: InvariantLedger,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -190,6 +217,7 @@ impl SimCore {
                 let _ = h.join();
             }
         }
+        self.ledger.assert_all_resolved();
     }
 }
 
@@ -294,11 +322,13 @@ impl SimDomain {
                 next_seq: 0,
                 next_txn: 0,
                 clock_max: 0,
+                event_hash: FNV_OFFSET,
                 shutdown: false,
             }),
             cv: Condvar::new(),
             registry: Registry::new(),
             groups: GroupTable::new(),
+            ledger: InvariantLedger::new(),
             threads: Mutex::new(Vec::new()),
         });
         let owner = Arc::new(OwnerToken {
@@ -329,6 +359,7 @@ impl SimDomain {
         let counter = st.next_local.entry(host).or_insert(0);
         *counter += 1;
         let pid = Pid::new(host, *counter);
+        self.core.ledger.on_pid_alloc(pid);
         st.hosts.insert(host);
         // A process spawned by a running process starts at the spawner's
         // time; one spawned from outside the simulation starts "now" (the
@@ -419,6 +450,11 @@ impl SimDomain {
     pub fn kill(&self, pid: Pid) {
         self.core.registry.unregister_pid(pid);
         self.core.groups.remove_everywhere(pid);
+        self.core.ledger.on_process_exit(
+            pid,
+            self.core.registry.registered_anywhere(pid),
+            self.core.groups.member_anywhere(pid),
+        );
         let mut st = self.core.state.lock();
         if let Some(proc_state) = st.procs.remove(&pid) {
             let at = st.clock_max;
@@ -445,6 +481,17 @@ impl SimDomain {
         SimTime::from_nanos(self.core.state.lock().clock_max)
     }
 
+    /// Returns the FNV-1a hash of the ordered scheduler event stream so
+    /// far (every message delivery and sender resumption, with its virtual
+    /// time and transaction id).
+    ///
+    /// Two runs of the same deterministic workload must yield identical
+    /// hashes; `vcheck`'s determinism gate runs workloads twice and fails
+    /// on divergence.
+    pub fn event_hash(&self) -> u64 {
+        self.core.state.lock().event_hash
+    }
+
     /// Returns the domain's service registry (for inspection in tests).
     pub fn registry(&self) -> &Registry {
         &self.core.registry
@@ -467,6 +514,11 @@ impl SimCtx {
     fn exit(&self) {
         self.core.registry.unregister_pid(self.pid);
         self.core.groups.remove_everywhere(self.pid);
+        self.core.ledger.on_process_exit(
+            self.pid,
+            self.core.registry.registered_anywhere(self.pid),
+            self.core.groups.member_anywhere(self.pid),
+        );
         let mut st = self.core.state.lock();
         if let Some(proc_state) = st.procs.remove(&self.pid) {
             let at = proc_state.local_time;
@@ -492,7 +544,10 @@ impl SimCtx {
     }
 
     /// Blocks the calling thread until this process is scheduled again.
-    fn wait_scheduled(&self, st: &mut parking_lot::MutexGuard<'_, SimState>) -> Result<(), IpcError> {
+    fn wait_scheduled(
+        &self,
+        st: &mut parking_lot::MutexGuard<'_, SimState>,
+    ) -> Result<(), IpcError> {
         while st.current != Some(self.pid) && !st.shutdown {
             self.core.cv.wait(st);
         }
@@ -561,6 +616,7 @@ impl Ipc for SimCtx {
 
         st.next_txn += 1;
         let txn_id = st.next_txn;
+        self.core.ledger.on_send_open(txn_id, TxnKind::Single);
         st.txns.insert(
             txn_id,
             TxnState {
@@ -582,14 +638,16 @@ impl Ipc for SimCtx {
             p.status = Status::BlockedSend;
         }
         st.schedule_next(&self.core.cv);
-        self.wait_scheduled(&mut st)?;
-        let result = st
-            .procs
+        let waited = self.wait_scheduled(&mut st);
+        // The transaction is over for the sender either way — normally, or
+        // because the whole domain is shutting down.
+        self.core.ledger.on_sender_resolved(txn_id);
+        st.txns.remove(&txn_id);
+        waited?;
+        st.procs
             .get_mut(&self.pid)
             .and_then(|p| p.resume.take())
-            .unwrap_or(Err(IpcError::ProcessDied));
-        st.txns.remove(&txn_id);
-        result
+            .unwrap_or(Err(IpcError::ProcessDied))
     }
 
     fn send_group(&self, group: GroupId, msg: Message, payload: Bytes) -> Result<Reply, IpcError> {
@@ -612,6 +670,7 @@ impl Ipc for SimCtx {
 
         st.next_txn += 1;
         let txn_id = st.next_txn;
+        self.core.ledger.on_send_open(txn_id, TxnKind::Group);
         st.txns.insert(
             txn_id,
             TxnState {
@@ -636,19 +695,22 @@ impl Ipc for SimCtx {
         }
         if delivered == 0 {
             st.txns.remove(&txn_id);
+            self.core.ledger.on_sender_resolved(txn_id);
             return Err(IpcError::NoReply);
         }
         if let Some(p) = st.procs.get_mut(&self.pid) {
             p.status = Status::BlockedSend;
         }
         st.schedule_next(&self.core.cv);
-        self.wait_scheduled(&mut st)?;
+        let waited = self.wait_scheduled(&mut st);
+        self.core.ledger.on_sender_resolved(txn_id);
         let result = st
             .procs
             .get_mut(&self.pid)
             .and_then(|p| p.resume.take())
             .unwrap_or(Err(IpcError::NoReply));
         st.txns.remove(&txn_id);
+        waited?;
         result.map_err(|e| {
             if e == IpcError::ProcessDied {
                 IpcError::NoReply
@@ -714,6 +776,7 @@ impl Ipc for SimCtx {
         let mut st = self.core.state.lock();
         path.consumed = true;
         let txn_id = path.txn_id;
+        self.core.ledger.on_reply(txn_id);
         if let Some(p) = st.procs.get_mut(&self.pid) {
             p.holding.retain(|&t| t != txn_id);
         }
@@ -763,6 +826,7 @@ impl Ipc for SimCtx {
         let mut st = self.core.state.lock();
         path.consumed = true;
         let txn_id = path.txn_id;
+        self.core.ledger.on_forward(txn_id);
         if let Some(p) = st.procs.get_mut(&self.pid) {
             p.holding.retain(|&t| t != txn_id);
         }

@@ -9,11 +9,13 @@
 use crate::api::{GroupId, Ipc, PathInner, Received, Reply};
 use crate::error::IpcError;
 use crate::group::GroupTable;
+use crate::invariants::{InvariantLedger, TxnKind};
 use crate::registry::Registry;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 use vnet::NetModel;
@@ -31,6 +33,8 @@ struct Envelope {
     reply_tx: Sender<Result<Reply, IpcError>>,
     cap: usize,
     prebuf: Vec<u8>,
+    /// Transaction id, unique for the domain's lifetime (invariant checks).
+    txn: u64,
 }
 
 #[derive(Clone)]
@@ -49,6 +53,10 @@ struct DomainCore {
     groups: GroupTable,
     alloc: Mutex<Alloc>,
     threads: Mutex<Vec<JoinEntry>>,
+    next_txn: AtomicU64,
+    /// Debug-build rendezvous invariant checks; shared (strongly) with every
+    /// process context so resolutions recorded during teardown still land.
+    ledger: Arc<InvariantLedger>,
     start: Instant,
     /// When set, IPC primitives sleep the calibrated 1984 costs in real
     /// time — the thread kernel becomes a wall-clock emulator of the
@@ -79,6 +87,7 @@ impl Drop for DomainCore {
     fn drop(&mut self) {
         self.poison_all();
         self.join_all();
+        self.ledger.assert_all_resolved();
     }
 }
 
@@ -92,6 +101,7 @@ pub(crate) struct ThreadPath {
     reply_tx: Option<Sender<Result<Reply, IpcError>>>,
     cap: usize,
     buf: Vec<u8>,
+    txn: u64,
 }
 
 /// A V domain running on real OS threads.
@@ -136,6 +146,8 @@ impl Domain {
                 groups: GroupTable::new(),
                 alloc: Mutex::new(Alloc::default()),
                 threads: Mutex::new(Vec::new()),
+                next_txn: AtomicU64::new(0),
+                ledger: Arc::new(InvariantLedger::new()),
                 start: Instant::now(),
                 emulate,
             }),
@@ -153,7 +165,9 @@ impl Domain {
         let mut alloc = self.core.alloc.lock();
         let counter = alloc.next_local.entry(host).or_insert(0);
         *counter += 1;
-        Pid::new(host, *counter)
+        let pid = Pid::new(host, *counter);
+        self.core.ledger.on_pid_alloc(pid);
+        pid
     }
 
     /// Spawns a V process on `host` running `f`. The process's kernel
@@ -166,6 +180,7 @@ impl Domain {
         let (tx, rx) = unbounded();
         self.core.processes.write().insert(pid, ProcEntry { tx });
         let weak = Arc::downgrade(&self.core);
+        let ledger = Arc::clone(&self.core.ledger);
         let thread_name = format!("v-{name}-{pid}");
         let handle = std::thread::Builder::new()
             .name(thread_name)
@@ -175,12 +190,18 @@ impl Domain {
                     pid,
                     host,
                     mailbox: rx,
+                    ledger,
                 };
                 f(&ctx);
                 if let Some(core) = weak.upgrade() {
                     core.processes.write().remove(&pid);
                     core.registry.unregister_pid(pid);
                     core.groups.remove_everywhere(pid);
+                    core.ledger.on_process_exit(
+                        pid,
+                        core.registry.registered_anywhere(pid),
+                        core.groups.member_anywhere(pid),
+                    );
                 }
             })
             .expect("spawn V process thread");
@@ -213,6 +234,11 @@ impl Domain {
         let entry = self.core.processes.write().remove(&pid);
         self.core.registry.unregister_pid(pid);
         self.core.groups.remove_everywhere(pid);
+        self.core.ledger.on_process_exit(
+            pid,
+            self.core.registry.registered_anywhere(pid),
+            self.core.groups.member_anywhere(pid),
+        );
         if let Some(entry) = entry {
             let _ = entry.tx.send(MailItem::Poison);
         }
@@ -228,6 +254,7 @@ impl Domain {
     pub fn shutdown(&self) {
         self.core.poison_all();
         self.core.join_all();
+        self.core.ledger.assert_all_resolved();
     }
 }
 
@@ -243,6 +270,9 @@ struct ProcessCtx {
     pid: Pid,
     host: LogicalHost,
     mailbox: Receiver<MailItem>,
+    /// Strong handle so invariant resolutions recorded while the domain is
+    /// tearing down (core no longer upgradable) are not lost.
+    ledger: Arc<InvariantLedger>,
 }
 
 impl ProcessCtx {
@@ -277,6 +307,8 @@ impl Ipc for ProcessCtx {
     ) -> Result<Reply, IpcError> {
         let core = self.core()?;
         let entry = Self::entry_for(&core, to)?;
+        let txn = core.next_txn.fetch_add(1, Ordering::Relaxed) + 1;
+        self.ledger.on_send_open(txn, TxnKind::Single);
         let (reply_tx, reply_rx) = bounded(1);
         let env = Envelope {
             from: self.pid,
@@ -285,20 +317,23 @@ impl Ipc for ProcessCtx {
             reply_tx,
             cap: recv_cap,
             prebuf: Vec::new(),
+            txn,
         };
         if let Some(net) = &core.emulate {
             let local = to.is_on(self.host);
             std::thread::sleep(net.hop_cost(local, env.payload.len()));
         }
-        entry
-            .tx
-            .send(MailItem::Env(env))
-            .map_err(|_| IpcError::NoProcess)?;
+        if entry.tx.send(MailItem::Env(env)).is_err() {
+            self.ledger.on_sender_resolved(txn);
+            return Err(IpcError::NoProcess);
+        }
         drop(core);
-        match reply_rx.recv() {
+        let result = match reply_rx.recv() {
             Ok(result) => result,
             Err(_) => Err(IpcError::ProcessDied),
-        }
+        };
+        self.ledger.on_sender_resolved(txn);
+        result
     }
 
     fn send_group(&self, group: GroupId, msg: Message, payload: Bytes) -> Result<Reply, IpcError> {
@@ -309,6 +344,8 @@ impl Ipc for ProcessCtx {
             return Err(IpcError::NoReply);
         }
         let (reply_tx, reply_rx) = bounded(1);
+        let txn = core.next_txn.fetch_add(1, Ordering::Relaxed) + 1;
+        self.ledger.on_send_open(txn, TxnKind::Group);
         let mut delivered = 0usize;
         for member in members {
             if let Ok(entry) = Self::entry_for(&core, member) {
@@ -319,6 +356,7 @@ impl Ipc for ProcessCtx {
                     reply_tx: reply_tx.clone(),
                     cap: 0,
                     prebuf: Vec::new(),
+                    txn,
                 };
                 if entry.tx.send(MailItem::Env(env)).is_ok() {
                     delivered += 1;
@@ -327,13 +365,16 @@ impl Ipc for ProcessCtx {
         }
         drop(reply_tx);
         drop(core);
-        if delivered == 0 {
-            return Err(IpcError::NoReply);
-        }
-        match reply_rx.recv() {
-            Ok(result) => result,
-            Err(_) => Err(IpcError::NoReply),
-        }
+        let result = if delivered == 0 {
+            Err(IpcError::NoReply)
+        } else {
+            match reply_rx.recv() {
+                Ok(result) => result,
+                Err(_) => Err(IpcError::NoReply),
+            }
+        };
+        self.ledger.on_sender_resolved(txn);
+        result
     }
 
     fn receive(&self) -> Result<Received, IpcError> {
@@ -346,6 +387,7 @@ impl Ipc for ProcessCtx {
                     reply_tx: Some(env.reply_tx),
                     cap: env.cap,
                     buf: env.prebuf,
+                    txn: env.txn,
                 }),
             }),
             Ok(MailItem::Poison) => Err(IpcError::Killed),
@@ -384,6 +426,7 @@ impl Ipc for ProcessCtx {
             })
         };
         let failed = result.is_err();
+        self.ledger.on_reply(path.txn);
         // A full or disconnected channel means a group transaction already
         // answered, or the sender died — the reply is simply discarded, as
         // in the real kernel.
@@ -423,6 +466,7 @@ impl Ipc for ProcessCtx {
                 return Err(e);
             }
         };
+        self.ledger.on_forward(path.txn);
         let env = Envelope {
             from: rx.from,
             msg,
@@ -430,6 +474,7 @@ impl Ipc for ProcessCtx {
             reply_tx,
             cap: path.cap,
             prebuf: std::mem::take(&mut path.buf),
+            txn: path.txn,
         };
         entry
             .tx

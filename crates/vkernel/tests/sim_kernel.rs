@@ -151,8 +151,13 @@ fn forward_charges_an_extra_hop() {
     let direct = domain
         .client(host, move |ctx| {
             let t0 = ctx.now();
-            ctx.send(backend, Message::request(RequestCode::Echo), Bytes::new(), 0)
-                .unwrap();
+            ctx.send(
+                backend,
+                Message::request(RequestCode::Echo),
+                Bytes::new(),
+                0,
+            )
+            .unwrap();
             ctx.now() - t0
         })
         .unwrap();

@@ -43,13 +43,12 @@ fn sender_identity_is_visible_to_receiver() {
             ctx.reply(rx, m, Bytes::new()).ok();
         }
     });
-    let (me, reported) = domain
-        .client(host, move |ctx| {
-            let r = ctx
-                .send(server, Message::request(RequestCode::Echo), Bytes::new(), 0)
-                .unwrap();
-            (ctx.my_pid(), r.msg.pid_at(5))
-        });
+    let (me, reported) = domain.client(host, move |ctx| {
+        let r = ctx
+            .send(server, Message::request(RequestCode::Echo), Bytes::new(), 0)
+            .unwrap();
+        (ctx.my_pid(), r.msg.pid_at(5))
+    });
     assert_eq!(me, reported);
 }
 
@@ -121,12 +120,18 @@ fn move_to_accumulates_before_reply() {
         while let Ok(mut rx) = ctx.receive() {
             ctx.move_to(&mut rx, b"part1-").unwrap();
             ctx.move_to(&mut rx, b"part2-").unwrap();
-            ctx.reply(rx, Message::ok(), Bytes::from_static(b"tail")).ok();
+            ctx.reply(rx, Message::ok(), Bytes::from_static(b"tail"))
+                .ok();
         }
     });
     let reply = domain
         .client(host, move |ctx| {
-            ctx.send(server, Message::request(RequestCode::Echo), Bytes::new(), 64)
+            ctx.send(
+                server,
+                Message::request(RequestCode::Echo),
+                Bytes::new(),
+                64,
+            )
         })
         .unwrap();
     assert_eq!(&reply.data[..], b"part1-part2-tail");
@@ -144,7 +149,12 @@ fn buffer_overflow_reported_to_both_sides() {
         }
     });
     let client_result = domain.client(host, move |ctx| {
-        ctx.send(server, Message::request(RequestCode::Echo), Bytes::new(), 10)
+        ctx.send(
+            server,
+            Message::request(RequestCode::Echo),
+            Bytes::new(),
+            10,
+        )
     });
     assert_eq!(client_result.unwrap_err(), IpcError::BufferOverflow);
     assert_eq!(err_rx.recv().unwrap(), Err(IpcError::BufferOverflow));
@@ -161,7 +171,8 @@ fn move_to_rejects_overflow_but_keeps_transaction_open() {
                 Err(IpcError::BufferOverflow)
             );
             // Transaction still completes normally afterwards.
-            ctx.reply(rx, Message::ok(), Bytes::from_static(b"ok")).unwrap();
+            ctx.reply(rx, Message::ok(), Bytes::from_static(b"ok"))
+                .unwrap();
         }
     });
     let reply = domain

@@ -129,8 +129,12 @@ mod tests {
     #[test]
     fn build_then_parse_roundtrip() {
         let name = CsName::from("a/b/c");
-        let (msg, payload) =
-            build_csname_request(RequestCode::CreateInstance, ContextId::new(7), &name, b"XYZ");
+        let (msg, payload) = build_csname_request(
+            RequestCode::CreateInstance,
+            ContextId::new(7),
+            &name,
+            b"XYZ",
+        );
         let req = CsRequest::parse(&msg, &payload).unwrap();
         assert_eq!(req.context, ContextId::new(7));
         assert_eq!(req.index, 0);

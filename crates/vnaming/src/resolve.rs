@@ -209,10 +209,8 @@ mod tests {
     /// ctx 2: {}
     struct Space;
 
-    const REMOTE: ContextPair = ContextPair::new(
-        Pid::new(LogicalHost::new(9), 9),
-        ContextId::new(0x900),
-    );
+    const REMOTE: ContextPair =
+        ContextPair::new(Pid::new(LogicalHost::new(9), 9), ContextId::new(0x900));
 
     impl ComponentSpace for Space {
         type Object = &'static str;

@@ -37,6 +37,32 @@ fn arb_component() -> impl Strategy<Value = Vec<u8>> {
     )
 }
 
+/// Regression: first shrunk case recorded in `props.proptest-regressions`
+/// (`name = [], start = 1, ctx = 1, n_ctx = 1`) — resolving an empty name
+/// with the start index past the end and an invalid context must report a
+/// failure index within the name.
+#[test]
+fn regression_empty_name_start_past_end_invalid_context() {
+    let space = TreeSpace {
+        contexts: vec![HashMap::new()],
+    };
+    match resolve(&space, &[], 1, ContextId::new(1), b'/') {
+        Outcome::Fail(f) => assert!(f.index == 0, "index {} out of empty name", f.index),
+        Outcome::Done { final_index, .. } => assert_eq!(final_index, 0),
+        Outcome::Forward { index, .. } => assert_eq!(index, 0),
+    }
+}
+
+/// Regression: second shrunk case recorded in `props.proptest-regressions`
+/// (`prefix = [], suffix = [42, 0]`) — a bare `*` pattern must match any
+/// name, including names containing NUL bytes.
+#[test]
+fn regression_bare_star_matches_name_with_nul() {
+    assert!(match_pattern(&[42, 0], b"*"));
+    assert!(match_pattern(&[0], b"*"));
+    assert!(match_pattern(&[], b"*"));
+}
+
 proptest! {
     /// Composing a path of known context components and a leaf always
     /// resolves to that leaf, regardless of the component bytes.

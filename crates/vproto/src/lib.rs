@@ -47,8 +47,8 @@ mod wire;
 pub use codes::{is_csname_request_raw, ReplyCode, RequestCode, CSNAME_BIT};
 pub use csname::{CsName, PrefixParse, PREFIX_CLOSE, PREFIX_OPEN};
 pub use descriptor::{
-    ContextPair, DecodeError, DescriptorExt, DescriptorTag, InstanceId, ObjectDescriptor,
-    ObjectId, Permissions,
+    ContextPair, DecodeError, DescriptorExt, DescriptorTag, InstanceId, ObjectDescriptor, ObjectId,
+    Permissions,
 };
 pub use message::{fields, ContextId, Message, OpenMode, MSG_WORDS};
 pub use pid::{LogicalHost, Pid};

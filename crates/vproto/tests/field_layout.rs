@@ -94,7 +94,10 @@ fn query_name_reply_layout() {
         &[
             ("context_id", 1..3),
             ("server_pid", W_PID_LO..W_PID_LO + 2),
-            ("object_id (central model)", W_OBJECT_ID_LO..W_OBJECT_ID_LO + 2),
+            (
+                "object_id (central model)",
+                W_OBJECT_ID_LO..W_OBJECT_ID_LO + 2,
+            ),
         ],
     );
 }

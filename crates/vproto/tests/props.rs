@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use vproto::{
-    ContextId, ContextPair, CsName, DescriptorExt, DescriptorTag, Message,
-    ObjectDescriptor, ObjectId, Permissions, Pid, WireWriter,
+    ContextId, ContextPair, CsName, DescriptorExt, DescriptorTag, Message, ObjectDescriptor,
+    ObjectId, Permissions, Pid, WireWriter,
 };
 
 fn arb_csname() -> impl Strategy<Value = CsName> {
@@ -70,8 +70,8 @@ fn arb_descriptor() -> impl Strategy<Value = ObjectDescriptor> {
         any::<u64>(),
         any::<u16>(),
     )
-        .prop_map(|((tag_raw, ext), name, owner, oid, size, modified, perms)| {
-            ObjectDescriptor {
+        .prop_map(
+            |((tag_raw, ext), name, owner, oid, size, modified, perms)| ObjectDescriptor {
                 tag_raw,
                 name,
                 owner,
@@ -80,8 +80,8 @@ fn arb_descriptor() -> impl Strategy<Value = ObjectDescriptor> {
                 modified,
                 permissions: Permissions(perms),
                 ext,
-            }
-        })
+            },
+        )
 }
 
 proptest! {

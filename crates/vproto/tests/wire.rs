@@ -1,0 +1,163 @@
+//! Wire round-trip coverage for every declared op code.
+//!
+//! Each request and reply code is named here *explicitly*, with its wire
+//! value, so this test pins the on-the-wire protocol: renumbering or
+//! removing a code breaks this file, and adding one without extending it
+//! is caught by `vcheck`'s opcode-coverage lint.
+
+use proptest::prelude::*;
+use vproto::{
+    is_csname_request_raw, ContextId, Message, ReplyCode, RequestCode, WireReader, WireWriter,
+};
+
+/// Every request code, its pinned wire value, and whether its message
+/// carries the standard CSname fields (paper §5.3).
+const REQUESTS: &[(RequestCode, u16, bool)] = &[
+    (RequestCode::Echo, 0x0001, false),
+    (RequestCode::ReadInstance, 0x0002, false),
+    (RequestCode::WriteInstance, 0x0003, false),
+    (RequestCode::ReleaseInstance, 0x0004, false),
+    (RequestCode::QueryInstance, 0x0005, false),
+    (RequestCode::GetContextName, 0x0006, false),
+    (RequestCode::GetInstanceName, 0x0007, false),
+    (RequestCode::GetTime, 0x0008, false),
+    (RequestCode::SetInstanceOwner, 0x0009, false),
+    (RequestCode::OpenById, 0x000A, false),
+    (RequestCode::RemoveById, 0x000B, false),
+    (RequestCode::QueryName, 0x8001, true),
+    (RequestCode::QueryObject, 0x8002, true),
+    (RequestCode::ModifyObject, 0x8003, true),
+    (RequestCode::CreateInstance, 0x8004, true),
+    (RequestCode::RemoveObject, 0x8005, true),
+    (RequestCode::RenameObject, 0x8006, true),
+    (RequestCode::AddContextName, 0x8007, true),
+    (RequestCode::DeleteContextName, 0x8008, true),
+    (RequestCode::CreateObject, 0x8009, true),
+];
+
+/// Every reply code with its pinned wire value.
+const REPLIES: &[(ReplyCode, u16)] = &[
+    (ReplyCode::Ok, 0x0000),
+    (ReplyCode::NotFound, 0x0001),
+    (ReplyCode::IllegalName, 0x0002),
+    (ReplyCode::NotAContext, 0x0003),
+    (ReplyCode::NoPermission, 0x0004),
+    (ReplyCode::BadArgs, 0x0005),
+    (ReplyCode::UnknownRequest, 0x0006),
+    (ReplyCode::EndOfFile, 0x0007),
+    (ReplyCode::NoServerResources, 0x0008),
+    (ReplyCode::Retry, 0x0009),
+    (ReplyCode::InvalidContext, 0x000A),
+    (ReplyCode::NameInUse, 0x000B),
+    (ReplyCode::NotEmpty, 0x000C),
+    (ReplyCode::InvalidInstance, 0x000D),
+    (ReplyCode::BadMode, 0x000E),
+    (ReplyCode::NoServer, 0x000F),
+    (ReplyCode::Timeout, 0x0010),
+    (ReplyCode::ForwardLoop, 0x0011),
+    (ReplyCode::Unknown, 0xFFFF),
+];
+
+#[test]
+fn tables_cover_every_declared_code() {
+    assert_eq!(REQUESTS.len(), RequestCode::ALL.len());
+    assert_eq!(REPLIES.len(), ReplyCode::ALL.len());
+    for (i, &(code, ..)) in REQUESTS.iter().enumerate() {
+        assert_eq!(code, RequestCode::ALL[i], "declaration order");
+    }
+    for (i, &(code, _)) in REPLIES.iter().enumerate() {
+        assert_eq!(code, ReplyCode::ALL[i], "declaration order");
+    }
+}
+
+#[test]
+fn every_request_code_round_trips_through_message_bytes() {
+    for &(code, wire, csname) in REQUESTS {
+        assert_eq!(code.as_u16(), wire, "{code} wire value");
+        assert_eq!(code.is_csname_request(), csname, "{code} CSname bit");
+        assert_eq!(is_csname_request_raw(wire), csname, "{code} raw bit");
+
+        let msg = Message::request(code);
+        let back = Message::from_bytes(&msg.to_bytes());
+        assert_eq!(back.code_raw(), wire, "{code} survives the wire");
+        assert_eq!(back.request_code(), Some(code), "{code} decodes");
+        assert_eq!(back.is_csname_request(), csname, "{code} structural tag");
+    }
+}
+
+#[test]
+fn every_reply_code_round_trips_through_message_bytes() {
+    for &(code, wire) in REPLIES {
+        assert_eq!(code.as_u16(), wire, "{code} wire value");
+
+        let msg = Message::reply(code);
+        let back = Message::from_bytes(&msg.to_bytes());
+        assert_eq!(back.code_raw(), wire, "{code} survives the wire");
+        assert_eq!(back.reply_code(), code, "{code} decodes");
+    }
+}
+
+proptest! {
+    /// Every declared request code, with arbitrary field words, survives
+    /// the wire with its code and structural CSname-ness intact.
+    #[test]
+    fn any_request_with_any_fields_round_trips(
+        idx in 0..RequestCode::ALL.len(),
+        words in proptest::collection::vec(any::<u16>(), 15),
+    ) {
+        let code = RequestCode::ALL[idx];
+        let mut msg = Message::request(code);
+        for (i, w) in words.iter().enumerate() {
+            msg.set_word(i + 1, *w);
+        }
+        let back = Message::from_bytes(&msg.to_bytes());
+        prop_assert_eq!(back.request_code(), Some(code));
+        prop_assert_eq!(back.is_csname_request(), code.is_csname_request());
+        for (i, w) in words.iter().enumerate() {
+            prop_assert_eq!(back.word(i + 1), *w);
+        }
+    }
+
+    /// A CSname request's message fields and payload (the name bytes,
+    /// carried via MoveFrom) round-trip through the wire codec together.
+    #[test]
+    fn csname_request_with_payload_round_trips(
+        idx in 0..RequestCode::ALL.len(),
+        ctx in any::<u32>(),
+        name in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let code = RequestCode::ALL[idx];
+        if !code.is_csname_request() {
+            return Ok(());
+        }
+        let mut msg = Message::request(code);
+        msg.set_context_id(ContextId::new(ctx))
+            .set_name_index(0)
+            .set_name_length(name.len() as u16);
+        let mut w = WireWriter::new();
+        w.raw(&msg.to_bytes()).bytes(&name);
+        let buf = w.into_vec();
+
+        let mut r = WireReader::new(&buf);
+        let head: [u8; 32] = r.raw(32).unwrap().try_into().unwrap();
+        let back = Message::from_bytes(&head);
+        prop_assert_eq!(back.request_code(), Some(code));
+        prop_assert!(back.is_csname_request());
+        prop_assert_eq!(back.context_id(), ContextId::new(ctx));
+        prop_assert_eq!(back.name_length() as usize, name.len());
+        prop_assert_eq!(r.bytes().unwrap(), &name[..]);
+        prop_assert!(r.is_exhausted());
+    }
+}
+
+#[test]
+fn unknown_codes_keep_their_structural_meaning() {
+    // A CSname request the crate has never heard of still classifies as
+    // CSname (the forwarding property of §5.3) and survives the wire raw.
+    let msg = Message::request_raw(0x8F42);
+    let back = Message::from_bytes(&msg.to_bytes());
+    assert_eq!(back.code_raw(), 0x8F42);
+    assert_eq!(back.request_code(), None);
+    assert!(back.is_csname_request());
+    assert_eq!(ReplyCode::from_u16(0x7654), ReplyCode::Unknown);
+}

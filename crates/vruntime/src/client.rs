@@ -124,10 +124,7 @@ impl<'a> NameClient<'a> {
     ///
     /// Fails if the prefix server is missing or the name does not map.
     pub fn login(ipc: &'a dyn Ipc, initial: &str) -> Result<Self, IoError> {
-        let mut client = NameClient::new(
-            ipc,
-            ContextPair::new(Pid::NULL, ContextId::DEFAULT),
-        );
+        let mut client = NameClient::new(ipc, ContextPair::new(Pid::NULL, ContextId::DEFAULT));
         let pair = client.query_name(initial)?;
         client.current = pair;
         Ok(client)
@@ -272,8 +269,7 @@ impl<'a> NameClient<'a> {
     /// [`ReplyCode::NotAContext`] if the name denotes a non-context object.
     pub fn query_name(&self, name: &str) -> Result<ContextPair, IoError> {
         let name = CsName::from(name);
-        let (msg, _) =
-            self.csname_transaction(RequestCode::QueryName, &name, &[], |_| {}, 0)?;
+        let (msg, _) = self.csname_transaction(RequestCode::QueryName, &name, &[], |_| {}, 0)?;
         Ok(ContextPair::new(
             msg.pid_at(fields::W_PID_LO),
             msg.context_id(),
@@ -388,7 +384,9 @@ impl<'a> NameClient<'a> {
     pub fn current_context_name(&self) -> Result<CsName, IoError> {
         let mut msg = Message::request(RequestCode::GetContextName);
         msg.set_word32(fields::W_INVERT_ID_LO, self.current.context.raw());
-        let reply = self.ipc.send(self.current.server, msg, Bytes::new(), 4096)?;
+        let reply = self
+            .ipc
+            .send(self.current.server, msg, Bytes::new(), 4096)?;
         check(reply.msg.reply_code())?;
         Ok(CsName::from(reply.data.to_vec()))
     }
@@ -459,11 +457,7 @@ impl<'a> NameClient<'a> {
         })
     }
 
-    fn add_prefix_raw(
-        &self,
-        prefix: &str,
-        tune: impl FnOnce(&mut Message),
-    ) -> Result<(), IoError> {
+    fn add_prefix_raw(&self, prefix: &str, tune: impl FnOnce(&mut Message)) -> Result<(), IoError> {
         let server = self
             .prefix_server
             .ok_or(IoError::Server(ReplyCode::NoServer))?;
@@ -532,8 +526,7 @@ impl<'a> NameClient<'a> {
     pub fn diagnose(&self, name: &str) -> Result<Option<String>, IoError> {
         let csname = CsName::from(name);
         let (server, ctx) = self.route(&csname)?;
-        let (msg, payload) =
-            build_csname_request(RequestCode::QueryObject, ctx, &csname, &[]);
+        let (msg, payload) = build_csname_request(RequestCode::QueryObject, ctx, &csname, &[]);
         let reply = self.ipc.send(server, msg, payload, 4096)?;
         let code = reply.msg.reply_code();
         if code.is_ok() {

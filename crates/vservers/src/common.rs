@@ -14,7 +14,10 @@ pub(crate) fn reply_code(ctx: &dyn Ipc, rx: Received, code: ReplyCode) {
 /// which interpretation stopped (paper §7's error-reporting problem).
 pub(crate) fn reply_fail(ctx: &dyn Ipc, rx: Received, fail: vnaming::FailReason) {
     let mut m = Message::reply(fail.code);
-    m.set_word(vproto::fields::W_FAIL_INDEX, fail.index.min(u16::MAX as usize) as u16);
+    m.set_word(
+        vproto::fields::W_FAIL_INDEX,
+        fail.index.min(u16::MAX as usize) as u16,
+    );
     let _ = ctx.reply(rx, m, Bytes::new());
 }
 

@@ -10,13 +10,18 @@
 //! entries that point at a context on another server; interpretation
 //! forwards there mid-name.
 
-use crate::common::{forward_csname, reply_code, reply_data, reply_descriptor, reply_fail, OpClock};
+use crate::common::{
+    forward_csname, reply_code, reply_data, reply_descriptor, reply_fail, OpClock,
+};
 use bytes::Bytes;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use vio::{serve_read, InstanceTable};
 use vkernel::{Ipc, Received};
-use vnaming::{resolve, ComponentSpace, ContextTable, CsRequest, DirectoryBuilder, Outcome, ResolvedTarget, Step};
+use vnaming::{
+    resolve, ComponentSpace, ContextTable, CsRequest, DirectoryBuilder, Outcome, ResolvedTarget,
+    Step,
+};
 use vproto::{
     fields, ContextId, ContextPair, CsName, DescriptorExt, DescriptorTag, InstanceId, Message,
     ObjectDescriptor, ObjectId, OpenMode, Permissions, Pid, ReplyCode, RequestCode, Scope,
@@ -140,7 +145,12 @@ impl Fs {
         }
     }
 
-    fn mkdir_in(&mut self, parent: ObjectId, name: &[u8], owner: &CsName) -> Result<ObjectId, ReplyCode> {
+    fn mkdir_in(
+        &mut self,
+        parent: ObjectId,
+        name: &[u8],
+        owner: &CsName,
+    ) -> Result<ObjectId, ReplyCode> {
         if name.is_empty() || name.contains(&SEP) {
             return Err(ReplyCode::IllegalName);
         }
@@ -215,10 +225,10 @@ impl Fs {
                 .and_then(|e| e.get(comp.as_bytes()).cloned());
             cur = match existing {
                 Some(DirEntry::Local(id)) => id,
-                Some(DirEntry::Remote(_)) => panic!("preload path crosses a remote link"),
+                Some(DirEntry::Remote(_)) => panic!("preload path crosses a remote link"), // vcheck: allow(panic-path) startup preload, before serving
                 None => self
                     .mkdir_in(cur, comp.as_bytes(), &CsName::from("system"))
-                    .expect("preload mkdir"),
+                    .expect("preload mkdir"), // vcheck: allow(panic-path) startup preload, before serving
             };
         }
         cur
@@ -230,7 +240,7 @@ impl Fs {
             None => (self.root, path),
         };
         self.create_file_in(dir, leaf.as_bytes(), data, &CsName::from("system"))
-            .expect("preload file");
+            .expect("preload file"); // vcheck: allow(panic-path) startup preload, before serving
     }
 
     /// Reverse name mapping: absolute path of a node (paper §6 notes this
@@ -350,9 +360,10 @@ impl Fs {
                 }
             }
         }
-        if let NodeKind::Dir { entries, .. } = &mut self.nodes.get_mut(&dir_id).expect("dir").kind
-        {
-            entries.remove(leaf);
+        if let Some(node) = self.nodes.get_mut(&dir_id) {
+            if let NodeKind::Dir { entries, .. } = &mut node.kind {
+                entries.remove(leaf);
+            }
         }
         ReplyCode::Ok
     }
@@ -385,8 +396,15 @@ impl ComponentSpace for Fs {
 enum CreateTarget {
     Exists(ResolvedTarget<ObjectId>, ContextId),
     /// Parent context resolved locally; the final component is absent.
-    Creatable { parent_ctx: ContextId, leaf: Vec<u8> },
-    Forward { server: Pid, ctx: ContextId, index: usize },
+    Creatable {
+        parent_ctx: ContextId,
+        leaf: Vec<u8>,
+    },
+    Forward {
+        server: Pid,
+        ctx: ContextId,
+        index: usize,
+    },
     Fail(ReplyCode),
 }
 
@@ -448,12 +466,12 @@ pub fn file_server(ctx: &dyn Ipc, config: FileServerConfig) {
     }
     if let Some(home) = &config.home {
         let dir = fs.mkdir_path(home);
-        let home_ctx = fs.ctx_of_dir(dir).expect("home is a directory");
+        let home_ctx = fs.ctx_of_dir(dir).expect("home is a directory"); // vcheck: allow(panic-path) startup config, before serving
         fs.contexts.bind_well_known(ContextId::HOME, home_ctx);
     }
     if let Some(bin) = &config.bin {
         let dir = fs.mkdir_path(bin);
-        let bin_ctx = fs.ctx_of_dir(dir).expect("bin is a directory");
+        let bin_ctx = fs.ctx_of_dir(dir).expect("bin is a directory"); // vcheck: allow(panic-path) startup config, before serving
         fs.contexts
             .bind_well_known(ContextId::STANDARD_PROGRAMS, bin_ctx);
     }
@@ -493,17 +511,16 @@ fn dispatch(
             let id = InstanceId(msg.word(fields::W_IO_INSTANCE));
             let offset = msg.word32(fields::W_IO_OFFSET_LO) as u64;
             let count = msg.word(fields::W_IO_COUNT) as usize;
-            let window: Result<Vec<u8>, ReplyCode> =
-                instances.check(id, false).and_then(|inst| {
-                    let data: &[u8] = match &inst.state {
-                        InstState::File(node) => match fs.nodes.get(node).map(|n| &n.kind) {
-                            Some(NodeKind::File(d)) => d,
-                            _ => return Err(ReplyCode::InvalidInstance),
-                        },
-                        InstState::Directory { snapshot, .. } => snapshot,
-                    };
-                    serve_read(data, offset, count).map(|w| w.to_vec())
-                });
+            let window: Result<Vec<u8>, ReplyCode> = instances.check(id, false).and_then(|inst| {
+                let data: &[u8] = match &inst.state {
+                    InstState::File(node) => match fs.nodes.get(node).map(|n| &n.kind) {
+                        Some(NodeKind::File(d)) => d,
+                        _ => return Err(ReplyCode::InvalidInstance),
+                    },
+                    InstState::Directory { snapshot, .. } => snapshot,
+                };
+                serve_read(data, offset, count).map(|w| w.to_vec())
+            });
             match window {
                 Ok(w) => {
                     let is_file = matches!(
@@ -540,7 +557,10 @@ fn dispatch(
                     InstState::File(node_id) => {
                         let node_id = *node_id;
                         let t = fs.clock.tick();
-                        let node = fs.nodes.get_mut(&node_id).ok_or(ReplyCode::InvalidInstance)?;
+                        let node = fs
+                            .nodes
+                            .get_mut(&node_id)
+                            .ok_or(ReplyCode::InvalidInstance)?;
                         match &mut node.kind {
                             NodeKind::File(content) => {
                                 if content.len() < offset + data.len() {
@@ -557,8 +577,8 @@ fn dispatch(
                         // Paper §5.6: writing a description record has the
                         // semantics of the modification operation.
                         let dctx = *dctx;
-                        let d = ObjectDescriptor::decode_one(&data)
-                            .map_err(|_| ReplyCode::BadArgs)?;
+                        let d =
+                            ObjectDescriptor::decode_one(&data).map_err(|_| ReplyCode::BadArgs)?;
                         let dir_id = fs.dir_node_of_ctx(dctx).ok_or(ReplyCode::InvalidContext)?;
                         let entry = fs
                             .dir_entries(dir_id)
@@ -611,7 +631,10 @@ fn dispatch(
                         None => reply_code(ctx, rx, ReplyCode::InvalidInstance),
                     }
                 }
-                Some(InstState::Directory { snapshot, ctx: dctx }) => {
+                Some(InstState::Directory {
+                    snapshot,
+                    ctx: dctx,
+                }) => {
                     let d = ObjectDescriptor::new(DescriptorTag::Directory, CsName::from("."))
                         .with_size(snapshot.len() as u64)
                         .with_ext(DescriptorExt::Directory {
@@ -671,7 +694,11 @@ fn dispatch_csname(
 
     if create_like {
         match resolve_for_create(fs, &req) {
-            CreateTarget::Forward { server, ctx: c, index } => {
+            CreateTarget::Forward {
+                server,
+                ctx: c,
+                index,
+            } => {
                 return forward_csname(ctx, rx, server, c, index);
             }
             CreateTarget::Fail(code) => return reply_code(ctx, rx, code),
@@ -736,7 +763,9 @@ fn handle_create(
                 .unwrap_or(DescriptorTag::File);
             let result = match tag {
                 DescriptorTag::Directory => fs.mkdir_in(parent_id, &leaf, &owner).map(|_| ()),
-                _ => fs.create_file_in(parent_id, &leaf, Vec::new(), &owner).map(|_| ()),
+                _ => fs
+                    .create_file_in(parent_id, &leaf, Vec::new(), &owner)
+                    .map(|_| ()),
             };
             match result {
                 Ok(()) => reply_code(ctx, rx, ReplyCode::Ok),
@@ -762,7 +791,9 @@ fn handle_create(
                 DirEntry::Remote(target)
             };
             let t = fs.clock.tick();
-            let node = fs.nodes.get_mut(&parent_id).expect("parent exists");
+            let Some(node) = fs.nodes.get_mut(&parent_id) else {
+                return reply_code(ctx, rx, ReplyCode::InvalidContext);
+            };
             node.modified = t;
             match &mut node.kind {
                 NodeKind::Dir { entries, .. } => {
@@ -801,11 +832,7 @@ fn handle_resolved(
                 (ResolvedTarget::Object(id), _) => {
                     // Enforce the access-control bits a modify operation may
                     // have set (the paper's §5.5 example).
-                    let perms = fs
-                        .nodes
-                        .get(id)
-                        .map(|n| n.perms)
-                        .unwrap_or_default();
+                    let perms = fs.nodes.get(id).map(|n| n.perms).unwrap_or_default();
                     let denied = (mode.writes() && !perms.has(Permissions::WRITE))
                         || (!mode.writes() && !perms.has(Permissions::READ));
                     if denied {
@@ -837,10 +864,7 @@ fn handle_resolved(
                             let inst = instances.open(
                                 rx.from,
                                 OpenMode::Directory,
-                                InstState::Directory {
-                                    snapshot,
-                                    ctx: *c,
-                                },
+                                InstState::Directory { snapshot, ctx: *c },
                             );
                             let mut m = Message::ok();
                             m.set_word(fields::W_INSTANCE, inst.0)
@@ -988,19 +1012,25 @@ fn do_rename(
         return ReplyCode::InvalidContext;
     };
     // Detach from the old directory.
-    let entry = match &mut fs.nodes.get_mut(&old_dir).expect("old dir").kind {
-        NodeKind::Dir { entries, .. } => match entries.remove(&old_leaf) {
-            Some(e) => e,
-            None => return ReplyCode::NotFound,
+    let entry = match fs.nodes.get_mut(&old_dir) {
+        Some(node) => match &mut node.kind {
+            NodeKind::Dir { entries, .. } => match entries.remove(&old_leaf) {
+                Some(e) => e,
+                None => return ReplyCode::NotFound,
+            },
+            NodeKind::File(_) => return ReplyCode::NotAContext,
         },
-        NodeKind::File(_) => return ReplyCode::NotAContext,
+        None => return ReplyCode::InvalidContext,
     };
     // Attach under the new directory.
-    match &mut fs.nodes.get_mut(&new_dir).expect("new dir").kind {
-        NodeKind::Dir { entries, .. } => {
-            entries.insert(new_leaf.clone(), entry);
-        }
-        NodeKind::File(_) => return ReplyCode::NotAContext,
+    match fs.nodes.get_mut(&new_dir) {
+        Some(node) => match &mut node.kind {
+            NodeKind::Dir { entries, .. } => {
+                entries.insert(new_leaf.clone(), entry);
+            }
+            NodeKind::File(_) => return ReplyCode::NotAContext,
+        },
+        None => return ReplyCode::InvalidContext,
     }
     let t = fs.clock.tick();
     if let Some(node) = fs.nodes.get_mut(&id) {

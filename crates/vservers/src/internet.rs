@@ -13,8 +13,8 @@ use vio::{serve_read, InstanceTable};
 use vkernel::Ipc;
 use vnaming::{CsRequest, DirectoryBuilder};
 use vproto::{
-    fields, CsName, DescriptorExt, DescriptorTag, InstanceId, Message, ObjectDescriptor,
-    ObjectId, OpenMode, ReplyCode, RequestCode, Scope, ServiceId,
+    fields, CsName, DescriptorExt, DescriptorTag, InstanceId, Message, ObjectDescriptor, ObjectId,
+    OpenMode, ReplyCode, RequestCode, Scope, ServiceId,
 };
 
 /// Connection states reported in descriptors.
@@ -185,17 +185,17 @@ pub fn internet_server(ctx: &dyn Ipc, config: InternetConfig) {
                 let id = InstanceId(msg.word(fields::W_IO_INSTANCE));
                 let offset = msg.word32(fields::W_IO_OFFSET_LO) as u64;
                 let count = msg.word(fields::W_IO_COUNT) as usize;
-                let window: Result<Vec<u8>, ReplyCode> = if let Ok(inst) = instances.check(id, false)
-                {
-                    match conns.get(&inst.state) {
-                        Some(c) => serve_read(&c.buffer, offset, count).map(|w| w.to_vec()),
-                        None => Err(ReplyCode::InvalidInstance),
-                    }
-                } else if let Ok(inst) = dir_instances.check(id, false) {
-                    serve_read(&inst.state, offset, count).map(|w| w.to_vec())
-                } else {
-                    Err(ReplyCode::InvalidInstance)
-                };
+                let window: Result<Vec<u8>, ReplyCode> =
+                    if let Ok(inst) = instances.check(id, false) {
+                        match conns.get(&inst.state) {
+                            Some(c) => serve_read(&c.buffer, offset, count).map(|w| w.to_vec()),
+                            None => Err(ReplyCode::InvalidInstance),
+                        }
+                    } else if let Ok(inst) = dir_instances.check(id, false) {
+                        serve_read(&inst.state, offset, count).map(|w| w.to_vec())
+                    } else {
+                        Err(ReplyCode::InvalidInstance)
+                    };
                 match window {
                     Ok(w) => {
                         let mut m = Message::ok();
@@ -238,7 +238,10 @@ mod tests {
     #[test]
     fn conn_name_parsing() {
         assert_eq!(parse_conn_name(b"10.0.0.1:25"), Some((0x0A000001, 25)));
-        assert_eq!(parse_conn_name(b"255.255.255.255:65535"), Some((u32::MAX, 65535)));
+        assert_eq!(
+            parse_conn_name(b"255.255.255.255:65535"),
+            Some((u32::MAX, 65535))
+        );
         assert_eq!(parse_conn_name(b"10.0.0:25"), None);
         assert_eq!(parse_conn_name(b"10.0.0.1"), None);
         assert_eq!(parse_conn_name(b"10.0.0.256:1"), None);

@@ -33,8 +33,8 @@ mod common;
 mod file;
 mod internet;
 mod mail;
-mod prefix;
 mod pipe;
+mod prefix;
 mod printer;
 mod program;
 mod terminal;
@@ -43,8 +43,8 @@ mod time;
 pub use file::{file_server, FileServerConfig};
 pub use internet::{internet_server, InternetConfig};
 pub use mail::{mail_server, MailConfig};
-pub use prefix::{prefix_footprint_bytes, prefix_server, PrefixConfig};
 pub use pipe::{pipe_server, PipeConfig};
+pub use prefix::{prefix_footprint_bytes, prefix_server, PrefixConfig};
 pub use printer::{printer_server, PrinterConfig};
 pub use program::{program_manager, ProgramConfig};
 pub use terminal::{terminal_server, TerminalConfig};

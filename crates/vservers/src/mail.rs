@@ -15,8 +15,8 @@ use vio::{serve_read, InstanceTable};
 use vkernel::Ipc;
 use vnaming::{CsRequest, DirectoryBuilder};
 use vproto::{
-    fields, ContextId, CsName, DescriptorExt, DescriptorTag, InstanceId, Message,
-    ObjectDescriptor, ObjectId, OpenMode, Pid, ReplyCode, RequestCode, Scope, ServiceId,
+    fields, ContextId, CsName, DescriptorExt, DescriptorTag, InstanceId, Message, ObjectDescriptor,
+    ObjectId, OpenMode, Pid, ReplyCode, RequestCode, Scope, ServiceId,
 };
 
 /// Configuration for a [`mail_server`] process.
@@ -156,9 +156,7 @@ pub fn mail_server(ctx: &dyn Ipc, config: MailConfig) {
                     reply_data(ctx, rx, m, Vec::new());
                 }
                 Some(RequestCode::QueryObject) => match boxes.get(&user) {
-                    Some(mb) => {
-                        reply_descriptor(ctx, rx, &mailbox_descriptor(&user, mb, &config))
-                    }
+                    Some(mb) => reply_descriptor(ctx, rx, &mailbox_descriptor(&user, mb, &config)),
                     None => reply_code(ctx, rx, ReplyCode::NotFound),
                 },
                 Some(RequestCode::RemoveObject) => {
@@ -203,17 +201,17 @@ pub fn mail_server(ctx: &dyn Ipc, config: MailConfig) {
                 let id = InstanceId(msg.word(fields::W_IO_INSTANCE));
                 let offset = msg.word32(fields::W_IO_OFFSET_LO) as u64;
                 let count = msg.word(fields::W_IO_COUNT) as usize;
-                let window: Result<Vec<u8>, ReplyCode> = if let Ok(inst) = instances.check(id, false)
-                {
-                    match boxes.get(&inst.state) {
-                        Some(mb) => serve_read(&mb.messages, offset, count).map(|w| w.to_vec()),
-                        None => Err(ReplyCode::InvalidInstance),
-                    }
-                } else if let Ok(inst) = dir_instances.check(id, false) {
-                    serve_read(&inst.state, offset, count).map(|w| w.to_vec())
-                } else {
-                    Err(ReplyCode::InvalidInstance)
-                };
+                let window: Result<Vec<u8>, ReplyCode> =
+                    if let Ok(inst) = instances.check(id, false) {
+                        match boxes.get(&inst.state) {
+                            Some(mb) => serve_read(&mb.messages, offset, count).map(|w| w.to_vec()),
+                            None => Err(ReplyCode::InvalidInstance),
+                        }
+                    } else if let Ok(inst) = dir_instances.check(id, false) {
+                        serve_read(&inst.state, offset, count).map(|w| w.to_vec())
+                    } else {
+                        Err(ReplyCode::InvalidInstance)
+                    };
                 match window {
                     Ok(w) => {
                         let mut m = Message::ok();

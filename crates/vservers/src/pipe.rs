@@ -14,9 +14,7 @@ use std::collections::{BTreeMap, VecDeque};
 use vio::InstanceTable;
 use vkernel::{Ipc, Received};
 use vnaming::CsRequest;
-use vproto::{
-    fields, InstanceId, Message, OpenMode, ReplyCode, RequestCode, Scope, ServiceId,
-};
+use vproto::{fields, InstanceId, Message, OpenMode, ReplyCode, RequestCode, Scope, ServiceId};
 
 /// Configuration for a [`pipe_server`] process.
 #[derive(Debug, Clone)]
@@ -72,7 +70,7 @@ struct End {
 
 /// Satisfies as many blocked readers as the buffer (or writer EOF) allows.
 fn drain_pending(ctx: &dyn Ipc, pipe: &mut Pipe) {
-    while let Some(front) = pipe.pending.front() {
+    while !pipe.pending.is_empty() {
         if pipe.buffer.is_empty() {
             if pipe.writers == 0 && pipe.had_writer {
                 // EOF: release every waiter empty-handed.
@@ -83,9 +81,11 @@ fn drain_pending(ctx: &dyn Ipc, pipe: &mut Pipe) {
             }
             return;
         }
-        let take = front.count.min(pipe.buffer.len());
+        let Some(p) = pipe.pending.pop_front() else {
+            return;
+        };
+        let take = p.count.min(pipe.buffer.len());
         let data: Vec<u8> = pipe.buffer.drain(..take).collect();
-        let p = pipe.pending.pop_front().expect("front exists");
         let mut m = Message::ok();
         m.set_word(fields::W_IO_COUNT, data.len() as u16);
         reply_data(ctx, p.rx, m, data);

@@ -276,19 +276,16 @@ fn handle_own_context(
             for (name, target) in table {
                 let (pair, logical) = match target {
                     PrefixTarget::Direct(pair) => (*pair, 0u32),
-                    PrefixTarget::Logical { service, context } => (
-                        ContextPair::new(Pid::NULL, *context),
-                        service.raw(),
-                    ),
+                    PrefixTarget::Logical { service, context } => {
+                        (ContextPair::new(Pid::NULL, *context), service.raw())
+                    }
                 };
-                let d = ObjectDescriptor::new(
-                    DescriptorTag::ContextPrefix,
-                    CsName::from(name.clone()),
-                )
-                .with_ext(DescriptorExt::ContextPrefix {
-                    target: pair,
-                    logical_service: logical,
-                });
+                let d =
+                    ObjectDescriptor::new(DescriptorTag::ContextPrefix, CsName::from(name.clone()))
+                        .with_ext(DescriptorExt::ContextPrefix {
+                            target: pair,
+                            logical_service: logical,
+                        });
                 b.push(&d);
             }
             let snapshot = b.finish();

@@ -11,8 +11,8 @@ use vio::{serve_read, InstanceTable};
 use vkernel::Ipc;
 use vnaming::{CsRequest, DirectoryBuilder};
 use vproto::{
-    fields, CsName, DescriptorExt, DescriptorTag, InstanceId, Message, ObjectDescriptor,
-    ObjectId, OpenMode, ReplyCode, RequestCode, Scope, ServiceId,
+    fields, CsName, DescriptorExt, DescriptorTag, InstanceId, Message, ObjectDescriptor, ObjectId,
+    OpenMode, ReplyCode, RequestCode, Scope, ServiceId,
 };
 
 /// Configuration for a [`printer_server`] process.
@@ -159,17 +159,17 @@ pub fn printer_server(ctx: &dyn Ipc, config: PrinterConfig) {
                 let id = InstanceId(msg.word(fields::W_IO_INSTANCE));
                 let offset = msg.word32(fields::W_IO_OFFSET_LO) as u64;
                 let count = msg.word(fields::W_IO_COUNT) as usize;
-                let window: Result<Vec<u8>, ReplyCode> = if let Ok(inst) = instances.check(id, false)
-                {
-                    match jobs.get(&inst.state) {
-                        Some(j) => serve_read(&j.data, offset, count).map(|w| w.to_vec()),
-                        None => Err(ReplyCode::InvalidInstance),
-                    }
-                } else if let Ok(inst) = dir_instances.check(id, false) {
-                    serve_read(&inst.state, offset, count).map(|w| w.to_vec())
-                } else {
-                    Err(ReplyCode::InvalidInstance)
-                };
+                let window: Result<Vec<u8>, ReplyCode> =
+                    if let Ok(inst) = instances.check(id, false) {
+                        match jobs.get(&inst.state) {
+                            Some(j) => serve_read(&j.data, offset, count).map(|w| w.to_vec()),
+                            None => Err(ReplyCode::InvalidInstance),
+                        }
+                    } else if let Ok(inst) = dir_instances.check(id, false) {
+                        serve_read(&inst.state, offset, count).map(|w| w.to_vec())
+                    } else {
+                        Err(ReplyCode::InvalidInstance)
+                    };
                 match window {
                     Ok(w) => {
                         let mut m = Message::ok();

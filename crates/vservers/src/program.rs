@@ -11,8 +11,8 @@ use vio::{serve_read, InstanceTable};
 use vkernel::Ipc;
 use vnaming::{CsRequest, DirectoryBuilder};
 use vproto::{
-    fields, CsName, DescriptorExt, DescriptorTag, InstanceId, Message, ObjectDescriptor,
-    ObjectId, OpenMode, Pid, ReplyCode, RequestCode, Scope, ServiceId,
+    fields, CsName, DescriptorExt, DescriptorTag, InstanceId, Message, ObjectDescriptor, ObjectId,
+    OpenMode, Pid, ReplyCode, RequestCode, Scope, ServiceId,
 };
 
 /// Configuration for a [`program_manager`] process.

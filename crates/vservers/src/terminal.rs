@@ -11,8 +11,8 @@ use vio::{serve_read, InstanceTable};
 use vkernel::Ipc;
 use vnaming::{CsRequest, DirectoryBuilder};
 use vproto::{
-    fields, ContextId, CsName, DescriptorExt, DescriptorTag, InstanceId, Message,
-    ObjectDescriptor, ObjectId, OpenMode, ReplyCode, RequestCode, Scope, ServiceId,
+    fields, ContextId, CsName, DescriptorExt, DescriptorTag, InstanceId, Message, ObjectDescriptor,
+    ObjectId, OpenMode, ReplyCode, RequestCode, Scope, ServiceId,
 };
 
 /// Configuration for a [`terminal_server`] process.
@@ -139,17 +139,17 @@ pub fn terminal_server(ctx: &dyn Ipc, config: TerminalConfig) {
                 let offset = msg.word32(fields::W_IO_OFFSET_LO) as u64;
                 let count = msg.word(fields::W_IO_COUNT) as usize;
                 // Terminal instance or directory instance?
-                let window: Result<Vec<u8>, ReplyCode> = if let Ok(inst) = instances.check(id, false)
-                {
-                    match terms.get(&inst.state) {
-                        Some(t) => serve_read(&t.screen, offset, count).map(|w| w.to_vec()),
-                        None => Err(ReplyCode::InvalidInstance),
-                    }
-                } else if let Ok(inst) = dir_instances.check(id, false) {
-                    serve_read(&inst.state, offset, count).map(|w| w.to_vec())
-                } else {
-                    Err(ReplyCode::InvalidInstance)
-                };
+                let window: Result<Vec<u8>, ReplyCode> =
+                    if let Ok(inst) = instances.check(id, false) {
+                        match terms.get(&inst.state) {
+                            Some(t) => serve_read(&t.screen, offset, count).map(|w| w.to_vec()),
+                            None => Err(ReplyCode::InvalidInstance),
+                        }
+                    } else if let Ok(inst) = dir_instances.check(id, false) {
+                        serve_read(&inst.state, offset, count).map(|w| w.to_vec())
+                    } else {
+                        Err(ReplyCode::InvalidInstance)
+                    };
                 match window {
                     Ok(w) => {
                         let mut m = Message::ok();

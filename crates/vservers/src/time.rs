@@ -44,7 +44,12 @@ pub fn get_time(ctx: &dyn Ipc) -> Result<u32, IpcError> {
     let server = ctx
         .get_pid(ServiceId::TIME_SERVER, Scope::Both)
         .ok_or(IpcError::NoProcess)?;
-    let reply = ctx.send(server, Message::request(RequestCode::GetTime), Bytes::new(), 0)?;
+    let reply = ctx.send(
+        server,
+        Message::request(RequestCode::GetTime),
+        Bytes::new(),
+        0,
+    )?;
     Ok(reply.msg.word32(fields::W_TIME_LO))
 }
 
@@ -57,7 +62,9 @@ mod tests {
     fn get_time_rebinds_per_call_across_restarts() {
         let domain = Domain::new();
         let host = domain.add_host();
-        let v1 = domain.spawn(host, "time-v1", |ctx| time_server(ctx, TimeConfig::default()));
+        let v1 = domain.spawn(host, "time-v1", |ctx| {
+            time_server(ctx, TimeConfig::default())
+        });
         while domain
             .registry()
             .lookup(ServiceId::TIME_SERVER, Scope::Both, host)
@@ -71,7 +78,9 @@ mod tests {
             // Crash and restart the service; the next call just works
             // because binding happens at time of use (paper §4.2).
             d.kill(v1);
-            let _v2 = d.spawn(host, "time-v2", |ctx| time_server(ctx, TimeConfig::default()));
+            let _v2 = d.spawn(host, "time-v2", |ctx| {
+                time_server(ctx, TimeConfig::default())
+            });
             while d
                 .registry()
                 .lookup(ServiceId::TIME_SERVER, Scope::Both, host)

@@ -1,7 +1,7 @@
 //! Tests for the pipe server: blocking reads via deferred replies, EOF
 //! propagation, capacity limits — on both kernels.
 
-use vkernel::{Domain, Ipc, SimDomain};
+use vkernel::{Domain, SimDomain};
 use vnet::Params1984;
 use vproto::{ContextId, ContextPair, OpenMode, ReplyCode, Scope, ServiceId};
 use vruntime::NameClient;

@@ -5,8 +5,8 @@ use bytes::Bytes;
 use vkernel::Domain;
 use vnaming::build_csname_request;
 use vproto::{
-    fields, ContextId, ContextPair, CsName, DescriptorExt, DescriptorTag, Message, OpenMode,
-    Pid, ReplyCode, RequestCode, Scope, ServiceId,
+    fields, ContextId, ContextPair, CsName, DescriptorExt, DescriptorTag, Message, OpenMode, Pid,
+    ReplyCode, RequestCode, Scope, ServiceId,
 };
 use vruntime::NameClient;
 use vservers::{
@@ -74,7 +74,9 @@ fn open_read_through_prefix_and_current_context() {
 
         // Same file via a different prefix and a longer path — the paper's
         // own example of context-dependent interpretation (§5.2).
-        let data2 = boot_client.read_file("[storage]ng/mann/naming.mss").unwrap();
+        let data2 = boot_client
+            .read_file("[storage]ng/mann/naming.mss")
+            .unwrap();
         assert_eq!(data2, data);
 
         // In the current context, no prefix at all.
@@ -95,7 +97,9 @@ fn write_query_modify_remove_rename() {
         let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
         setup_prefixes(&client, fs);
 
-        client.write_file("[home]todo.txt", b"reproduce the paper").unwrap();
+        client
+            .write_file("[home]todo.txt", b"reproduce the paper")
+            .unwrap();
         let d = client.query("[home]todo.txt").unwrap();
         assert_eq!(d.tag(), Some(DescriptorTag::File));
         assert_eq!(d.size, 19);
@@ -105,11 +109,17 @@ fn write_query_modify_remove_rename() {
         d2.permissions = vproto::Permissions(vproto::Permissions::READ);
         client.modify("[home]todo.txt", &d2).unwrap();
         let d3 = client.query("[home]todo.txt").unwrap();
-        assert_eq!(d3.permissions, vproto::Permissions(vproto::Permissions::READ));
+        assert_eq!(
+            d3.permissions,
+            vproto::Permissions(vproto::Permissions::READ)
+        );
 
         client.rename("[home]todo.txt", "done.txt").unwrap();
         assert!(client.query("[home]todo.txt").is_err());
-        assert_eq!(client.read_file("[home]done.txt").unwrap(), b"reproduce the paper");
+        assert_eq!(
+            client.read_file("[home]done.txt").unwrap(),
+            b"reproduce the paper"
+        );
 
         client.remove("[home]done.txt").unwrap();
         assert!(client.read_file("[home]done.txt").is_err());
@@ -123,7 +133,9 @@ fn directories_create_and_refuse_nonempty_removal() {
         let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
         setup_prefixes(&client, fs);
         client.make_directory("[home]projects").unwrap();
-        client.write_file("[home]projects/x.rs", b"fn main(){}").unwrap();
+        client
+            .write_file("[home]projects/x.rs", b"fn main(){}")
+            .unwrap();
         let err = client.remove("[home]projects").unwrap_err();
         assert_eq!(err.reply_code(), Some(ReplyCode::NotEmpty));
         client.remove("[home]projects/x.rs").unwrap();
@@ -144,7 +156,9 @@ fn list_directory_returns_typed_records_with_patterns() {
         let listing = client.list_directory("[storage]ng", None).unwrap();
         let names: Vec<String> = listing.iter().map(|d| d.name.to_string_lossy()).collect();
         assert_eq!(names, ["cheriton", "mann"]);
-        assert!(listing.iter().all(|d| d.tag() == Some(DescriptorTag::Directory)));
+        assert!(listing
+            .iter()
+            .all(|d| d.tag() == Some(DescriptorTag::Directory)));
 
         // Pattern matching (the paper's §5.6 proposed extension).
         client.write_file("[home]a.rs", b"x").unwrap();
@@ -181,7 +195,9 @@ fn cross_server_link_forwards_mid_name() {
         let data = client.read_file("[home]remote/shared/paper.txt").unwrap();
         assert_eq!(data, b"on server B");
         // The responding server is B, transparently to the client.
-        let handle = client.open("[home]remote/shared/paper.txt", OpenMode::Read).unwrap();
+        let handle = client
+            .open("[home]remote/shared/paper.txt", OpenMode::Read)
+            .unwrap();
         assert_eq!(handle.server(), fs_b);
         // The link appears in the directory listing as a context pointer.
         let listing = client.list_directory("[home]", None).unwrap();
@@ -202,10 +218,7 @@ fn logical_prefix_survives_server_crash_and_rebind() {
     let check = |expect: &'static [u8], label: &'static str| {
         let d = domain.clone();
         d.client(host, move |ctx| {
-            let client = NameClient::new(
-                ctx,
-                ContextPair::new(Pid::NULL, ContextId::DEFAULT),
-            );
+            let client = NameClient::new(ctx, ContextPair::new(Pid::NULL, ContextId::DEFAULT));
             client
                 .add_logical_prefix("files", ServiceId::FILE_SERVER, ContextId::HOME)
                 .unwrap();
@@ -239,12 +252,8 @@ fn unknown_csname_operation_is_forwarded_not_rejected() {
         let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
         setup_prefixes(&client, fs);
         let name = CsName::from("[home]naming.mss");
-        let (template, payload) = build_csname_request(
-            RequestCode::QueryObject,
-            ContextId::DEFAULT,
-            &name,
-            &[],
-        );
+        let (template, payload) =
+            build_csname_request(RequestCode::QueryObject, ContextId::DEFAULT, &name, &[]);
         let mut msg = Message::request_raw(0x8ABC); // unknown CSname op
         for i in 1..vproto::MSG_WORDS {
             msg.set_word(i, template.word(i));
@@ -313,7 +322,10 @@ fn directory_write_modifies_object() {
         handle.write_next(ctx, &d.encode()).unwrap();
         handle.close(ctx).unwrap();
         let after = client.query("[home]naming.mss").unwrap();
-        assert_eq!(after.permissions, vproto::Permissions(vproto::Permissions::READ));
+        assert_eq!(
+            after.permissions,
+            vproto::Permissions(vproto::Permissions::READ)
+        );
     });
 }
 
@@ -353,7 +365,11 @@ fn printer_queue_positions_update_on_removal() {
     });
     domain.client(host, move |ctx| {
         let client = NameClient::new(ctx, ContextPair::new(prt, ContextId::DEFAULT));
-        for (job, body) in [("thesis", "100 pages"), ("memo", "1 page"), ("code", "listing")] {
+        for (job, body) in [
+            ("thesis", "100 pages"),
+            ("memo", "1 page"),
+            ("code", "listing"),
+        ] {
             client.write_file(job, body.as_bytes()).unwrap();
         }
         let listing = client.list_directory("", None).unwrap();
@@ -375,7 +391,10 @@ fn printer_queue_positions_update_on_removal() {
         // The head job finishes; everyone moves up.
         client.remove("thesis").unwrap();
         let memo = client.query("memo").unwrap();
-        assert!(matches!(memo.ext, DescriptorExt::PrintJob { queue_position: 0 }));
+        assert!(matches!(
+            memo.ext,
+            DescriptorExt::PrintJob { queue_position: 0 }
+        ));
     });
 }
 
@@ -391,19 +410,17 @@ fn program_manager_lists_programs_in_execution() {
         // Register two programs via the protocol's CreateObject.
         for name in ["emacs", "make"] {
             let csname = CsName::from(name);
-            let (msg, payload) = build_csname_request(
-                RequestCode::CreateObject,
-                ContextId::DEFAULT,
-                &csname,
-                &[],
-            );
+            let (msg, payload) =
+                build_csname_request(RequestCode::CreateObject, ContextId::DEFAULT, &csname, &[]);
             let reply = ctx.send(mgr, msg, payload, 0).unwrap();
             assert!(reply.msg.reply_code().is_ok());
         }
         let listing = client.list_directory("", None).unwrap();
         let names: Vec<String> = listing.iter().map(|d| d.name.to_string_lossy()).collect();
         assert_eq!(names, ["emacs", "make"]);
-        assert!(listing.iter().all(|d| d.tag() == Some(DescriptorTag::Program)));
+        assert!(listing
+            .iter()
+            .all(|d| d.tag() == Some(DescriptorTag::Program)));
         client.remove("make").unwrap();
         assert_eq!(client.list_directory("", None).unwrap().len(), 1);
     });
@@ -426,7 +443,9 @@ fn mail_names_resolve_locally_and_forward_to_peers() {
     domain.client(host, move |ctx| {
         // Deliver to a local mailbox on navajo.
         let client = NameClient::new(ctx, ContextPair::new(navajo, ContextId::DEFAULT));
-        let mut mbox = client.open("mann@su-navajo.ARPA", OpenMode::Append).unwrap();
+        let mut mbox = client
+            .open("mann@su-navajo.ARPA", OpenMode::Append)
+            .unwrap();
         mbox.write_next(ctx, b"see you at ICDCS").unwrap();
         mbox.close(ctx).unwrap();
         let d = client.query("mann@su-navajo.ARPA").unwrap();
@@ -435,7 +454,9 @@ fn mail_names_resolve_locally_and_forward_to_peers() {
 
         // Deliver to a mailbox on ANOTHER host: navajo forwards to score,
         // which creates and owns the mailbox.
-        let mut remote = client.open("cheriton@su-score.ARPA", OpenMode::Append).unwrap();
+        let mut remote = client
+            .open("cheriton@su-score.ARPA", OpenMode::Append)
+            .unwrap();
         assert_eq!(remote.server(), score, "request must forward to the peer");
         remote.write_next(ctx, b"draft attached").unwrap();
         remote.close(ctx).unwrap();
@@ -457,7 +478,10 @@ fn well_known_contexts_home_and_bin() {
     domain.client(host, move |ctx| {
         // Well-known context ids work directly, without any prefix server.
         let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::HOME));
-        assert_eq!(client.read_file("naming.mss").unwrap(), b"The V naming paper");
+        assert_eq!(
+            client.read_file("naming.mss").unwrap(),
+            b"The V naming paper"
+        );
         let bin = NameClient::new(ctx, ContextPair::new(fs, ContextId::STANDARD_PROGRAMS));
         assert_eq!(bin.read_file("ls").unwrap(), b"binary");
     });
@@ -469,10 +493,7 @@ fn stale_context_id_rejected_after_restart_semantics() {
     // (paper §5.2). A made-up ordinary id must be rejected.
     let (domain, host, fs, _) = boot();
     domain.client(host, move |ctx| {
-        let client = NameClient::new(
-            ctx,
-            ContextPair::new(fs, ContextId::new(0xDEAD_BEEF)),
-        );
+        let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::new(0xDEAD_BEEF)));
         let err = client.read_file("naming.mss").unwrap_err();
         assert_eq!(err.reply_code(), Some(ReplyCode::InvalidContext));
     });
@@ -486,7 +507,9 @@ fn access_control_bits_are_enforced_on_open() {
     domain.client(host, move |ctx| {
         let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
         setup_prefixes(&client, fs);
-        client.write_file("[home]secret.txt", b"classified").unwrap();
+        client
+            .write_file("[home]secret.txt", b"classified")
+            .unwrap();
 
         // Make it read-only via ModifyObject.
         let mut d = client.query("[home]secret.txt").unwrap();
@@ -495,9 +518,13 @@ fn access_control_bits_are_enforced_on_open() {
 
         // Reading still works; write-mode opens are refused.
         assert_eq!(client.read_file("[home]secret.txt").unwrap(), b"classified");
-        let err = client.open("[home]secret.txt", OpenMode::Write).unwrap_err();
+        let err = client
+            .open("[home]secret.txt", OpenMode::Write)
+            .unwrap_err();
         assert_eq!(err.reply_code(), Some(ReplyCode::NoPermission));
-        let err = client.open("[home]secret.txt", OpenMode::Append).unwrap_err();
+        let err = client
+            .open("[home]secret.txt", OpenMode::Append)
+            .unwrap_err();
         assert_eq!(err.reply_code(), Some(ReplyCode::NoPermission));
 
         // Revoking READ blocks read-mode opens too.

@@ -90,7 +90,10 @@ mod tests {
     #[test]
     fn faster_network_helps_but_cpu_dominates() {
         let rep = run();
-        let r3 = rep.row("remote transaction, 3 Mbit Ethernet").unwrap().measured;
+        let r3 = rep
+            .row("remote transaction, 3 Mbit Ethernet")
+            .unwrap()
+            .measured;
         let r10 = rep
             .row("remote transaction, 10 Mbit Ethernet")
             .unwrap()

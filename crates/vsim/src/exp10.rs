@@ -77,7 +77,9 @@ pub fn measure_cache(params: Params1984) -> CacheOutcome {
         domain.spawn(sm, label, move |ctx| file_server(ctx, cfg))
     };
     let fs_v1 = spawn_fs("fs-v1");
-    domain.spawn(ws, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+    domain.spawn(ws, "prefix", |ctx| {
+        prefix_server(ctx, PrefixConfig::default())
+    });
     domain.run();
     // A *logical* prefix: the prefix server re-resolves it per use, so the
     // per-use path stays correct across restarts; the client cache is what

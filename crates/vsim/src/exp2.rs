@@ -30,7 +30,12 @@ pub fn measure_load(params: Params1984, size: usize) -> Duration {
         .client(ws, move |ctx| {
             let t0 = ctx.now();
             let reply = ctx
-                .send(loader, Message::request(RequestCode::Echo), Bytes::new(), size)
+                .send(
+                    loader,
+                    Message::request(RequestCode::Echo),
+                    Bytes::new(),
+                    size,
+                )
                 .unwrap();
             assert_eq!(reply.data.len(), size);
             ctx.now() - t0
@@ -53,7 +58,9 @@ pub fn run() -> ExpReport {
     // the wire+copy floor (no per-packet kernel CPU).
     let net = NetModel::new(params);
     let packets = net.params().packets_for(64 * 1024);
-    let floor = net.params().wire_time(64 * 1024 + packets * net.params().packet_header_bytes)
+    let floor = net
+        .params()
+        .wire_time(64 * 1024 + packets * net.params().packet_header_bytes)
         + net.copy_cost(64 * 1024);
     let efficiency = floor.as_nanos() as f64 / t.as_nanos() as f64 * 100.0;
     rep.push(ExpRow::with_paper(

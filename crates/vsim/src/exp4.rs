@@ -84,13 +84,21 @@ fn ms(d: Duration) -> f64 {
 
 /// Runs EXP-4.
 pub fn run() -> ExpReport {
-    let mut rep = ExpReport::new("EXP-4", "Open latency: current context vs prefix, local vs remote (paper §6)");
+    let mut rep = ExpReport::new(
+        "EXP-4",
+        "Open latency: current context vs prefix, local vs remote (paper §6)",
+    );
     let world = boot_world(Params1984::ethernet_3mbit());
     let mut measured = Vec::new();
     for case in OpenCase::ALL {
         let t = measure_open(&world, case, 20);
         measured.push(ms(t));
-        rep.push(ExpRow::with_paper(case.label(), case.paper_ms(), ms(t), "ms"));
+        rep.push(ExpRow::with_paper(
+            case.label(),
+            case.paper_ms(),
+            ms(t),
+            "ms",
+        ));
     }
     // The prefix-server processing deltas the paper highlights.
     rep.push(ExpRow::with_paper(
@@ -120,15 +128,21 @@ mod tests {
     fn all_four_cases_within_5pct_of_paper() {
         let rep = run();
         for case in OpenCase::ALL {
-            let row = rep.row(match case {
-                OpenCase::CurrentLocal => "current context, server local",
-                OpenCase::CurrentRemote => "current context, server remote",
-                OpenCase::PrefixLocal => "context prefix, server local",
-                OpenCase::PrefixRemote => "context prefix, server remote",
-            })
-            .unwrap();
+            let row = rep
+                .row(match case {
+                    OpenCase::CurrentLocal => "current context, server local",
+                    OpenCase::CurrentRemote => "current context, server remote",
+                    OpenCase::PrefixLocal => "context prefix, server local",
+                    OpenCase::PrefixRemote => "context prefix, server remote",
+                })
+                .unwrap();
             let dev = row.deviation_pct().unwrap();
-            assert!(dev.abs() < 5.0, "{case:?}: measured {} paper {} ({dev:+.1}%)", row.measured, row.paper.unwrap());
+            assert!(
+                dev.abs() < 5.0,
+                "{case:?}: measured {} paper {} ({dev:+.1}%)",
+                row.measured,
+                row.paper.unwrap()
+            );
         }
     }
 

@@ -50,8 +50,7 @@ pub fn measure_open_latency(params: Params1984) -> (Duration, Duration) {
     // Centralized: a name-server transaction, then an open-by-id.
     let centralized = {
         let domain = SimDomain::new(params);
-        let (ws, ns_host, store_host) =
-            (domain.add_host(), domain.add_host(), domain.add_host());
+        let (ws, ns_host, store_host) = (domain.add_host(), domain.add_host(), domain.add_host());
         domain.spawn(ns_host, "central", |ctx| central_name_server(ctx));
         let store = domain.spawn(store_host, "store", |ctx| object_store(ctx));
         domain.run();
@@ -83,7 +82,11 @@ pub struct ConsistencyOutcome {
 
 /// Runs `attempts` deletes, crashing after the object-delete step every
 /// `crash_every`-th time, under both models; counts dangling names.
-pub fn measure_consistency(params: Params1984, attempts: usize, crash_every: usize) -> ConsistencyOutcome {
+pub fn measure_consistency(
+    params: Params1984,
+    attempts: usize,
+    crash_every: usize,
+) -> ConsistencyOutcome {
     // Centralized model.
     let central_dangling = {
         let domain = SimDomain::new(params.clone());
@@ -119,7 +122,9 @@ pub fn measure_consistency(params: Params1984, attempts: usize, crash_every: usi
     let distributed_dangling = {
         let domain = SimDomain::new(params);
         let (ws, sm) = (domain.add_host(), domain.add_host());
-        let fs = domain.spawn(sm, "fs", |ctx| file_server(ctx, FileServerConfig::default()));
+        let fs = domain.spawn(sm, "fs", |ctx| {
+            file_server(ctx, FileServerConfig::default())
+        });
         domain.run();
         domain
             .client(ws, move |ctx| {
@@ -159,8 +164,16 @@ pub fn run() -> ExpReport {
         "distributed interpretation vs centralized name server (paper §2.2)",
     );
     let (dist, central) = measure_open_latency(Params1984::ethernet_3mbit());
-    rep.push(ExpRow::measured_only("open latency, distributed", ms(dist), "ms"));
-    rep.push(ExpRow::measured_only("open latency, centralized", ms(central), "ms"));
+    rep.push(ExpRow::measured_only(
+        "open latency, distributed",
+        ms(dist),
+        "ms",
+    ));
+    rep.push(ExpRow::measured_only(
+        "open latency, centralized",
+        ms(central),
+        "ms",
+    ));
     rep.push(ExpRow::measured_only(
         "centralized overhead per name reference",
         ms(central) - ms(dist),
@@ -192,11 +205,9 @@ pub fn run() -> ExpReport {
         .unwrap();
     domain.kill(ns);
     let reachable: f64 = domain
-        .client(ws, move |ctx| {
-            match CentralClient::new(ctx) {
-                Ok(c) => f64::from(u8::from(c.open("x").is_ok())),
-                Err(_) => 0.0,
-            }
+        .client(ws, move |ctx| match CentralClient::new(ctx) {
+            Ok(c) => f64::from(u8::from(c.open("x").is_ok())),
+            Err(_) => 0.0,
         })
         .unwrap();
     rep.push(ExpRow::measured_only(

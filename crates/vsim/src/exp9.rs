@@ -152,7 +152,8 @@ mod tests {
         for i in 0..6usize {
             let host = domain.add_host();
             let tag = b'0' + i as u8;
-            member_pids.push(domain.spawn(host, "member", move |ctx| group_member(ctx, group, tag)));
+            member_pids
+                .push(domain.spawn(host, "member", move |ctx| group_member(ctx, group, tag)));
         }
         domain.run();
         let owner_of_5 = member_pids[5];

@@ -17,7 +17,12 @@ pub struct ExpRow {
 
 impl ExpRow {
     /// Creates a row with a paper reference value.
-    pub fn with_paper(label: impl Into<String>, paper: f64, measured: f64, unit: &'static str) -> Self {
+    pub fn with_paper(
+        label: impl Into<String>,
+        paper: f64,
+        measured: f64,
+        unit: &'static str,
+    ) -> Self {
         ExpRow {
             label: label.into(),
             paper: Some(paper),

@@ -6,9 +6,12 @@ fn snapshot() -> Vec<(String, String)> {
     vsim::run_all()
         .into_iter()
         .flat_map(|rep| {
-            rep.rows
-                .into_iter()
-                .map(move |r| (format!("{}/{}", rep.id, r.label), format!("{:.6}", r.measured)))
+            rep.rows.into_iter().map(move |r| {
+                (
+                    format!("{}/{}", rep.id, r.label),
+                    format!("{:.6}", r.measured),
+                )
+            })
         })
         .collect()
 }

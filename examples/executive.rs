@@ -13,7 +13,9 @@ use vexamples::wait_for_service;
 use vkernel::Domain;
 use vproto::{ContextId, ContextPair, OpenMode, ServiceId};
 use vruntime::NameClient;
-use vservers::{file_server, prefix_server, printer_server, FileServerConfig, PrefixConfig, PrinterConfig};
+use vservers::{
+    file_server, prefix_server, printer_server, FileServerConfig, PrefixConfig, PrinterConfig,
+};
 
 fn run_command(client: &mut NameClient<'_>, line: &str) {
     println!("v> {line}");
@@ -47,10 +49,7 @@ fn run_command(client: &mut NameClient<'_>, line: &str) {
             // Print a file: read it, then write it to a job on the print
             // queue — two servers, one uniform interface.
             client.read_file(arg1).and_then(|data| {
-                let leaf = arg1
-                    .rsplit(['/', ']'])
-                    .next()
-                    .unwrap_or(arg1);
+                let leaf = arg1.rsplit(['/', ']']).next().unwrap_or(arg1);
                 client.write_file(&format!("[printer]{leaf}"), &data)
             })
         }
@@ -73,7 +72,10 @@ fn main() {
             ctx,
             FileServerConfig {
                 preload: vec![
-                    ("ng/mann/naming.mss".into(), b"Uniform Access to Distributed Name Interpretation".to_vec()),
+                    (
+                        "ng/mann/naming.mss".into(),
+                        b"Uniform Access to Distributed Name Interpretation".to_vec(),
+                    ),
                     ("ng/mann/drafts/icdcs.txt".into(), b"camera ready".to_vec()),
                 ],
                 home: Some("ng/mann".into()),
@@ -84,7 +86,9 @@ fn main() {
     let printer = domain.spawn(ws, "printer", |ctx| {
         printer_server(ctx, PrinterConfig::default())
     });
-    domain.spawn(ws, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+    domain.spawn(ws, "prefix", |ctx| {
+        prefix_server(ctx, PrefixConfig::default())
+    });
     wait_for_service(&domain, ws, ServiceId::CONTEXT_PREFIX);
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -127,7 +131,9 @@ fn main() {
             run_command(&mut client, line);
         }
         // Leave no dangling instances behind.
-        let _ = client.open("naming.mss", OpenMode::Read).map(|h| h.close(ctx));
+        let _ = client
+            .open("naming.mss", OpenMode::Read)
+            .map(|h| h.close(ctx));
     });
     println!("executive complete");
 }

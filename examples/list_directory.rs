@@ -26,7 +26,10 @@ use vservers::{
 /// they all speak the same protocol. This is the whole program — no
 /// per-server code.
 fn list(client: &NameClient<'_>, what: &str, name: &str) {
-    println!("{what} ({})", if name.is_empty() { "<default>" } else { name });
+    println!(
+        "{what} ({})",
+        if name.is_empty() { "<default>" } else { name }
+    );
     match client.list_directory(name, None) {
         Ok(records) if records.is_empty() => println!("  (empty)"),
         Ok(records) => {

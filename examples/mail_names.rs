@@ -32,8 +32,11 @@ fn main() {
         let client = NameClient::new(ctx, ContextPair::new(navajo, ContextId::DEFAULT));
 
         // Deliver locally on navajo.
-        let mut mbox = client.open("mann@su-navajo.ARPA", OpenMode::Append).unwrap();
-        mbox.write_next(ctx, b"camera-ready figures attached").unwrap();
+        let mut mbox = client
+            .open("mann@su-navajo.ARPA", OpenMode::Append)
+            .unwrap();
+        mbox.write_next(ctx, b"camera-ready figures attached")
+            .unwrap();
         mbox.close(ctx).unwrap();
         println!("delivered to mann@su-navajo.ARPA (local)");
 

@@ -40,7 +40,9 @@ fn main() {
             },
         )
     });
-    domain.spawn(ws, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+    domain.spawn(ws, "prefix", |ctx| {
+        prefix_server(ctx, PrefixConfig::default())
+    });
     wait_for_service(&domain, ws, ServiceId::CONTEXT_PREFIX);
 
     domain.client(ws, move |ctx| {

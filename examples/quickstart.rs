@@ -30,7 +30,9 @@ fn main() {
             },
         )
     });
-    domain.spawn(ws, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+    domain.spawn(ws, "prefix", |ctx| {
+        prefix_server(ctx, PrefixConfig::default())
+    });
     wait_for_service(&domain, ws, ServiceId::CONTEXT_PREFIX);
     wait_for_service(&domain, ws, ServiceId::FILE_SERVER);
 
@@ -49,7 +51,9 @@ fn main() {
         println!("[home]naming.mss: {}", String::from_utf8_lossy(&text));
 
         // Create a new file and inspect its typed descriptor (paper §5.5).
-        client.write_file("[home]todo.txt", b"1. reproduce the paper").unwrap();
+        client
+            .write_file("[home]todo.txt", b"1. reproduce the paper")
+            .unwrap();
         let d = client.query("[home]todo.txt").unwrap();
         println!("descriptor: {d}  perms={}", d.permissions);
 

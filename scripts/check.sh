@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local verification gate, in the order CI runs it.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo run -p vcheck   (lints + determinism gate + invariant gate)"
+cargo run -p vcheck
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> all checks passed"

@@ -28,7 +28,9 @@ fn direct_prefix_dangles_after_crash_but_logical_rebinds() {
     let domain = Domain::new();
     let host = domain.add_host();
     let fs_v1 = spawn_fs(&domain, host, b"version 1");
-    domain.spawn(host, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+    domain.spawn(host, "prefix", |ctx| {
+        prefix_server(ctx, PrefixConfig::default())
+    });
     wait_for_service(&domain, host, ServiceId::CONTEXT_PREFIX);
     wait_for_service(&domain, host, ServiceId::FILE_SERVER);
 
@@ -104,7 +106,9 @@ fn current_context_dies_with_server_but_prefixes_recover() {
             },
         )
     });
-    domain.spawn(host, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+    domain.spawn(host, "prefix", |ctx| {
+        prefix_server(ctx, PrefixConfig::default())
+    });
     wait_for_service(&domain, host, ServiceId::CONTEXT_PREFIX);
 
     domain.client(host, move |ctx| {

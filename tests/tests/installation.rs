@@ -9,8 +9,8 @@ use vnet::Params1984;
 use vproto::{ContextId, ContextPair, LogicalHost, Pid, Scope, ServiceId};
 use vruntime::NameClient;
 use vservers::{
-    file_server, prefix_server, program_manager, terminal_server, FileServerConfig,
-    PrefixConfig, ProgramConfig, TerminalConfig,
+    file_server, prefix_server, program_manager, terminal_server, FileServerConfig, PrefixConfig,
+    ProgramConfig, TerminalConfig,
 };
 
 const WORKSTATIONS: usize = 30;
@@ -32,7 +32,10 @@ fn boot_installation() -> Installation {
             let cfg = FileServerConfig {
                 service_scope: Some(Scope::Both),
                 preload: vec![
-                    (format!("pub/motd{i}.txt"), format!("welcome to fs{i}").into_bytes()),
+                    (
+                        format!("pub/motd{i}.txt"),
+                        format!("welcome to fs{i}").into_bytes(),
+                    ),
                     ("bin/ls".into(), b"exec".to_vec()),
                 ],
                 bin: Some("bin".into()),
@@ -45,9 +48,15 @@ fn boot_installation() -> Installation {
     let workstations: Vec<LogicalHost> = (0..WORKSTATIONS)
         .map(|_| {
             let ws = domain.add_host();
-            domain.spawn(ws, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
-            domain.spawn(ws, "terms", |ctx| terminal_server(ctx, TerminalConfig::default()));
-            domain.spawn(ws, "progs", |ctx| program_manager(ctx, ProgramConfig::default()));
+            domain.spawn(ws, "prefix", |ctx| {
+                prefix_server(ctx, PrefixConfig::default())
+            });
+            domain.spawn(ws, "terms", |ctx| {
+                terminal_server(ctx, TerminalConfig::default())
+            });
+            domain.spawn(ws, "progs", |ctx| {
+                program_manager(ctx, ProgramConfig::default())
+            });
             ws
         })
         .collect();
@@ -79,7 +88,10 @@ fn thirty_workstations_share_seven_file_servers() {
             // Everyone works concurrently: writes home files, reads the
             // shared motd, lists a directory, uses the local terminal.
             client
-                .write_file(&format!("[fs]pub/user{w}.txt"), format!("user {w}").as_bytes())
+                .write_file(
+                    &format!("[fs]pub/user{w}.txt"),
+                    format!("user {w}").as_bytes(),
+                )
                 .unwrap();
             let motd = client
                 .read_file(&format!("[other]pub/motd{}.txt", (w + 1) % FILE_SERVERS))
@@ -117,12 +129,16 @@ fn per_workstation_services_are_isolated() {
     // Each workstation's GetPid(Local) finds ITS OWN terminal server.
     let t0 = inst
         .domain
-        .client(ws0, |ctx| ctx.get_pid(ServiceId::TERMINAL_SERVER, Scope::Local))
+        .client(ws0, |ctx| {
+            ctx.get_pid(ServiceId::TERMINAL_SERVER, Scope::Local)
+        })
         .unwrap()
         .unwrap();
     let t1 = inst
         .domain
-        .client(ws1, |ctx| ctx.get_pid(ServiceId::TERMINAL_SERVER, Scope::Local))
+        .client(ws1, |ctx| {
+            ctx.get_pid(ServiceId::TERMINAL_SERVER, Scope::Local)
+        })
         .unwrap()
         .unwrap();
     assert_ne!(t0, t1);
@@ -131,7 +147,9 @@ fn per_workstation_services_are_isolated() {
     // Local-scope services are invisible across workstations.
     let cross = inst
         .domain
-        .client(ws0, |ctx| ctx.get_pid(ServiceId::CONTEXT_PREFIX, Scope::Both))
+        .client(ws0, |ctx| {
+            ctx.get_pid(ServiceId::CONTEXT_PREFIX, Scope::Both)
+        })
         .unwrap()
         .unwrap();
     assert!(cross.is_on(ws0), "prefix lookup must stay on-workstation");
@@ -200,7 +218,9 @@ fn emulated_thread_kernel_reproduces_the_open_table_in_wall_clock() {
             },
         )
     });
-    domain.spawn(ws, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+    domain.spawn(ws, "prefix", |ctx| {
+        prefix_server(ctx, PrefixConfig::default())
+    });
     while domain
         .registry()
         .lookup(ServiceId::CONTEXT_PREFIX, Scope::Both, ws)

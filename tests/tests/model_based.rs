@@ -27,14 +27,22 @@ fn arb_op() -> impl Strategy<Value = Op> {
     let d = 0u8..3;
     let f = 0u8..4;
     prop_oneof![
-        (d.clone(), f.clone(), proptest::collection::vec(any::<u8>(), 0..12))
+        (
+            d.clone(),
+            f.clone(),
+            proptest::collection::vec(any::<u8>(), 0..12)
+        )
             .prop_map(|(dir, file, body)| Op::Write { dir, file, body }),
         (d.clone(), f.clone()).prop_map(|(dir, file)| Op::Read { dir, file }),
         d.clone().prop_map(|dir| Op::Mkdir { dir }),
         (d.clone(), f.clone()).prop_map(|(dir, file)| Op::RemoveFile { dir, file }),
         d.clone().prop_map(|dir| Op::RemoveDir { dir }),
         d.clone().prop_map(|dir| Op::List { dir }),
-        (d, f.clone(), f).prop_map(|(dir, file, new_file)| Op::Rename { dir, file, new_file }),
+        (d, f.clone(), f).prop_map(|(dir, file, new_file)| Op::Rename {
+            dir,
+            file,
+            new_file
+        }),
     ]
 }
 
@@ -75,12 +83,10 @@ impl Model {
                     Outcome::Ok
                 }
             }
-            Op::RemoveFile { dir, file } => {
-                match self.dirs.get_mut(dir).map(|d| d.remove(file)) {
-                    Some(Some(_)) => Outcome::Ok,
-                    _ => Outcome::Err,
-                }
-            }
+            Op::RemoveFile { dir, file } => match self.dirs.get_mut(dir).map(|d| d.remove(file)) {
+                Some(Some(_)) => Outcome::Ok,
+                _ => Outcome::Err,
+            },
             Op::RemoveDir { dir } => match self.dirs.get(dir) {
                 Some(d) if d.is_empty() => {
                     self.dirs.remove(dir);
@@ -92,7 +98,11 @@ impl Model {
                 Some(d) => Outcome::Names(d.keys().map(|f| format!("f{f}")).collect()),
                 None => Outcome::Err,
             },
-            Op::Rename { dir, file, new_file } => {
+            Op::Rename {
+                dir,
+                file,
+                new_file,
+            } => {
                 let d = match self.dirs.get_mut(dir) {
                     Some(d) => d,
                     None => return Outcome::Err,
@@ -128,12 +138,10 @@ fn apply_real(client: &NameClient<'_>, ipc: &dyn vkernel::Ipc, op: &Op) -> Outco
                 Err(_) => Outcome::Err,
             }
         }
-        Op::Read { dir, file } => {
-            match client.read_file(&format!("{}/f{file}", dir_name(*dir))) {
-                Ok(data) => Outcome::Data(data),
-                Err(_) => Outcome::Err,
-            }
-        }
+        Op::Read { dir, file } => match client.read_file(&format!("{}/f{file}", dir_name(*dir))) {
+            Ok(data) => Outcome::Data(data),
+            Err(_) => Outcome::Err,
+        },
         Op::Mkdir { dir } => match client.make_directory(&dir_name(*dir)) {
             Ok(()) => Outcome::Ok,
             Err(_) => Outcome::Err,
@@ -154,7 +162,11 @@ fn apply_real(client: &NameClient<'_>, ipc: &dyn vkernel::Ipc, op: &Op) -> Outco
             }
             Err(_) => Outcome::Err,
         },
-        Op::Rename { dir, file, new_file } => {
+        Op::Rename {
+            dir,
+            file,
+            new_file,
+        } => {
             if file == new_file {
                 return Outcome::Err;
             }
@@ -170,6 +182,63 @@ fn apply_real(client: &NameClient<'_>, ipc: &dyn vkernel::Ipc, op: &Op) -> Outco
     }
 }
 
+/// Runs `ops` against both the real stack and the reference model,
+/// returning a description of the first divergence (if any).
+fn find_divergence(ops: Vec<Op>) -> Option<String> {
+    let domain = Domain::new();
+    let host = domain.add_host();
+    let fs = domain.spawn(host, "fs", |ctx| {
+        file_server(ctx, FileServerConfig::default())
+    });
+    domain.spawn(host, "prefix", |ctx| {
+        prefix_server(ctx, PrefixConfig::default())
+    });
+    wait_for_service(&domain, host, ServiceId::CONTEXT_PREFIX);
+    wait_for_service(&domain, host, ServiceId::FILE_SERVER);
+
+    domain.client(host, move |ctx| {
+        let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
+        client
+            .add_prefix("w", ContextPair::new(fs, ContextId::DEFAULT))
+            .unwrap();
+        let mut model = Model::default();
+        for (i, op) in ops.iter().enumerate() {
+            let expected = model.apply(op);
+            let actual = apply_real(&client, ctx, op);
+            if expected != actual {
+                return Some(format!(
+                    "step {i} {op:?}: model {expected:?} vs real {actual:?}"
+                ));
+            }
+        }
+        None
+    })
+}
+
+/// Regression: the shrunk case recorded in
+/// `tests/tests/model_based.proptest-regressions` — rename an empty file
+/// onto a fresh name, then remove it under the new name.
+#[test]
+fn regression_rename_empty_file_then_remove() {
+    let ops = vec![
+        Op::Mkdir { dir: 1 },
+        Op::Write {
+            dir: 1,
+            file: 0,
+            body: vec![],
+        },
+        Op::Rename {
+            dir: 1,
+            file: 0,
+            new_file: 1,
+        },
+        Op::RemoveFile { dir: 1, file: 1 },
+    ];
+    if let Some(d) = find_divergence(ops) {
+        panic!("{d}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -177,26 +246,7 @@ proptest! {
     /// outcome of every operation sequence.
     #[test]
     fn file_server_matches_reference_model(ops in proptest::collection::vec(arb_op(), 0..40)) {
-        let domain = Domain::new();
-        let host = domain.add_host();
-        let fs = domain.spawn(host, "fs", |ctx| file_server(ctx, FileServerConfig::default()));
-        domain.spawn(host, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
-        wait_for_service(&domain, host, ServiceId::CONTEXT_PREFIX);
-        wait_for_service(&domain, host, ServiceId::FILE_SERVER);
-
-        let divergence = domain.client(host, move |ctx| {
-            let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
-            client.add_prefix("w", ContextPair::new(fs, ContextId::DEFAULT)).unwrap();
-            let mut model = Model::default();
-            for (i, op) in ops.iter().enumerate() {
-                let expected = model.apply(op);
-                let actual = apply_real(&client, ctx, op);
-                if expected != actual {
-                    return Some(format!("step {i} {op:?}: model {expected:?} vs real {actual:?}"));
-                }
-            }
-            None
-        });
+        let divergence = find_divergence(ops);
         prop_assert!(divergence.is_none(), "{}", divergence.unwrap());
     }
 }

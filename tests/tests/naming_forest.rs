@@ -39,7 +39,9 @@ fn build_forest(domain: &AnyDomain) -> (vproto::LogicalHost, [vproto::Pid; 3]) {
         );
         move |ctx| file_server(ctx, cfg)
     });
-    domain.spawn(ws, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+    domain.spawn(ws, "prefix", |ctx| {
+        prefix_server(ctx, PrefixConfig::default())
+    });
     domain.settle(ws, Some(ServiceId::CONTEXT_PREFIX));
     domain.client(ws, move |ctx| {
         let client = NameClient::new(ctx, ContextPair::new(fs1, ContextId::DEFAULT));
@@ -67,10 +69,8 @@ fn same_leaf_name_means_different_files_per_context() {
     for domain in AnyDomain::both() {
         let (ws, _) = build_forest(&domain);
         let (a, b) = domain.client(ws, |ctx| {
-            let client = NameClient::new(
-                ctx,
-                ContextPair::new(vproto::Pid::NULL, ContextId::DEFAULT),
-            );
+            let client =
+                NameClient::new(ctx, ContextPair::new(vproto::Pid::NULL, ContextId::DEFAULT));
             let a = client.read_file("[mann]naming.mss").unwrap();
             let b = client.read_file("[cheriton]naming.mss").unwrap();
             (a, b)
@@ -85,10 +85,8 @@ fn cross_server_pointer_unifies_trees() {
     for domain in AnyDomain::both() {
         let (ws, [_, _, fs3]) = build_forest(&domain);
         let (data, server) = domain.client(ws, move |ctx| {
-            let client = NameClient::new(
-                ctx,
-                ContextPair::new(vproto::Pid::NULL, ContextId::DEFAULT),
-            );
+            let client =
+                NameClient::new(ctx, ContextPair::new(vproto::Pid::NULL, ContextId::DEFAULT));
             let h = client
                 .open("[mann]shared/public/thoth.txt", OpenMode::Read)
                 .unwrap();
@@ -107,10 +105,8 @@ fn forwarding_loops_are_detected() {
     for domain in AnyDomain::both() {
         let (ws, [fs1, fs2, _]) = build_forest(&domain);
         let code = domain.client(ws, move |ctx| {
-            let client = NameClient::new(
-                ctx,
-                ContextPair::new(vproto::Pid::NULL, ContextId::DEFAULT),
-            );
+            let client =
+                NameClient::new(ctx, ContextPair::new(vproto::Pid::NULL, ContextId::DEFAULT));
             client
                 .add_link("[mann]loop", ContextPair::new(fs2, ContextId::HOME))
                 .unwrap();
@@ -132,10 +128,8 @@ fn deep_hierarchies_resolve() {
     for domain in AnyDomain::both() {
         let (ws, _) = build_forest(&domain);
         let data = domain.client(ws, |ctx| {
-            let client = NameClient::new(
-                ctx,
-                ContextPair::new(vproto::Pid::NULL, ContextId::DEFAULT),
-            );
+            let client =
+                NameClient::new(ctx, ContextPair::new(vproto::Pid::NULL, ContextId::DEFAULT));
             // Creating the leaf does not imply the ancestors (open-with-
             // create makes only the final component, like the real V):
             // build the chain one context at a time.
@@ -161,10 +155,8 @@ fn identical_functional_results_on_both_kernels() {
     for domain in AnyDomain::both() {
         let (ws, _) = build_forest(&domain);
         let names = domain.client(ws, |ctx| {
-            let client = NameClient::new(
-                ctx,
-                ContextPair::new(vproto::Pid::NULL, ContextId::DEFAULT),
-            );
+            let client =
+                NameClient::new(ctx, ContextPair::new(vproto::Pid::NULL, ContextId::DEFAULT));
             client.write_file("[mann]b.txt", b"2").unwrap();
             client.write_file("[mann]a.txt", b"1").unwrap();
             client

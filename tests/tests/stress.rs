@@ -11,7 +11,9 @@ use vservers::{file_server, prefix_server, FileServerConfig, PrefixConfig};
 fn many_concurrent_clients_share_one_file_server() {
     let domain = Domain::new();
     let host = domain.add_host();
-    let fs = domain.spawn(host, "fs", |ctx| file_server(ctx, FileServerConfig::default()));
+    let fs = domain.spawn(host, "fs", |ctx| {
+        file_server(ctx, FileServerConfig::default())
+    });
     wait_for_service(&domain, host, ServiceId::FILE_SERVER);
     let mut handles = Vec::new();
     for i in 0..16u32 {
@@ -40,7 +42,9 @@ fn many_concurrent_clients_share_one_file_server() {
 fn large_file_round_trip() {
     let domain = Domain::new();
     let host = domain.add_host();
-    let fs = domain.spawn(host, "fs", |ctx| file_server(ctx, FileServerConfig::default()));
+    let fs = domain.spawn(host, "fs", |ctx| {
+        file_server(ctx, FileServerConfig::default())
+    });
     wait_for_service(&domain, host, ServiceId::FILE_SERVER);
     domain.client(host, move |ctx| {
         let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
@@ -52,7 +56,10 @@ fn large_file_round_trip() {
             h.write_next(ctx, chunk).unwrap();
         }
         h.close(ctx).unwrap();
-        let mut h = client.open("big.bin", OpenMode::Read).unwrap().with_block(8192);
+        let mut h = client
+            .open("big.bin", OpenMode::Read)
+            .unwrap()
+            .with_block(8192);
         let back = h.read_to_end(ctx).unwrap();
         h.close(ctx).unwrap();
         assert_eq!(back.len(), body.len());
@@ -66,7 +73,9 @@ fn names_with_unusual_bytes_work() {
     // separator) and the prefix brackets are structural anywhere.
     let domain = Domain::new();
     let host = domain.add_host();
-    let fs = domain.spawn(host, "fs", |ctx| file_server(ctx, FileServerConfig::default()));
+    let fs = domain.spawn(host, "fs", |ctx| {
+        file_server(ctx, FileServerConfig::default())
+    });
     wait_for_service(&domain, host, ServiceId::FILE_SERVER);
     domain.client(host, move |ctx| {
         let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
@@ -95,7 +104,9 @@ fn names_with_unusual_bytes_work() {
 fn hundreds_of_objects_in_one_context() {
     let domain = Domain::new();
     let host = domain.add_host();
-    let fs = domain.spawn(host, "fs", |ctx| file_server(ctx, FileServerConfig::default()));
+    let fs = domain.spawn(host, "fs", |ctx| {
+        file_server(ctx, FileServerConfig::default())
+    });
     wait_for_service(&domain, host, ServiceId::FILE_SERVER);
     domain.client(host, move |ctx| {
         let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
@@ -129,7 +140,9 @@ fn prefix_server_handles_concurrent_routing() {
             },
         )
     });
-    domain.spawn(host, "prefix", |ctx| prefix_server(ctx, PrefixConfig::default()));
+    domain.spawn(host, "prefix", |ctx| {
+        prefix_server(ctx, PrefixConfig::default())
+    });
     wait_for_service(&domain, host, ServiceId::CONTEXT_PREFIX);
     wait_for_service(&domain, host, ServiceId::FILE_SERVER);
     domain.client(host, move |ctx| {

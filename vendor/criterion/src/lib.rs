@@ -1,0 +1,202 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors a minimal wall-clock bench harness covering the API
+//! surface `vbench` uses: [`Criterion::bench_function`], benchmark groups
+//! with [`BenchmarkGroup::bench_with_input`] and throughput annotation, and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! There is no statistical analysis: each benchmark is warmed up briefly,
+//! then timed over a fixed number of batches, and the mean per-iteration
+//! time is printed. Good enough to compare orders of magnitude offline;
+//! use the real Criterion for publication-quality numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (reported, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterized benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_batch: u64,
+    batches: u64,
+    total: Duration,
+    total_iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iters_per_batch: 32,
+            batches: 8,
+            total: Duration::ZERO,
+            total_iters: 0,
+        }
+    }
+
+    /// Times `f` per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup batch, untimed.
+        for _ in 0..self.iters_per_batch.min(4) {
+            black_box(f());
+        }
+        for _ in 0..self.batches {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                black_box(f());
+            }
+            self.total += t0.elapsed();
+            self.total_iters += self.iters_per_batch;
+        }
+    }
+
+    /// Times batches with caller-measured durations: `f` receives an
+    /// iteration count and returns the time that many iterations took.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        black_box(f(1)); // warmup
+        for _ in 0..self.batches {
+            self.total += f(self.iters_per_batch);
+            self.total_iters += self.iters_per_batch;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.total_iters == 0 {
+            println!("bench {name:<48} (no iterations)");
+            return;
+        }
+        let per_iter = self.total.as_nanos() / u128::from(self.total_iters);
+        println!("bench {name:<48} {per_iter:>12} ns/iter");
+    }
+}
+
+/// Top-level benchmark driver (stand-in for Criterion's).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput (reported only).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the sample count (accepted for compatibility; ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for compatibility; ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        if let Some(t) = self.throughput {
+            println!("      throughput annotation: {t:?}");
+        }
+    }
+
+    /// Runs one named benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

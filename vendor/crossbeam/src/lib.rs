@@ -1,0 +1,284 @@
+//! Offline stand-in for the [`crossbeam`](https://docs.rs/crossbeam) crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors the subset it uses: [`channel`], an MPMC channel with
+//! `crossbeam-channel`'s disconnect semantics (both [`channel::Sender`] and
+//! [`channel::Receiver`] are `Clone`; a send fails once every receiver is
+//! gone, a receive fails once every sender is gone and the queue is empty).
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Multi-producer multi-consumer channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Chan<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        fn is_full(&self, st: &State<T>) -> bool {
+            matches!(self.cap, Some(cap) if st.queue.len() >= cap)
+        }
+    }
+
+    /// The sending half of a channel. Cloning adds a producer.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a channel. Cloning adds a consumer.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent message is handed back.
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity; the message is returned.
+        Full(T),
+        /// Every receiver is gone; the message is returned.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap))
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, blocking while a bounded channel is full. Fails only
+        /// when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.lock();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if !self.chan.is_full(&st) {
+                    st.queue.push_back(msg);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self
+                    .chan
+                    .not_full
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Sends without blocking; fails if full or disconnected.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.chan.lock();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if self.chan.is_full(&st) {
+                return Err(TrySendError::Full(msg));
+            }
+            st.queue.push_back(msg);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking while the channel is empty. Fails
+        /// only when the channel is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.lock();
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .chan
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Whether the channel currently holds no messages.
+        pub fn is_empty(&self) -> bool {
+            self.chan.lock().queue.is_empty()
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.chan.lock().queue.len()
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.lock();
+            match st.queue.pop_front() {
+                Some(msg) => {
+                    self.chan.not_full.notify_one();
+                    Ok(msg)
+                }
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.lock();
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake receivers blocked on an empty queue so they observe
+                // the disconnect.
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.lock();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                // Wake senders blocked on a full queue so they observe the
+                // disconnect.
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_blocks_and_disconnects() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).expect("receiver alive");
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert_eq!(rx.recv(), Ok(1));
+            drop(rx);
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Disconnected(3))));
+            assert!(tx.send(4).is_err());
+        }
+
+        #[test]
+        fn recv_fails_after_last_sender_drops() {
+            let (tx, rx) = unbounded::<u8>();
+            let tx2 = tx.clone();
+            tx.send(9).expect("receiver alive");
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(9));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn cross_thread_rendezvous() {
+            let (tx, rx) = bounded::<u64>(0x10);
+            let h = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).expect("receiver alive");
+                }
+            });
+            let sum: u64 = (0..100).map(|_| rx.recv().expect("sender alive")).sum();
+            assert_eq!(sum, 4950);
+            h.join().expect("thread joins");
+        }
+    }
+}
