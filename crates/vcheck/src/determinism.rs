@@ -14,8 +14,9 @@
 
 use crate::{fnv1a, Violation};
 use bytes::Bytes;
+use std::time::Duration;
 use vkernel::SimDomain;
-use vnet::Params1984;
+use vnet::{FaultConfig, Params1984};
 use vproto::{Message, RequestCode};
 use vsim::ExpReport;
 
@@ -109,15 +110,64 @@ pub fn report_hash(report: &ExpReport) -> u64 {
     fnv1a(text.into_bytes())
 }
 
+/// Runs the canned scenario again, but under a seeded fault plane with a
+/// mid-run scheduled crash: loss, duplication, jitter, retransmission and
+/// crash events all fold into the event hash, so two same-seed runs must
+/// still be bit-identical.
+pub fn faulty_scenario_event_hash() -> u64 {
+    let cfg = FaultConfig::lossless(0xC4EC)
+        .with_loss(0.05)
+        .with_dup(0.02)
+        .with_jitter(Duration::from_micros(400));
+    let domain = SimDomain::with_faults(Params1984::ethernet_3mbit(), cfg);
+    let (a, b) = (domain.add_host(), domain.add_host());
+    let echo = domain.spawn(b, "echo", |ctx| {
+        while let Ok(rx) = ctx.receive() {
+            let msg = rx.msg;
+            ctx.reply(rx, msg, Bytes::new()).ok();
+        }
+    });
+    let victim = domain.spawn(b, "victim", |ctx| {
+        while let Ok(rx) = ctx.receive() {
+            let msg = rx.msg;
+            ctx.sleep(Duration::from_millis(30));
+            ctx.reply(rx, msg, Bytes::new()).ok();
+        }
+    });
+    let t0 = domain.run();
+    domain.schedule_crash(victim, t0 + Duration::from_millis(10));
+    domain.client(a, move |ctx| {
+        // This transaction is cut down by the scheduled crash...
+        ctx.send(victim, Message::request(RequestCode::Echo), Bytes::new(), 0)
+            .ok();
+        // ...and these ride the lossy link, retransmitting as needed.
+        for _ in 0..16 {
+            ctx.send(echo, Message::request(RequestCode::Echo), Bytes::new(), 0)
+                .ok();
+        }
+    });
+    domain.run();
+    domain.event_hash()
+}
+
 /// The experiments sampled by the gate (report id, runner).
 type ExpRunner = (&'static str, fn() -> ExpReport);
 
-/// Sample of experiments run twice by the gate: the basic IPC timing, the
-/// per-operation name-resolution costs, and the GetPid lookup paths.
+/// Experiments run twice by the gate: all of them, including EXP-11's
+/// fault plane — every quantitative claim in EXPERIMENTS.md must be
+/// reproducible bit for bit.
 pub const SAMPLED_EXPERIMENTS: &[ExpRunner] = &[
     ("EXP-1", vsim::exp1::run),
+    ("EXP-2", vsim::exp2::run),
+    ("EXP-3", vsim::exp3::run),
     ("EXP-4", vsim::exp4::run),
+    ("EXP-5", vsim::exp5::run),
+    ("EXP-6", vsim::exp6::run),
+    ("EXP-7", vsim::exp7::run),
     ("EXP-8", vsim::exp8::run),
+    ("EXP-9", vsim::exp9::run),
+    ("EXP-10", vsim::exp10::run),
+    ("EXP-11", vsim::exp11::run),
 ];
 
 /// Runs the determinism gate: every workload twice, comparing hashes.
@@ -126,6 +176,11 @@ pub fn run() -> Vec<Violation> {
 
     let (h1, h2) = (scenario_event_hash(), scenario_event_hash());
     if let Some(v) = compare("kernel scenario event stream", h1, h2) {
+        out.push(v);
+    }
+
+    let (f1, f2) = (faulty_scenario_event_hash(), faulty_scenario_event_hash());
+    if let Some(v) = compare("kernel faulty-scenario event stream", f1, f2) {
         out.push(v);
     }
 
@@ -158,6 +213,11 @@ mod tests {
     #[test]
     fn scenario_hash_is_stable() {
         assert_eq!(scenario_event_hash(), scenario_event_hash());
+    }
+
+    #[test]
+    fn faulty_scenario_hash_is_stable() {
+        assert_eq!(faulty_scenario_event_hash(), faulty_scenario_event_hash());
     }
 
     #[test]

@@ -46,11 +46,15 @@ const PANIC_TOKENS: &[&str] = &[
 ];
 
 /// Server/resolution hot paths covered by the `panic-path` rule
-/// (workspace-relative prefixes).
+/// (workspace-relative prefixes). The client runtime and the central
+/// name-server ablation count too: a retrying client that panics on a
+/// fault turns the fault plane's recoverable errors into crashes.
 const PANIC_PATHS: &[&str] = &[
     "crates/vservers/src/",
     "crates/vnaming/src/resolve.rs",
     "crates/vio/src/client.rs",
+    "crates/vcentral/src/",
+    "crates/vruntime/src/",
 ];
 
 fn has_allow_marker(raw_line: &str, rule: &str) -> bool {
@@ -250,7 +254,9 @@ mod tests {
     fn panics_flagged_only_in_hot_paths() {
         let src = "fn f() { x.unwrap(); }\n";
         assert_eq!(scan_file("crates/vservers/src/file.rs", src).len(), 1);
-        assert!(scan_file("crates/vruntime/src/lib.rs", src).is_empty());
+        assert_eq!(scan_file("crates/vruntime/src/client.rs", src).len(), 1);
+        assert_eq!(scan_file("crates/vcentral/src/lib.rs", src).len(), 1);
+        assert!(scan_file("crates/vproto/src/lib.rs", src).is_empty());
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub enum IpcError {
     Shutdown,
     /// The group id names no group.
     NoSuchGroup,
+    /// The kernel's retransmission ladder was exhausted without the packet
+    /// getting through (fault-plane message loss).
+    Timeout,
     /// The operation is invalid in the current transaction state.
     BadOperation(&'static str),
 }
@@ -38,6 +41,7 @@ impl fmt::Display for IpcError {
             IpcError::Killed => write!(f, "process killed"),
             IpcError::Shutdown => write!(f, "domain shut down"),
             IpcError::NoSuchGroup => write!(f, "no such process group"),
+            IpcError::Timeout => write!(f, "retransmission budget exhausted"),
             IpcError::BadOperation(what) => write!(f, "invalid operation: {what}"),
         }
     }
@@ -59,6 +63,7 @@ mod tests {
             IpcError::Killed,
             IpcError::Shutdown,
             IpcError::NoSuchGroup,
+            IpcError::Timeout,
             IpcError::BadOperation("x"),
         ] {
             let s = e.to_string();

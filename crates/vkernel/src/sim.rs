@@ -31,7 +31,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
-use vnet::{NetModel, Params1984, SimTime};
+use vnet::{FaultConfig, FaultPlane, FaultStats, NetModel, Params1984, SimTime, Transmit};
 use vproto::{LogicalHost, Message, Pid, Scope, ServiceId};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,10 +79,18 @@ struct SimState {
     next_seq: u64,
     next_txn: u64,
     clock_max: u64,
-    /// FNV-1a hash over the ordered stream of scheduler events (deliveries
-    /// and sender resumptions). Two runs of the same workload must produce
-    /// the same hash — the determinism gate `vcheck` enforces this.
+    /// FNV-1a hash over the ordered stream of scheduler events (deliveries,
+    /// sender resumptions, and every fault-plane event: retransmissions,
+    /// suppressed duplicates, scheduled crashes, timeouts). Two runs of the
+    /// same workload must produce the same hash — the determinism gate
+    /// `vcheck` enforces this.
     event_hash: u64,
+    /// The seeded fault plane; `None` (the default) is a perfectly
+    /// reliable network, bit-identical to the pre-fault-plane kernel.
+    faults: Option<FaultPlane>,
+    /// Scheduled transient crashes, ordered by virtual time: executed at
+    /// the next scheduling point not preceded by an earlier ready process.
+    crashes: BinaryHeap<Reverse<(u64, u64, u32)>>,
     shutdown: bool,
 }
 
@@ -191,6 +199,30 @@ impl SimState {
     fn quiescent(&self) -> bool {
         self.current.is_none() && self.ready.is_empty()
     }
+
+    /// Runs the fault-plane trials for one remote transmission. Local hops
+    /// (and fault-free domains) always deliver cleanly and consume no
+    /// randomness.
+    fn fault_transmit(&mut self, local: bool) -> Result<Transmit, Duration> {
+        if local {
+            return Ok(Transmit::default());
+        }
+        match self.faults.as_mut() {
+            Some(plane) => plane.transmit(),
+            None => Ok(Transmit::default()),
+        }
+    }
+
+    /// Folds a successful transmission's fault events (retransmissions,
+    /// suppressed duplicate) into the event stream.
+    fn note_transmit(&mut self, at: u64, who: Pid, txn_id: u64, trial: Transmit) {
+        if trial.retransmits > 0 {
+            self.note_event(3, at, u64::from(who.raw()), u64::from(trial.retransmits));
+        }
+        if trial.duplicate {
+            self.note_event(4, at, u64::from(who.raw()), txn_id);
+        }
+    }
 }
 
 struct SimCore {
@@ -204,6 +236,58 @@ struct SimCore {
 }
 
 impl SimCore {
+    /// Removes `pid` at virtual time `at`: registrations and group
+    /// memberships are dropped, pending transactions fail over to their
+    /// blocked senders. Shared by `SimDomain::kill` and scheduled crashes.
+    /// The caller holds the state lock; registry/group/ledger locks are
+    /// independent and never re-enter the scheduler.
+    fn execute_kill(&self, st: &mut SimState, pid: Pid, at: u64) {
+        self.registry.unregister_pid(pid);
+        self.groups.remove_everywhere(pid);
+        self.ledger.on_process_exit(
+            pid,
+            self.registry.registered_anywhere(pid),
+            self.groups.member_anywhere(pid),
+        );
+        st.clock_max = st.clock_max.max(at);
+        st.note_event(5, at, u64::from(pid.raw()), 0);
+        if let Some(proc_state) = st.procs.remove(&pid) {
+            let pending: Vec<u64> = proc_state
+                .mailbox
+                .into_values()
+                .map(|e| e.txn_id)
+                .chain(proc_state.holding)
+                .collect();
+            for txn_id in pending {
+                if let Some(txn) = st.txns.get_mut(&txn_id) {
+                    txn.outstanding = txn.outstanding.saturating_sub(1);
+                    if txn.outstanding == 0 && !txn.done {
+                        st.resume_sender(txn_id, Err(IpcError::ProcessDied), at);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes every scheduled crash that precedes the next ready
+    /// process (crashes happen in virtual-time order, like any other
+    /// event), then picks the next process to run.
+    fn schedule(&self, st: &mut SimState) {
+        loop {
+            let due = match (st.crashes.peek(), st.ready.peek()) {
+                (Some(&Reverse((ct, _, _))), Some(&Reverse((rt, _, _)))) => ct <= rt,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if !due {
+                break;
+            }
+            let Reverse((at, _, pid_raw)) = st.crashes.pop().expect("peeked above");
+            self.execute_kill(st, Pid::from_raw(pid_raw), at);
+        }
+        st.schedule_next(&self.cv);
+    }
+
     fn shutdown_and_join(&self) {
         {
             let mut st = self.state.lock();
@@ -307,8 +391,22 @@ pub struct SimDomain {
 }
 
 impl SimDomain {
-    /// Creates a virtual-time domain with the given hardware parameters.
+    /// Creates a virtual-time domain with the given hardware parameters
+    /// and a perfectly reliable network.
     pub fn new(params: Params1984) -> Self {
+        Self::build(params, None)
+    }
+
+    /// Creates a virtual-time domain whose remote links run the seeded
+    /// fault plane: message loss behind the kernel's bounded
+    /// retransmission ladder, duplicate suppression, and delivery jitter.
+    /// Local (same-host) IPC stays reliable. Equal seeds with equal
+    /// workloads produce equal event hashes.
+    pub fn with_faults(params: Params1984, faults: FaultConfig) -> Self {
+        Self::build(params, Some(FaultPlane::new(faults)))
+    }
+
+    fn build(params: Params1984, faults: Option<FaultPlane>) -> Self {
         let core = Arc::new(SimCore {
             net: NetModel::new(params),
             state: Mutex::new(SimState {
@@ -323,6 +421,8 @@ impl SimDomain {
                 next_txn: 0,
                 clock_max: 0,
                 event_hash: FNV_OFFSET,
+                faults,
+                crashes: BinaryHeap::new(),
                 shutdown: false,
             }),
             cv: Condvar::new(),
@@ -417,10 +517,13 @@ impl SimDomain {
     /// and returns the high-water virtual clock.
     pub fn run(&self) -> SimTime {
         let mut st = self.core.state.lock();
-        if st.current.is_none() {
-            st.schedule_next(&self.core.cv);
-        }
-        while !st.quiescent() && !st.shutdown {
+        loop {
+            if st.current.is_none() {
+                self.core.schedule(&mut st);
+            }
+            if st.shutdown || (st.quiescent() && st.crashes.is_empty()) {
+                break;
+            }
             self.core.cv.wait(&mut st);
         }
         let procs_max = st.procs.values().map(|p| p.local_time).max().unwrap_or(0);
@@ -448,32 +551,35 @@ impl SimDomain {
     /// Kills `pid` immediately: it disappears from the domain, its pending
     /// transactions fail, and its registrations are removed.
     pub fn kill(&self, pid: Pid) {
-        self.core.registry.unregister_pid(pid);
-        self.core.groups.remove_everywhere(pid);
-        self.core.ledger.on_process_exit(
-            pid,
-            self.core.registry.registered_anywhere(pid),
-            self.core.groups.member_anywhere(pid),
-        );
         let mut st = self.core.state.lock();
-        if let Some(proc_state) = st.procs.remove(&pid) {
-            let at = st.clock_max;
-            let pending: Vec<u64> = proc_state
-                .mailbox
-                .into_values()
-                .map(|e| e.txn_id)
-                .chain(proc_state.holding)
-                .collect();
-            for txn_id in pending {
-                if let Some(txn) = st.txns.get_mut(&txn_id) {
-                    txn.outstanding = txn.outstanding.saturating_sub(1);
-                    if txn.outstanding == 0 && !txn.done {
-                        st.resume_sender(txn_id, Err(IpcError::ProcessDied), at);
-                    }
-                }
-            }
-        }
+        let at = st.clock_max;
+        self.core.execute_kill(&mut st, pid, at);
         self.core.cv.notify_all();
+    }
+
+    /// Schedules a transient crash: `pid` is killed when virtual time
+    /// reaches `at`, interleaved deterministically with ordinary events
+    /// (the crash executes at the first scheduling point with no earlier
+    /// ready process). Model restart by spawning a supervisor process that
+    /// sleeps past `at` and re-runs the server body — its fresh `SetPid`
+    /// registration is what clients re-discover by broadcast re-query.
+    pub fn schedule_crash(&self, pid: Pid, at: SimTime) {
+        let mut st = self.core.state.lock();
+        let seq = st.seq();
+        st.crashes.push(Reverse((at.as_nanos(), seq, pid.raw())));
+        self.core.cv.notify_all();
+    }
+
+    /// A snapshot of the fault-plane counters (all zero for a fault-free
+    /// domain).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.core
+            .state
+            .lock()
+            .faults
+            .as_ref()
+            .map(|p| p.stats())
+            .unwrap_or_default()
     }
 
     /// Returns the high-water virtual clock reached so far.
@@ -538,7 +644,7 @@ impl SimCtx {
             }
         }
         if st.current == Some(self.pid) {
-            st.schedule_next(&self.core.cv);
+            self.core.schedule(&mut st);
         }
         self.core.cv.notify_all();
     }
@@ -612,11 +718,25 @@ impl Ipc for SimCtx {
         }
         let local = self.host_of(&st, to) == self.host;
         let hop = self.core.net.hop_cost(local, payload.len());
-        let arrival = self.my_time(&st) + hop.as_nanos() as u64;
 
         st.next_txn += 1;
         let txn_id = st.next_txn;
         self.core.ledger.on_send_open(txn_id, TxnKind::Single);
+        let trial = match st.fault_transmit(local) {
+            Ok(t) => t,
+            Err(wasted) => {
+                // Every transmission of the request was lost: the sender
+                // sat out the whole retransmission ladder and the kernel
+                // reports a timeout. Nothing was delivered, so the
+                // transaction resolves right here — still exactly once.
+                let now = self.advance(&mut st, wasted);
+                st.note_event(6, now, u64::from(self.pid.raw()), txn_id);
+                self.core.ledger.on_sender_resolved(txn_id);
+                return Err(IpcError::Timeout);
+            }
+        };
+        let arrival = self.my_time(&st) + (hop + trial.delay).as_nanos() as u64;
+        st.note_transmit(arrival, self.pid, txn_id, trial);
         st.txns.insert(
             txn_id,
             TxnState {
@@ -637,7 +757,7 @@ impl Ipc for SimCtx {
         if let Some(p) = st.procs.get_mut(&self.pid) {
             p.status = Status::BlockedSend;
         }
-        st.schedule_next(&self.core.cv);
+        self.core.schedule(&mut st);
         let waited = self.wait_scheduled(&mut st);
         // The transaction is over for the sender either way — normally, or
         // because the whole domain is shutting down.
@@ -683,6 +803,22 @@ impl Ipc for SimCtx {
         );
         let mut delivered = 0usize;
         for member in &members {
+            // Multicast is best-effort (one datagram, no retransmission):
+            // each remote member's copy is lost independently; a lost
+            // member simply never answers, like a dead one.
+            let local = self.host_of(&st, *member) == self.host;
+            let lost = !local
+                && st
+                    .faults
+                    .as_mut()
+                    .is_some_and(|plane| !plane.multicast_delivered());
+            if lost {
+                st.note_event(7, arrival, u64::from(member.raw()), txn_id);
+                if let Some(txn) = st.txns.get_mut(&txn_id) {
+                    txn.outstanding = txn.outstanding.saturating_sub(1);
+                }
+                continue;
+            }
             let env = SimEnvelope {
                 from: self.pid,
                 msg,
@@ -701,7 +837,7 @@ impl Ipc for SimCtx {
         if let Some(p) = st.procs.get_mut(&self.pid) {
             p.status = Status::BlockedSend;
         }
-        st.schedule_next(&self.core.cv);
+        self.core.schedule(&mut st);
         let waited = self.wait_scheduled(&mut st);
         self.core.ledger.on_sender_resolved(txn_id);
         let result = st
@@ -759,7 +895,7 @@ impl Ipc for SimCtx {
                     if let Some(p) = st.procs.get_mut(&self.pid) {
                         p.status = Status::BlockedRecv;
                     }
-                    st.schedule_next(&self.core.cv);
+                    self.core.schedule(&mut st);
                     self.wait_scheduled(&mut st)?;
                 }
             }
@@ -787,7 +923,27 @@ impl Ipc for SimCtx {
         let local = self.host_of(&st, sender) == self.host;
         let total = buf_len + data.len();
         let hop = self.core.net.hop_cost(local, total);
-        let now = self.advance(&mut st, hop);
+        let trial = match st.fault_transmit(local) {
+            Ok(t) => t,
+            Err(wasted) => {
+                // The reply never got through: the replier's kernel burned
+                // its ladder, and the sender's own retransmissions cannot
+                // recover a lost *reply* (the server already answered).
+                // Fail the blocked sender with a timeout — exactly one
+                // resolution, as the ledger demands.
+                let now = self.advance(&mut st, wasted);
+                st.note_event(6, now, u64::from(self.pid.raw()), txn_id);
+                if let Some(t) = st.txns.get_mut(&txn_id) {
+                    t.outstanding = t.outstanding.saturating_sub(1);
+                }
+                if !done {
+                    st.resume_sender(txn_id, Err(IpcError::Timeout), now);
+                }
+                return Err(IpcError::Timeout);
+            }
+        };
+        let now = self.advance(&mut st, hop + trial.delay);
+        st.note_transmit(now, self.pid, txn_id, trial);
         if let Some(t) = st.txns.get_mut(&txn_id) {
             t.outstanding = t.outstanding.saturating_sub(1);
         }
@@ -832,7 +988,24 @@ impl Ipc for SimCtx {
         }
         let local = self.host_of(&st, to) == self.host;
         let hop = self.core.net.hop_cost(local, rx.payload.len());
-        let now = self.advance(&mut st, hop);
+        let trial = match st.fault_transmit(local) {
+            Ok(t) => t,
+            Err(wasted) => {
+                // The forwarded request never arrived; with no other
+                // outstanding delivery the blocked sender times out.
+                let now = self.advance(&mut st, wasted);
+                st.note_event(6, now, u64::from(self.pid.raw()), txn_id);
+                if let Some(txn) = st.txns.get_mut(&txn_id) {
+                    txn.outstanding = txn.outstanding.saturating_sub(1);
+                    if txn.outstanding == 0 && !txn.done {
+                        st.resume_sender(txn_id, Err(IpcError::Timeout), now);
+                    }
+                }
+                return Err(IpcError::Timeout);
+            }
+        };
+        let now = self.advance(&mut st, hop + trial.delay);
+        st.note_transmit(now, self.pid, txn_id, trial);
         let env = SimEnvelope {
             from: rx.from,
             msg,
@@ -898,17 +1071,31 @@ impl Ipc for SimCtx {
         let mut st = self.core.state.lock();
         let params = self.core.net.params().clone();
         let other_hosts = st.hosts.len().saturating_sub(1);
-        let cost = match found {
-            Some((_, LookupPath::LocalTable)) => params.t_getpid_local,
-            Some((_, LookupPath::Broadcast)) => {
-                params.t_getpid_local + self.core.net.broadcast_query_cost(other_hosts)
-            }
-            None if scope.searches_remote() => {
-                params.t_getpid_local + self.core.net.broadcast_query_cost(other_hosts)
-            }
-            None => params.t_getpid_local,
+        let broadcast = matches!(found, Some((_, LookupPath::Broadcast)))
+            || (found.is_none() && scope.searches_remote());
+        let cost = if broadcast {
+            params.t_getpid_local + self.core.net.broadcast_query_cost(other_hosts)
+        } else {
+            params.t_getpid_local
         };
-        self.advance(&mut st, cost);
+        // A broadcast query is a remote transmission like any other: under
+        // the fault plane it can be retransmitted or (rarely) time out, in
+        // which case the caller sees a miss and must re-query.
+        if broadcast {
+            match st.fault_transmit(false) {
+                Ok(trial) => {
+                    let now = self.advance(&mut st, cost + trial.delay);
+                    st.note_transmit(now, self.pid, 0, trial);
+                }
+                Err(wasted) => {
+                    let now = self.advance(&mut st, cost + wasted);
+                    st.note_event(6, now, u64::from(self.pid.raw()), 0);
+                    return None;
+                }
+            }
+        } else {
+            self.advance(&mut st, cost);
+        }
         found.map(|(pid, _)| pid)
     }
 
@@ -948,7 +1135,7 @@ impl Ipc for SimCtx {
         }
         let seq = st.seq();
         st.ready.push(Reverse((t, seq, self.pid.raw())));
-        st.schedule_next(&self.core.cv);
+        self.core.schedule(&mut st);
         let _ = self.wait_scheduled(&mut st);
     }
 

@@ -346,6 +346,159 @@ fn sleep_orders_processes_by_wake_time() {
 }
 
 #[test]
+fn send_under_certain_loss_times_out_with_exact_ladder_cost() {
+    // loss_p = 1.0: every remote transmission is lost; the kernel walks
+    // its whole retransmission ladder and surfaces Timeout, charging the
+    // sender exactly the ladder's give-up cost.
+    use vnet::{FaultConfig, RetransmitPolicy};
+    let cfg = FaultConfig::lossless(7).with_loss(1.0);
+    let domain = SimDomain::with_faults(Params1984::ethernet_3mbit(), cfg);
+    let (a, b) = (domain.add_host(), domain.add_host());
+    let server = domain.spawn(b, "echo", echo_server);
+    let (err, elapsed) = domain
+        .client(a, move |ctx| {
+            let t0 = ctx.now();
+            let err = ctx
+                .send(server, Message::request(RequestCode::Echo), Bytes::new(), 0)
+                .unwrap_err();
+            (err, ctx.now() - t0)
+        })
+        .unwrap();
+    assert_eq!(err, IpcError::Timeout);
+    assert_eq!(elapsed, RetransmitPolicy::default().give_up_cost());
+    let stats = domain.fault_stats();
+    assert_eq!(stats.exhausted, 1);
+    assert_eq!(stats.retransmits, 0);
+}
+
+#[test]
+fn local_sends_are_immune_to_loss() {
+    // The fault plane models the network: same-host transactions never
+    // traverse it and succeed even at loss_p = 1.0.
+    use vnet::FaultConfig;
+    let domain = SimDomain::with_faults(
+        Params1984::ethernet_3mbit(),
+        FaultConfig::lossless(7).with_loss(1.0),
+    );
+    let host = domain.add_host();
+    let server = domain.spawn(host, "echo", echo_server);
+    let elapsed = domain
+        .client(host, move |ctx| {
+            let t0 = ctx.now();
+            ctx.send(server, Message::request(RequestCode::Echo), Bytes::new(), 0)
+                .unwrap();
+            ctx.now() - t0
+        })
+        .unwrap();
+    assert_eq!(micros(elapsed), 770);
+    assert_eq!(domain.fault_stats().drops, 0);
+}
+
+#[test]
+fn scheduled_crash_fires_at_its_virtual_time() {
+    let domain = SimDomain::new(Params1984::ethernet_3mbit());
+    let host = domain.add_host();
+    let server = domain.spawn(host, "echo", echo_server);
+    let t0 = domain.run();
+    domain.schedule_crash(server, t0 + Duration::from_millis(50));
+    let (before, after) = domain
+        .client(host, move |ctx| {
+            // Before the crash time the server answers...
+            let before = ctx
+                .send(server, Message::request(RequestCode::Echo), Bytes::new(), 0)
+                .is_ok();
+            // ...after it, the pid is gone.
+            ctx.sleep(Duration::from_millis(100));
+            let after = ctx.send(server, Message::request(RequestCode::Echo), Bytes::new(), 0);
+            (before, after)
+        })
+        .unwrap();
+    assert!(before, "server must be alive before its crash time");
+    assert!(
+        matches!(after, Err(IpcError::NoProcess | IpcError::ProcessDied)),
+        "server must be dead after its crash time: {after:?}"
+    );
+}
+
+#[test]
+fn group_send_fails_over_when_a_member_crashes_mid_transaction() {
+    // Two group members: the fast one receives the multicast and then
+    // crashes (at a scheduled virtual time) while holding the transaction;
+    // the surviving member's reply must still resolve the sender — the
+    // deliver()/dead-target path masks the death (paper §7).
+    let domain = SimDomain::new(Params1984::ethernet_3mbit());
+    let hosts: Vec<_> = (0..3).map(|_| domain.add_host()).collect();
+    let group = {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        domain.spawn(hosts[0], "setup", move |ctx| {
+            let _ = tx.send(ctx.create_group());
+        });
+        domain.run();
+        rx.recv().unwrap()
+    };
+    // Member 1 ("doomed"): replies only after a 1 s think time — it will
+    // be crashed long before that while the transaction is outstanding.
+    let doomed = domain.spawn(hosts[1], "doomed", move |ctx| {
+        ctx.join_group(group).unwrap();
+        while let Ok(rx) = ctx.receive() {
+            ctx.sleep(Duration::from_secs(1));
+            let mut m = Message::ok();
+            m.set_word(5, 1);
+            ctx.reply(rx, m, Bytes::new()).ok();
+        }
+    });
+    // Member 2 ("survivor"): replies after 50 ms.
+    domain.spawn(hosts[2], "survivor", move |ctx| {
+        ctx.join_group(group).unwrap();
+        while let Ok(rx) = ctx.receive() {
+            ctx.sleep(Duration::from_millis(50));
+            let mut m = Message::ok();
+            m.set_word(5, 2);
+            ctx.reply(rx, m, Bytes::new()).ok();
+        }
+    });
+    let t0 = domain.run();
+    domain.schedule_crash(doomed, t0 + Duration::from_millis(20));
+    let winner = domain
+        .client(hosts[0], move |ctx| {
+            ctx.send_group(group, Message::request(RequestCode::Echo), Bytes::new())
+                .map(|r| r.msg.word(5))
+        })
+        .unwrap();
+    assert_eq!(winner, Ok(2), "the surviving member must answer");
+}
+
+#[test]
+fn group_send_fails_cleanly_when_every_member_crashes_mid_transaction() {
+    let domain = SimDomain::new(Params1984::ethernet_3mbit());
+    let hosts: Vec<_> = (0..2).map(|_| domain.add_host()).collect();
+    let group = {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        domain.spawn(hosts[0], "setup", move |ctx| {
+            let _ = tx.send(ctx.create_group());
+        });
+        domain.run();
+        rx.recv().unwrap()
+    };
+    let member = domain.spawn(hosts[1], "member", move |ctx| {
+        ctx.join_group(group).unwrap();
+        while let Ok(rx) = ctx.receive() {
+            ctx.sleep(Duration::from_secs(1));
+            ctx.reply(rx, Message::ok(), Bytes::new()).ok();
+        }
+    });
+    let t0 = domain.run();
+    domain.schedule_crash(member, t0 + Duration::from_millis(20));
+    let res = domain
+        .client(hosts[0], move |ctx| {
+            ctx.send_group(group, Message::request(RequestCode::Echo), Bytes::new())
+                .map(|r| r.msg.word(5))
+        })
+        .unwrap();
+    assert!(res.is_err(), "no member left to answer: {res:?}");
+}
+
+#[test]
 fn send_to_self_is_rejected() {
     let domain = SimDomain::new(Params1984::ethernet_3mbit());
     let host = domain.add_host();

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
 use vkernel::SimDomain;
-use vnet::Params1984;
+use vnet::{FaultConfig, Params1984};
 use vproto::{Message, RequestCode};
 
 /// One step of a generated client script.
@@ -52,7 +52,19 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
 /// Executes the workload and returns (final virtual time, per-client
 /// elapsed times, total transactions completed).
 fn execute(w: &Workload) -> (u64, Vec<u64>, u64) {
-    let domain = SimDomain::new(Params1984::ethernet_3mbit());
+    execute_with(w, None).0
+}
+
+/// Executes the workload, optionally under a fault plane, and returns the
+/// summary of [`execute`] plus the domain's event hash and fault stats.
+fn execute_with(
+    w: &Workload,
+    faults: Option<FaultConfig>,
+) -> ((u64, Vec<u64>, u64), u64, vnet::FaultStats) {
+    let domain = match faults {
+        Some(cfg) => SimDomain::with_faults(Params1984::ethernet_3mbit(), cfg),
+        None => SimDomain::new(Params1984::ethernet_3mbit()),
+    };
     let hosts: Vec<_> = (0..w.n_hosts).map(|_| domain.add_host()).collect();
     let servers: Vec<_> = (0..w.n_servers)
         .map(|i| {
@@ -113,7 +125,21 @@ fn execute(w: &Workload) -> (u64, Vec<u64>, u64) {
         elapsed.push(e);
         total_txns += t;
     }
-    (end.as_nanos(), elapsed, total_txns)
+    (
+        (end.as_nanos(), elapsed, total_txns),
+        domain.event_hash(),
+        domain.fault_stats(),
+    )
+}
+
+/// An arbitrary fault plane: seed, loss/duplication probabilities, jitter.
+fn arb_faults() -> impl Strategy<Value = FaultConfig> {
+    (any::<u64>(), 0.0f64..0.3, 0.0f64..0.2, 0u64..2000).prop_map(|(seed, loss, dup, jitter_us)| {
+        FaultConfig::lossless(seed)
+            .with_loss(loss)
+            .with_dup(dup)
+            .with_jitter(Duration::from_micros(jitter_us))
+    })
 }
 
 proptest! {
@@ -126,6 +152,26 @@ proptest! {
         let a = execute(&w);
         let b = execute(&w);
         prop_assert_eq!(a, b);
+    }
+
+    /// Fault determinism: equal fault seeds (with equal workloads) produce
+    /// bit-identical virtual timings, event hashes, and fault statistics.
+    #[test]
+    fn equal_fault_seeds_are_deterministic(w in arb_workload(), cfg in arb_faults()) {
+        let a = execute_with(&w, Some(cfg.clone()));
+        let b = execute_with(&w, Some(cfg));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Fault accounting is conserved: every dropped packet is either
+    /// eventually retransmitted to success or part of an exhausted ladder
+    /// of exactly `max_attempts` losses — no drop goes unaccounted, so no
+    /// transaction can be silently swallowed by the plane.
+    #[test]
+    fn fault_accounting_is_conserved(w in arb_workload(), cfg in arb_faults()) {
+        let max = cfg.retransmit.max_attempts as u64;
+        let (_, _, stats) = execute_with(&w, Some(cfg));
+        prop_assert_eq!(stats.drops, stats.retransmits + stats.exhausted * max);
     }
 
     /// Conservation: every send to a live echo server completes, and each

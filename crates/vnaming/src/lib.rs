@@ -57,8 +57,10 @@ mod context;
 mod directory;
 mod request;
 mod resolve;
+mod retry;
 
 pub use context::ContextTable;
 pub use directory::{match_pattern, DirectoryBuilder};
 pub use request::{build_csname_request, check_forward_budget, CsRequest, MAX_FORWARDS};
 pub use resolve::{resolve, ComponentSpace, FailReason, Outcome, ResolvedTarget, Step};
+pub use retry::BackoffPolicy;

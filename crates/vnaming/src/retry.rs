@@ -1,0 +1,130 @@
+//! The client-side bounded retry/backoff policy for name transactions.
+//!
+//! The paper's recovery story (§2.2, §4.2, §5.4) is client-driven: when a
+//! `(context id, server pid)` binding goes stale — the server crashed, or a
+//! transport failure ate the transaction — the client re-queries (by
+//! broadcast `GetPid` for well-known services, through the prefix server
+//! for named contexts) and retries the operation. This module pins the
+//! *bounded* part: a [`BackoffPolicy`] yields a finite, monotone ladder of
+//! delays and then gives up, so no client can turn a dead server into a
+//! retry storm.
+
+use std::time::Duration;
+
+/// A bounded exponential-backoff schedule for client-level retries.
+///
+/// `delay(n)` is the pause after the `n`-th failed attempt (1-based);
+/// it returns `None` once the attempt budget is spent, which is the
+/// caller's signal to surface the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Total attempts allowed (first try + retries).
+    pub max_attempts: u32,
+    /// Pause after the first failed attempt.
+    pub base: Duration,
+    /// Multiplier applied to the pause after each further failure.
+    pub factor: u32,
+    /// Ceiling on any single pause.
+    pub cap: Duration,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(2),
+            factor: 2,
+            cap: Duration::from_millis(50),
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// A policy that never retries (one attempt, no pauses).
+    pub const fn disabled() -> Self {
+        BackoffPolicy {
+            max_attempts: 1,
+            base: Duration::ZERO,
+            factor: 1,
+            cap: Duration::ZERO,
+        }
+    }
+
+    /// A patient policy for crash-recovery loops (EXP-11): many attempts
+    /// with a generous cap, still strictly bounded.
+    pub const fn recovery() -> Self {
+        BackoffPolicy {
+            max_attempts: 16,
+            base: Duration::from_millis(10),
+            factor: 2,
+            cap: Duration::from_millis(100),
+        }
+    }
+
+    /// The pause after `failed_attempts` failures (1-based), or `None`
+    /// when the attempt budget is exhausted and the caller must give up.
+    pub fn delay(&self, failed_attempts: u32) -> Option<Duration> {
+        if failed_attempts >= self.max_attempts {
+            return None;
+        }
+        let mut d = self.base;
+        for _ in 1..failed_attempts {
+            d = d.saturating_mul(self.factor).min(self.cap);
+        }
+        Some(d.min(self.cap))
+    }
+
+    /// The worst-case total time a caller can spend pausing between
+    /// retries: the sum of every delay the policy will ever yield. This is
+    /// the bound the property tests pin.
+    pub fn worst_case_total(&self) -> Duration {
+        (1..self.max_attempts)
+            .map(|n| self.delay(n).unwrap_or(Duration::ZERO))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_double_then_cap_then_stop() {
+        let p = BackoffPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(10),
+            factor: 2,
+            cap: Duration::from_millis(30),
+        };
+        assert_eq!(p.delay(1), Some(Duration::from_millis(10)));
+        assert_eq!(p.delay(2), Some(Duration::from_millis(20)));
+        assert_eq!(p.delay(3), Some(Duration::from_millis(30)));
+        assert_eq!(p.delay(4), Some(Duration::from_millis(30)));
+        assert_eq!(p.delay(5), None);
+        assert_eq!(p.worst_case_total(), Duration::from_millis(90));
+    }
+
+    #[test]
+    fn disabled_policy_never_yields_a_delay() {
+        assert_eq!(BackoffPolicy::disabled().delay(1), None);
+        assert_eq!(BackoffPolicy::disabled().worst_case_total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn delays_are_monotone_and_bounded() {
+        let p = BackoffPolicy::recovery();
+        let mut prev = Duration::ZERO;
+        let mut n = 0u32;
+        let mut total = Duration::ZERO;
+        while let Some(d) = p.delay(n + 1) {
+            assert!(d >= prev, "delay ladder must be monotone");
+            assert!(d <= p.cap);
+            prev = d;
+            total += d;
+            n += 1;
+        }
+        assert_eq!(n, p.max_attempts - 1);
+        assert_eq!(total, p.worst_case_total());
+        assert!(total <= p.cap * (p.max_attempts - 1));
+    }
+}

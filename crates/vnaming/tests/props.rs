@@ -2,11 +2,12 @@
 
 use proptest::prelude::*;
 use std::collections::HashMap;
+use std::time::Duration;
 use vnaming::{
-    build_csname_request, match_pattern, resolve, ComponentSpace, CsRequest, Outcome,
-    ResolvedTarget, Step,
+    build_csname_request, check_forward_budget, match_pattern, resolve, BackoffPolicy,
+    ComponentSpace, CsRequest, Outcome, ResolvedTarget, Step, MAX_FORWARDS,
 };
-use vproto::{ContextId, CsName, RequestCode};
+use vproto::{ContextId, CsName, ReplyCode, RequestCode};
 
 /// A randomly generated tree name space: contexts 0..n, each with component
 /// bindings to child contexts or leaf objects.
@@ -146,6 +147,79 @@ proptest! {
             prop_assert!(match_pattern(&name, &name));
         }
         prop_assert!(match_pattern(&name, b"*"));
+    }
+
+    /// A forwarding ring of faulty servers (each one forwarding the
+    /// request onward instead of answering) terminates: the budget admits
+    /// at most [`MAX_FORWARDS`] hops for any request, then pins the
+    /// request to `ForwardLoop` forever — no forwarding storm.
+    #[test]
+    fn forward_ring_terminates_within_budget(
+        ctx in any::<u32>(),
+        name_bytes in proptest::collection::vec(any::<u8>(), 0..32),
+        extra_hops in 0u16..32,
+    ) {
+        let (mut msg, _) = build_csname_request(
+            RequestCode::QueryObject,
+            ContextId::new(ctx),
+            &CsName::from(name_bytes),
+            &[],
+        );
+        let mut hops = 0u32;
+        for _ in 0..(MAX_FORWARDS + extra_hops) {
+            match check_forward_budget(&mut msg) {
+                Ok(()) => hops += 1,
+                Err(code) => {
+                    prop_assert_eq!(code, ReplyCode::ForwardLoop);
+                    break;
+                }
+            }
+        }
+        prop_assert!(hops <= MAX_FORWARDS as u32, "ring ran {} hops", hops);
+        // Once exhausted, the budget stays exhausted.
+        prop_assert!(check_forward_budget(&mut msg).is_err());
+    }
+
+    /// Every retry schedule is strictly bounded: an arbitrary
+    /// [`BackoffPolicy`] yields exactly `max_attempts - 1` pauses, each at
+    /// most `max(base, cap)`, with a worst-case total equal to their sum —
+    /// a client can never turn a dead server into an unbounded retry storm.
+    #[test]
+    fn backoff_policy_is_bounded_and_monotone(
+        max_attempts in 1u32..12,
+        base_ms in 0u64..50,
+        factor in 1u32..4,
+        cap_ms in 0u64..200,
+    ) {
+        let p = BackoffPolicy {
+            max_attempts,
+            base: Duration::from_millis(base_ms),
+            factor,
+            cap: Duration::from_millis(cap_ms),
+        };
+        let ceiling = p.base.max(p.cap);
+        let mut total = Duration::ZERO;
+        let mut pauses = 0u32;
+        // Probe far past the budget: the ladder must go silent exactly at
+        // max_attempts and stay silent.
+        let mut prev = Duration::ZERO;
+        for failed in 1..(max_attempts + 16) {
+            match p.delay(failed) {
+                Some(d) => {
+                    prop_assert!(failed < max_attempts);
+                    prop_assert!(d <= ceiling, "pause {:?} above ceiling {:?}", d, ceiling);
+                    if failed > 1 {
+                        prop_assert!(d >= prev.min(p.cap), "ladder not monotone");
+                    }
+                    prev = d;
+                    total += d;
+                    pauses += 1;
+                }
+                None => prop_assert!(failed >= max_attempts),
+            }
+        }
+        prop_assert_eq!(pauses, max_attempts - 1);
+        prop_assert_eq!(total, p.worst_case_total());
     }
 
     /// prefix + "*" matches any extension of prefix.

@@ -1,0 +1,351 @@
+//! The deterministic fault plane: seeded message loss, duplication, and
+//! delay jitter for remote links, plus the kernel's bounded retransmission
+//! policy.
+//!
+//! The paper leans on the V kernel's *reliable* `Send`: "the kernel
+//! retransmits the request until it receives a reply or decides the
+//! receiver has failed" — loss on the wire is hidden from processes behind
+//! a bounded retransmit/timeout ladder, and clients recover from server
+//! crashes by re-querying (stale context bindings, §2.2/§5.4). This module
+//! supplies the missing half of that story for the simulation: every fault
+//! decision is drawn from a seeded [SplitMix64] generator, so a fault
+//! schedule is a pure function of `(seed, event order)` and two runs of the
+//! same workload produce identical drops, duplicates, and jitter — which
+//! lets the vcheck determinism gate cover the failure paths too.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+use std::time::Duration;
+
+/// The kernel's bounded retransmission ladder for lost remote packets.
+///
+/// Attempt `k` (1-based) that goes unanswered costs the sender
+/// [`RetransmitPolicy::timeout`]`(k)` of virtual time before the next
+/// transmission; after `max_attempts` consecutive losses the kernel gives
+/// up and the operation fails with a timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetransmitPolicy {
+    /// Total transmissions allowed per packet (first send + retries).
+    pub max_attempts: u32,
+    /// Timeout charged for the first unanswered transmission.
+    pub base_timeout: Duration,
+    /// Multiplier applied to the timeout after each loss (exponential
+    /// backoff).
+    pub backoff_factor: u32,
+    /// Ceiling on any single retransmission timeout.
+    pub max_timeout: Duration,
+}
+
+impl Default for RetransmitPolicy {
+    fn default() -> Self {
+        RetransmitPolicy {
+            max_attempts: 5,
+            base_timeout: Duration::from_millis(5),
+            backoff_factor: 2,
+            max_timeout: Duration::from_millis(80),
+        }
+    }
+}
+
+impl RetransmitPolicy {
+    /// The timeout charged when transmission `attempt` (1-based) is lost:
+    /// `base_timeout * backoff_factor^(attempt-1)`, capped at
+    /// `max_timeout`.
+    pub fn timeout(&self, attempt: u32) -> Duration {
+        let mut t = self.base_timeout;
+        for _ in 1..attempt {
+            t = t.saturating_mul(self.backoff_factor).min(self.max_timeout);
+        }
+        t.min(self.max_timeout)
+    }
+
+    /// Virtual time spent before the kernel declares a timeout: the sum of
+    /// every per-attempt timeout. This bounds how long any single `Send`
+    /// can stall on a dead link.
+    pub fn give_up_cost(&self) -> Duration {
+        (1..=self.max_attempts).map(|k| self.timeout(k)).sum()
+    }
+}
+
+/// Configuration of the fault plane for one simulated domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the fault schedule. Equal seeds (with equal workloads)
+    /// produce equal fault schedules and equal event hashes.
+    pub seed: u64,
+    /// Probability that a remote transmission is lost.
+    pub loss_p: f64,
+    /// Probability that a delivered remote packet arrives twice (the
+    /// kernel suppresses the duplicate; it still shows up in the event
+    /// stream and stats).
+    pub dup_p: f64,
+    /// Upper bound on uniformly drawn extra delivery delay for remote
+    /// packets; `Duration::ZERO` disables jitter.
+    pub jitter_max: Duration,
+    /// The kernel's retransmission ladder for lost packets.
+    pub retransmit: RetransmitPolicy,
+}
+
+impl FaultConfig {
+    /// A fault plane that injects nothing: useful as a baseline that keeps
+    /// the RNG plumbing in place (`p = 0` rows of EXP-11).
+    pub fn lossless(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            loss_p: 0.0,
+            dup_p: 0.0,
+            jitter_max: Duration::ZERO,
+            retransmit: RetransmitPolicy::default(),
+        }
+    }
+
+    /// Sets the loss probability (builder style).
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.loss_p = p;
+        self
+    }
+
+    /// Sets the duplication probability (builder style).
+    pub fn with_dup(mut self, p: f64) -> Self {
+        self.dup_p = p;
+        self
+    }
+
+    /// Sets the jitter bound (builder style).
+    pub fn with_jitter(mut self, max: Duration) -> Self {
+        self.jitter_max = max;
+        self
+    }
+
+    /// Sets the retransmission policy (builder style).
+    pub fn with_retransmit(mut self, policy: RetransmitPolicy) -> Self {
+        self.retransmit = policy;
+        self
+    }
+}
+
+/// Counters describing what the fault plane actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Remote transmissions lost (including the final loss of an exhausted
+    /// ladder).
+    pub drops: u64,
+    /// Kernel retransmissions that eventually delivered the packet.
+    pub retransmits: u64,
+    /// Packets whose retransmission ladder was exhausted (the operation
+    /// timed out).
+    pub exhausted: u64,
+    /// Duplicate deliveries suppressed by the kernel.
+    pub duplicates: u64,
+    /// Multicast datagram copies lost (multicast is best-effort: no
+    /// retransmission, per-member independent loss).
+    pub multicast_drops: u64,
+}
+
+/// The outcome of one successfully delivered remote transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Transmit {
+    /// Extra virtual delay before arrival: retransmission timeouts for
+    /// lost attempts plus drawn jitter.
+    pub delay: Duration,
+    /// Retransmissions it took to get the packet through.
+    pub retransmits: u32,
+    /// Whether a duplicate copy also arrived (to be suppressed).
+    pub duplicate: bool,
+}
+
+/// A seeded fault schedule bound to one simulated domain.
+///
+/// All draws happen in scheduler order under the domain's state lock, so
+/// the schedule is deterministic for a deterministic workload.
+#[derive(Debug, Clone)]
+pub struct FaultPlane {
+    cfg: FaultConfig,
+    rng_state: u64,
+    stats: FaultStats,
+}
+
+impl FaultPlane {
+    /// Creates a fault plane from its configuration.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultPlane {
+            rng_state: cfg.seed,
+            cfg,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The configuration this plane was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// A snapshot of the fault counters.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// SplitMix64 — the same generator the vendored proptest uses; chosen
+    /// for determinism and statelessness, not cryptography.
+    fn next_u64(&mut self) -> u64 {
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, 1)` (53 mantissa bits).
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli trial; consumes no randomness when `p` is zero so a
+    /// lossless plane draws exactly like no plane at all.
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.unit() < p
+    }
+
+    /// Runs the loss/duplication/jitter trials for one remote unicast
+    /// transmission. `Ok` carries the extra delay and duplicate flag;
+    /// `Err` carries the virtual time wasted before the kernel declared a
+    /// timeout (the full ladder was lost).
+    pub fn transmit(&mut self) -> Result<Transmit, Duration> {
+        let mut waited = Duration::ZERO;
+        for attempt in 1..=self.cfg.retransmit.max_attempts {
+            if !self.chance(self.cfg.loss_p) {
+                let retransmits = attempt - 1;
+                self.stats.retransmits += u64::from(retransmits);
+                let duplicate = self.chance(self.cfg.dup_p);
+                if duplicate {
+                    self.stats.duplicates += 1;
+                }
+                let jitter = if self.cfg.jitter_max > Duration::ZERO {
+                    let span = self.cfg.jitter_max.as_nanos() as u64;
+                    Duration::from_nanos(self.next_u64() % (span + 1))
+                } else {
+                    Duration::ZERO
+                };
+                return Ok(Transmit {
+                    delay: waited + jitter,
+                    retransmits,
+                    duplicate,
+                });
+            }
+            self.stats.drops += 1;
+            waited += self.cfg.retransmit.timeout(attempt);
+        }
+        self.stats.exhausted += 1;
+        Err(waited)
+    }
+
+    /// One best-effort multicast datagram copy to one remote member:
+    /// returns whether it arrives (no retransmission for multicast).
+    pub fn multicast_delivered(&mut self) -> bool {
+        if self.chance(self.cfg.loss_p) {
+            self.stats.multicast_drops += 1;
+            false
+        } else {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_ladder_doubles_and_caps() {
+        let p = RetransmitPolicy::default();
+        assert_eq!(p.timeout(1), Duration::from_millis(5));
+        assert_eq!(p.timeout(2), Duration::from_millis(10));
+        assert_eq!(p.timeout(3), Duration::from_millis(20));
+        assert_eq!(p.timeout(4), Duration::from_millis(40));
+        assert_eq!(p.timeout(5), Duration::from_millis(80));
+        assert_eq!(p.timeout(6), Duration::from_millis(80)); // capped
+        assert_eq!(p.give_up_cost(), Duration::from_millis(155));
+    }
+
+    #[test]
+    fn lossless_plane_never_delays_or_draws() {
+        let mut plane = FaultPlane::new(FaultConfig::lossless(42));
+        for _ in 0..100 {
+            let t = plane.transmit().expect("lossless");
+            assert_eq!(t, Transmit::default());
+            assert!(plane.multicast_delivered());
+        }
+        assert_eq!(plane.stats(), FaultStats::default());
+        // `chance(0.0)` consumes no randomness: state untouched.
+        assert_eq!(plane.rng_state, 42);
+    }
+
+    #[test]
+    fn certain_loss_exhausts_the_ladder() {
+        let cfg = FaultConfig::lossless(7).with_loss(1.0);
+        let mut plane = FaultPlane::new(cfg.clone());
+        let wasted = plane.transmit().expect_err("always lost");
+        assert_eq!(wasted, cfg.retransmit.give_up_cost());
+        let s = plane.stats();
+        assert_eq!(s.exhausted, 1);
+        assert_eq!(s.drops, u64::from(cfg.retransmit.max_attempts));
+        assert_eq!(s.retransmits, 0);
+    }
+
+    #[test]
+    fn equal_seeds_produce_equal_schedules() {
+        let cfg = FaultConfig::lossless(0xDEAD)
+            .with_loss(0.3)
+            .with_dup(0.2)
+            .with_jitter(Duration::from_micros(500));
+        let mut a = FaultPlane::new(cfg.clone());
+        let mut b = FaultPlane::new(cfg);
+        for _ in 0..200 {
+            assert_eq!(a.transmit(), b.transmit());
+            assert_eq!(a.multicast_delivered(), b.multicast_delivered());
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let cfg = FaultConfig::lossless(1).with_loss(0.5);
+        let mut a = FaultPlane::new(cfg.clone());
+        let mut b = FaultPlane::new(FaultConfig { seed: 2, ..cfg });
+        let outcomes_a: Vec<_> = (0..64).map(|_| a.transmit().is_ok()).collect();
+        let outcomes_b: Vec<_> = (0..64).map(|_| b.transmit().is_ok()).collect();
+        assert_ne!(outcomes_a, outcomes_b);
+    }
+
+    #[test]
+    fn jitter_stays_within_bound() {
+        let bound = Duration::from_micros(300);
+        let cfg = FaultConfig::lossless(9).with_jitter(bound);
+        let mut plane = FaultPlane::new(cfg);
+        for _ in 0..500 {
+            let t = plane.transmit().expect("no loss configured");
+            assert!(t.delay <= bound, "{:?} exceeds bound", t.delay);
+        }
+    }
+
+    #[test]
+    fn retransmits_counted_when_a_loss_recovers() {
+        // loss_p = 0.5: over 400 transmissions some must be lost-then-
+        // delivered with this seed; pin that the counters line up.
+        let cfg = FaultConfig::lossless(0xBEEF).with_loss(0.5);
+        let mut plane = FaultPlane::new(cfg);
+        let mut ok = 0u64;
+        for _ in 0..400 {
+            if plane.transmit().is_ok() {
+                ok += 1;
+            }
+        }
+        let s = plane.stats();
+        assert!(ok > 0);
+        assert!(s.retransmits > 0);
+        assert_eq!(
+            s.drops,
+            s.retransmits + s.exhausted * u64::from(RetransmitPolicy::default().max_attempts)
+        );
+    }
+}

@@ -34,10 +34,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod model;
 mod params;
 mod time;
 
+pub use fault::{FaultConfig, FaultPlane, FaultStats, RetransmitPolicy, Transmit};
 pub use model::NetModel;
 pub use params::Params1984;
 pub use time::SimTime;

@@ -1,9 +1,10 @@
 //! The [`NameClient`] run-time library.
 
 use bytes::Bytes;
+use std::cell::Cell;
 use vio::{FileHandle, IoError, OpenOutcome};
-use vkernel::Ipc;
-use vnaming::build_csname_request;
+use vkernel::{Ipc, IpcError};
+use vnaming::{build_csname_request, BackoffPolicy};
 use vproto::{
     fields, ContextId, ContextPair, CsName, Message, ObjectDescriptor, OpenMode, Pid, ReplyCode,
     RequestCode, Scope, ServiceId,
@@ -17,6 +18,18 @@ fn check(code: ReplyCode) -> Result<(), IoError> {
     }
 }
 
+/// Whether a failed name transaction is worth retrying: transport-level
+/// failures (loss timeouts, a crashed server, an unanswered multicast) and
+/// the transient "no server for this service" are; definitive server
+/// answers (not found, access, ...) and domain teardown are not.
+fn retryable(err: &IoError) -> bool {
+    match err {
+        IoError::Ipc(IpcError::Shutdown) | IoError::Ipc(IpcError::Killed) => false,
+        IoError::Ipc(_) => true,
+        IoError::Server(code) => *code == ReplyCode::NoServer,
+    }
+}
+
 /// The standard run-time routines of paper §6, bound to one process and one
 /// current context.
 ///
@@ -27,9 +40,11 @@ fn check(code: ReplyCode) -> Result<(), IoError> {
 /// server.
 pub struct NameClient<'a> {
     ipc: &'a dyn Ipc,
-    prefix_server: Option<Pid>,
+    prefix_server: Cell<Option<Pid>>,
     current: ContextPair,
     cache: Option<std::cell::RefCell<NameCache>>,
+    retry: BackoffPolicy,
+    retry_stats: Cell<RetryStats>,
 }
 
 /// Client-side prefix→context cache — the design the paper *rejects* in
@@ -57,6 +72,20 @@ impl NameCache {
     }
 }
 
+/// Counters for the client's bounded retry layer (EXP-11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryStats {
+    /// Name transactions attempted (first tries + retries).
+    pub attempts: u64,
+    /// Retries after a retryable failure.
+    pub retries: u64,
+    /// Prefix-server rebindings via `GetPid` re-query that found a new
+    /// server pid (the paper's §4.2 recovery).
+    pub rebinds: u64,
+    /// Transactions abandoned with the retry budget exhausted.
+    pub gave_up: u64,
+}
+
 /// Cache statistics for the ablation experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -78,10 +107,43 @@ impl<'a> NameClient<'a> {
             .or_else(|| ipc.get_pid(ServiceId::CONTEXT_PREFIX, Scope::Both));
         NameClient {
             ipc,
-            prefix_server,
+            prefix_server: Cell::new(prefix_server),
             current,
             cache: None,
+            retry: BackoffPolicy::default(),
+            retry_stats: Cell::new(RetryStats::default()),
         }
+    }
+
+    /// Replaces the client's retry policy (default: a modest bounded
+    /// exponential backoff; [`BackoffPolicy::disabled`] turns retries off).
+    pub fn set_retry_policy(&mut self, policy: BackoffPolicy) {
+        self.retry = policy;
+    }
+
+    /// Counters from the bounded retry layer.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry_stats.get()
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut RetryStats)) {
+        let mut s = self.retry_stats.get();
+        f(&mut s);
+        self.retry_stats.set(s);
+    }
+
+    /// Re-discovers the prefix server — the broadcast re-query of paper
+    /// §4.2, used when a cached pid went stale (server crash/restart).
+    /// Returns `true` if a live server (new or unchanged) was found.
+    fn rebind_prefix_server(&self) -> bool {
+        let fresh = self
+            .ipc
+            .get_pid(ServiceId::CONTEXT_PREFIX, Scope::Local)
+            .or_else(|| self.ipc.get_pid(ServiceId::CONTEXT_PREFIX, Scope::Both));
+        if fresh.is_some() {
+            self.prefix_server.set(fresh);
+        }
+        fresh.is_some()
     }
 
     /// Enables the client-side name cache the paper argues against (§2.2) —
@@ -137,14 +199,14 @@ impl<'a> NameClient<'a> {
 
     /// The discovered prefix server, if any.
     pub fn prefix_server(&self) -> Option<Pid> {
-        self.prefix_server
+        self.prefix_server.get()
     }
 
     /// The single common routine that checks for `[` (paper §6): decides
     /// which server interprets `name` and in which starting context.
     fn route(&self, name: &CsName) -> Result<(Pid, ContextId), IoError> {
         if name.has_prefix_syntax() {
-            match self.prefix_server {
+            match self.prefix_server.get() {
                 Some(pid) => Ok((pid, ContextId::DEFAULT)),
                 None => Err(IoError::Server(ReplyCode::NoServer)),
             }
@@ -183,12 +245,45 @@ impl<'a> NameClient<'a> {
                 }
             }
         }
-        let (server, ctx) = self.route(name)?;
-        let (mut msg, payload) = build_csname_request(op, ctx, name, extra);
-        tune(&mut msg);
-        let reply = self.ipc.send(server, msg, payload, recv_cap)?;
-        check(reply.msg.reply_code())?;
-        Ok((reply.msg, reply.data))
+        // The bounded retry loop: transport failures and transient
+        // "no server" answers retransmit the whole transaction after a
+        // backoff pause, rebinding the prefix server by broadcast re-query
+        // first. On success the path costs exactly one transaction — the
+        // retry layer is free when nothing fails.
+        let mut failed = 0u32;
+        loop {
+            self.bump(|s| s.attempts += 1);
+            let err = match self.route(name) {
+                Ok((server, ctx)) => {
+                    let (mut msg, payload) = build_csname_request(op, ctx, name, extra);
+                    tune(&mut msg);
+                    match self.ipc.send(server, msg, payload, recv_cap) {
+                        Ok(reply) => match check(reply.msg.reply_code()) {
+                            Ok(()) => return Ok((reply.msg, reply.data)),
+                            Err(e) => e,
+                        },
+                        Err(e) => IoError::Ipc(e),
+                    }
+                }
+                Err(e) => e,
+            };
+            if !retryable(&err) {
+                return Err(err);
+            }
+            failed += 1;
+            let Some(delay) = self.retry.delay(failed) else {
+                self.bump(|s| s.gave_up += 1);
+                return Err(err);
+            };
+            self.bump(|s| s.retries += 1);
+            if name.has_prefix_syntax() {
+                let before = self.prefix_server.get();
+                if self.rebind_prefix_server() && self.prefix_server.get() != before {
+                    self.bump(|s| s.rebinds += 1);
+                }
+            }
+            self.ipc.sleep(delay);
+        }
     }
 
     /// Resolves a bracketed name through the cache, filling it on a miss.
@@ -460,6 +555,7 @@ impl<'a> NameClient<'a> {
     fn add_prefix_raw(&self, prefix: &str, tune: impl FnOnce(&mut Message)) -> Result<(), IoError> {
         let server = self
             .prefix_server
+            .get()
             .ok_or(IoError::Server(ReplyCode::NoServer))?;
         let name = CsName::from(prefix);
         let (mut msg, payload) =
@@ -501,6 +597,7 @@ impl<'a> NameClient<'a> {
     pub fn delete_prefix(&self, prefix: &str) -> Result<(), IoError> {
         let server = self
             .prefix_server
+            .get()
             .ok_or(IoError::Server(ReplyCode::NoServer))?;
         let name = CsName::from(prefix);
         let (msg, payload) = build_csname_request(

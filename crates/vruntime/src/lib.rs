@@ -20,5 +20,5 @@
 
 mod client;
 
-pub use client::{CacheStats, NameClient};
+pub use client::{CacheStats, NameClient, RetryStats};
 pub use vio::IoError;

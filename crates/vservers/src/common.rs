@@ -34,24 +34,27 @@ pub(crate) fn reply_descriptor(ctx: &dyn Ipc, rx: Received, d: &ObjectDescriptor
 /// Forwards a CSname request to the server implementing the next context,
 /// per the mapping procedure of paper §5.4: context-id and name-index
 /// fields updated, forward budget consumed.
+///
+/// The error distinguishes why a forward failed — `NoProcess` means the
+/// target is permanently gone (the prefix server garbage-collects stale
+/// direct entries on it), `Timeout` a transient fault-plane loss. In both
+/// cases the blocked sender has already been failed by the kernel; the
+/// result is advisory.
 pub(crate) fn forward_csname(
     ctx: &dyn Ipc,
     rx: Received,
     target_server: vproto::Pid,
     target_ctx: ContextId,
     new_index: usize,
-) {
+) -> Result<(), vkernel::IpcError> {
     let mut msg = rx.msg;
     if let Err(code) = check_forward_budget(&mut msg) {
         reply_code(ctx, rx, code);
-        return;
+        return Ok(());
     }
     msg.set_context_id(target_ctx);
     msg.set_name_index(new_index as u16);
-    if ctx.forward(rx, target_server, msg).is_err() {
-        // The target is gone; the blocked sender has already been failed by
-        // the kernel. Nothing more to do.
-    }
+    ctx.forward(rx, target_server, msg)
 }
 
 /// A simple logical clock for `modified` stamps: servers count operations.

@@ -699,7 +699,8 @@ fn dispatch_csname(
                 ctx: c,
                 index,
             } => {
-                return forward_csname(ctx, rx, server, c, index);
+                let _ = forward_csname(ctx, rx, server, c, index);
+                return;
             }
             CreateTarget::Fail(code) => return reply_code(ctx, rx, code),
             CreateTarget::Exists(target, parent) => {
@@ -713,7 +714,7 @@ fn dispatch_csname(
 
     match resolve(fs, &req.name, req.index, req.context, SEP) {
         Outcome::Forward { target, index } => {
-            forward_csname(ctx, rx, target.server, target.context, index);
+            let _ = forward_csname(ctx, rx, target.server, target.context, index);
         }
         Outcome::Fail(fail) => reply_fail(ctx, rx, fail),
         Outcome::Done { target, parent, .. } => {

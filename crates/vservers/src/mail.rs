@@ -96,7 +96,7 @@ pub fn mail_server(ctx: &dyn Ipc, config: MailConfig) {
                 if h != config.host.as_bytes() {
                     match config.peers.iter().find(|(peer, _)| peer.as_bytes() == h) {
                         Some((_, pid)) => {
-                            forward_csname(ctx, rx, *pid, ContextId::DEFAULT, req.index);
+                            let _ = forward_csname(ctx, rx, *pid, ContextId::DEFAULT, req.index);
                         }
                         None => reply_code(ctx, rx, ReplyCode::NotFound),
                     }

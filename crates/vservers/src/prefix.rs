@@ -42,12 +42,21 @@ pub struct PrefixConfig {
     /// prefix servers are `Local` — each workstation runs its own
     /// (paper §6).
     pub scope: Scope,
+    /// Direct prefixes installed at boot — the user's "login script"
+    /// bindings, which is what lets a *restarted* prefix server come back
+    /// with its soft-state table already rebuilt (EXP-11 recovery).
+    pub preload_direct: Vec<(String, ContextPair)>,
+    /// Logical prefixes installed at boot: (prefix, service,
+    /// well-known-context), re-resolved via `GetPid` on each use.
+    pub preload_logical: Vec<(String, ServiceId, ContextId)>,
 }
 
 impl Default for PrefixConfig {
     fn default() -> Self {
         PrefixConfig {
             scope: Scope::Local,
+            preload_direct: Vec::new(),
+            preload_logical: Vec::new(),
         }
     }
 }
@@ -70,6 +79,18 @@ pub fn prefix_footprint_bytes(n_entries: usize, total_name_bytes: usize) -> usiz
 /// mapping.
 pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
     let mut table: BTreeMap<Vec<u8>, PrefixTarget> = BTreeMap::new();
+    for (name, pair) in &config.preload_direct {
+        table.insert(name.as_bytes().to_vec(), PrefixTarget::Direct(*pair));
+    }
+    for (name, service, context) in &config.preload_logical {
+        table.insert(
+            name.as_bytes().to_vec(),
+            PrefixTarget::Logical {
+                service: *service,
+                context: *context,
+            },
+        );
+    }
     let mut instances: InstanceTable<Vec<u8>> = InstanceTable::new();
     ctx.set_pid(ServiceId::CONTEXT_PREFIX, config.scope);
 
@@ -247,7 +268,17 @@ fn handle_csname(
         }
     };
     let absolute_index = req.index + rest_index;
-    forward_csname(ctx, rx, server, target_ctx, absolute_index);
+    if forward_csname(ctx, rx, server, target_ctx, absolute_index)
+        == Err(vkernel::IpcError::NoProcess)
+    {
+        // The bound server is permanently gone (not a transient loss
+        // timeout): a direct entry is now a stale binding, so drop it —
+        // the next definition re-binds. Logical entries stay; they
+        // re-resolve via `GetPid` and survive restarts by design.
+        if matches!(target, PrefixTarget::Direct(_)) {
+            table.remove(&prefix);
+        }
+    }
 }
 
 /// Operations on the prefix server's own (single) context: directory

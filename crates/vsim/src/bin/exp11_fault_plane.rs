@@ -1,0 +1,4 @@
+//! Regenerates EXP-11 of the experiment index (see DESIGN.md).
+fn main() {
+    println!("{}", vsim::exp11::run());
+}

@@ -19,6 +19,7 @@
 
 pub mod exp1;
 pub mod exp10;
+pub mod exp11;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;
@@ -47,5 +48,6 @@ pub fn run_all() -> Vec<ExpReport> {
         exp8::run(),
         exp9::run(),
         exp10::run(),
+        exp11::run(),
     ]
 }

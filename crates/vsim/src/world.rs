@@ -3,7 +3,7 @@
 //! server) and a remote server machine, on one simulated Ethernet.
 
 use vkernel::SimDomain;
-use vnet::Params1984;
+use vnet::{FaultConfig, Params1984};
 use vproto::{ContextId, ContextPair, LogicalHost, Pid, Scope};
 use vruntime::NameClient;
 use vservers::{file_server, prefix_server, FileServerConfig, PrefixConfig};
@@ -29,7 +29,17 @@ pub struct SimWorld {
 /// `[local]` → local fs root, `[remote]` → remote fs root,
 /// `[home]` → local fs home. Both file servers hold `paper.txt`.
 pub fn boot_world(params: Params1984) -> SimWorld {
-    let domain = SimDomain::new(params);
+    boot_world_with(params, None)
+}
+
+/// Boots the standard world, optionally under a seeded fault plane
+/// (message loss, duplication, jitter — see [`vnet::FaultConfig`]).
+/// With `faults: None` the timings are bit-identical to [`boot_world`].
+pub fn boot_world_with(params: Params1984, faults: Option<FaultConfig>) -> SimWorld {
+    let domain = match faults {
+        Some(cfg) => SimDomain::with_faults(params, cfg),
+        None => SimDomain::new(params),
+    };
     let workstation = domain.add_host();
     let server_machine = domain.add_host();
 

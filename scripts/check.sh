@@ -16,4 +16,8 @@ cargo run -p vcheck
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> fault-plane seed matrix (two distinct seeds)"
+VSIM_FAULT_SEED=0x1984 cargo test -q -p vsim --test fault_plane
+VSIM_FAULT_SEED=271828 cargo test -q -p vsim --test fault_plane
+
 echo "==> all checks passed"
