@@ -16,7 +16,7 @@ use crate::{fnv1a, Violation};
 use bytes::Bytes;
 use std::time::Duration;
 use vkernel::SimDomain;
-use vnet::{FaultConfig, Params1984};
+use vnet::{FaultConfig, Params1984, Partition};
 use vproto::{Message, RequestCode};
 use vsim::ExpReport;
 
@@ -150,6 +150,45 @@ pub fn faulty_scenario_event_hash() -> u64 {
     domain.event_hash()
 }
 
+/// The canned scenario again, under an *asymmetric* partition riding on a
+/// lossy plane: requests from A deliver, replies from B are severed for a
+/// window mid-run, then heal. Partition-severed attempts are their own
+/// event kind in the hash, so two same-seed runs must still be
+/// bit-identical — and a run with the cut must differ from one without.
+pub fn partitioned_scenario_event_hash(cut: bool) -> u64 {
+    let cfg = FaultConfig::lossless(0xC4ED).with_loss(0.02);
+    let domain = SimDomain::with_faults(Params1984::ethernet_3mbit(), cfg);
+    let (a, b) = (domain.add_host(), domain.add_host());
+    let echo = domain.spawn(b, "echo", |ctx| {
+        while let Ok(rx) = ctx.receive() {
+            let msg = rx.msg;
+            ctx.reply(rx, msg, Bytes::new()).ok();
+        }
+    });
+    let t0 = domain.run();
+    if cut {
+        let start = t0 + Duration::from_millis(5);
+        domain.schedule_partition(Partition::one_way(
+            b,
+            a,
+            start,
+            Some(start + Duration::from_millis(40)),
+        ));
+    }
+    domain.client(a, move |ctx| {
+        // Spread the sends across the cut window and past the heal: some
+        // replies are severed (their ladders burn fully), later ones ride
+        // the healed link again.
+        for _ in 0..8 {
+            ctx.send(echo, Message::request(RequestCode::Echo), Bytes::new(), 0)
+                .ok();
+            ctx.sleep(Duration::from_millis(10));
+        }
+    });
+    domain.run();
+    domain.event_hash()
+}
+
 /// The experiments sampled by the gate (report id, runner).
 type ExpRunner = (&'static str, fn() -> ExpReport);
 
@@ -168,6 +207,7 @@ pub const SAMPLED_EXPERIMENTS: &[ExpRunner] = &[
     ("EXP-9", vsim::exp9::run),
     ("EXP-10", vsim::exp10::run),
     ("EXP-11", vsim::exp11::run),
+    ("EXP-12", vsim::exp12::run),
 ];
 
 /// Runs the determinism gate: every workload twice, comparing hashes.
@@ -181,6 +221,14 @@ pub fn run() -> Vec<Violation> {
 
     let (f1, f2) = (faulty_scenario_event_hash(), faulty_scenario_event_hash());
     if let Some(v) = compare("kernel faulty-scenario event stream", f1, f2) {
+        out.push(v);
+    }
+
+    let (p1, p2) = (
+        partitioned_scenario_event_hash(true),
+        partitioned_scenario_event_hash(true),
+    );
+    if let Some(v) = compare("kernel partitioned-scenario event stream", p1, p2) {
         out.push(v);
     }
 
@@ -218,6 +266,20 @@ mod tests {
     #[test]
     fn faulty_scenario_hash_is_stable() {
         assert_eq!(faulty_scenario_event_hash(), faulty_scenario_event_hash());
+    }
+
+    #[test]
+    fn partitioned_scenario_hash_is_stable_and_cut_sensitive() {
+        assert_eq!(
+            partitioned_scenario_event_hash(true),
+            partitioned_scenario_event_hash(true)
+        );
+        // The cut must actually change the event stream — otherwise the
+        // gate would pass with partitions silently disconnected.
+        assert_ne!(
+            partitioned_scenario_event_hash(true),
+            partitioned_scenario_event_hash(false)
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub enum IpcError {
     /// The group id names no group.
     NoSuchGroup,
     /// The kernel's retransmission ladder was exhausted without the packet
-    /// getting through (fault-plane message loss).
+    /// getting through — fault-plane message loss or an active network
+    /// partition. The kernel deliberately cannot distinguish a dead host
+    /// from an alive-but-unreachable one (the paper's failure model);
+    /// degraded-mode resolution above the kernel is what tells them apart.
     Timeout,
     /// The operation is invalid in the current transaction state.
     BadOperation(&'static str),

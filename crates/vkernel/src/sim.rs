@@ -31,7 +31,10 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
-use vnet::{FaultConfig, FaultPlane, FaultStats, NetModel, Params1984, SimTime, Transmit};
+use vnet::{
+    Exhausted, FaultConfig, FaultPlane, FaultStats, NetModel, Params1984, Partition, SimTime,
+    Transmit,
+};
 use vproto::{LogicalHost, Message, Pid, Scope, ServiceId};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,9 +84,9 @@ struct SimState {
     clock_max: u64,
     /// FNV-1a hash over the ordered stream of scheduler events (deliveries,
     /// sender resumptions, and every fault-plane event: retransmissions,
-    /// suppressed duplicates, scheduled crashes, timeouts). Two runs of the
-    /// same workload must produce the same hash — the determinism gate
-    /// `vcheck` enforces this.
+    /// suppressed duplicates, scheduled crashes, timeouts,
+    /// partition-severed attempts). Two runs of the same workload must
+    /// produce the same hash — the determinism gate `vcheck` enforces this.
     event_hash: u64,
     /// The seeded fault plane; `None` (the default) is a perfectly
     /// reliable network, bit-identical to the pre-fault-plane kernel.
@@ -200,27 +203,53 @@ impl SimState {
         self.current.is_none() && self.ready.is_empty()
     }
 
-    /// Runs the fault-plane trials for one remote transmission. Local hops
-    /// (and fault-free domains) always deliver cleanly and consume no
-    /// randomness.
-    fn fault_transmit(&mut self, local: bool) -> Result<Transmit, Duration> {
+    /// Runs the fault-plane trials for one remote transmission `from → to`
+    /// starting at virtual time `at` (partitions are checked per attempt
+    /// against that clock). Local hops (and fault-free domains) always
+    /// deliver cleanly and consume no randomness.
+    fn fault_transmit(
+        &mut self,
+        local: bool,
+        from: LogicalHost,
+        to: LogicalHost,
+        at: u64,
+    ) -> Result<Transmit, Exhausted> {
         if local {
             return Ok(Transmit::default());
         }
         match self.faults.as_mut() {
-            Some(plane) => plane.transmit(),
+            Some(plane) => plane.transmit(from, to, SimTime::from_nanos(at)),
             None => Ok(Transmit::default()),
         }
     }
 
     /// Folds a successful transmission's fault events (retransmissions,
-    /// suppressed duplicate) into the event stream.
+    /// partition-severed attempts, suppressed duplicate) into the event
+    /// stream.
     fn note_transmit(&mut self, at: u64, who: Pid, txn_id: u64, trial: Transmit) {
         if trial.retransmits > 0 {
             self.note_event(3, at, u64::from(who.raw()), u64::from(trial.retransmits));
         }
         if trial.duplicate {
             self.note_event(4, at, u64::from(who.raw()), txn_id);
+        }
+        if trial.partition_drops > 0 {
+            self.note_partition(at, who, trial.partition_drops);
+        }
+    }
+
+    /// Folds partition-severed transmission attempts into the event stream
+    /// (tag 8: the deterministic record that a link was cut).
+    fn note_partition(&mut self, at: u64, who: Pid, drops: u32) {
+        self.note_event(8, at, u64::from(who.raw()), u64::from(drops));
+    }
+
+    /// Feeds a measured round trip into the adaptive RTT estimator, if one
+    /// is configured. Called under the state lock in scheduler order, so
+    /// the estimator's trajectory is deterministic.
+    fn observe_rtt(&mut self, rtt: Duration, retransmitted: bool) {
+        if let Some(plane) = self.faults.as_mut() {
+            plane.observe_rtt(rtt, retransmitted);
         }
     }
 }
@@ -570,6 +599,40 @@ impl SimDomain {
         self.core.cv.notify_all();
     }
 
+    /// Schedules a network partition: a directed (or symmetric) host-pair
+    /// cut over a virtual-time window, interleaved deterministically with
+    /// ordinary events. A domain built without faults gets a lossless
+    /// plane holding only the partition schedule, so `schedule_partition`
+    /// on a fault-free domain changes nothing but the severed links.
+    pub fn schedule_partition(&self, p: Partition) {
+        let mut st = self.core.state.lock();
+        st.faults
+            .get_or_insert_with(|| FaultPlane::new(FaultConfig::lossless(0)))
+            .add_partition(p);
+    }
+
+    /// The adaptive estimator's smoothed round-trip estimate, if the
+    /// domain runs an adaptive fault plane that has accepted a sample.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.core
+            .state
+            .lock()
+            .faults
+            .as_ref()
+            .and_then(|p| p.rtt().and_then(|e| e.srtt()))
+    }
+
+    /// The adaptive estimator's current retransmission timeout, if the
+    /// domain runs an adaptive fault plane.
+    pub fn rto(&self) -> Option<Duration> {
+        self.core
+            .state
+            .lock()
+            .faults
+            .as_ref()
+            .and_then(|p| p.rtt().map(|e| e.rto()))
+    }
+
     /// A snapshot of the fault-plane counters (all zero for a fault-free
     /// domain).
     pub fn fault_stats(&self) -> FaultStats {
@@ -722,14 +785,22 @@ impl Ipc for SimCtx {
         st.next_txn += 1;
         let txn_id = st.next_txn;
         self.core.ledger.on_send_open(txn_id, TxnKind::Single);
-        let trial = match st.fault_transmit(local) {
+        let t_send = self.my_time(&st);
+        let to_host = self.host_of(&st, to);
+        let trial = match st.fault_transmit(local, self.host, to_host, t_send) {
             Ok(t) => t,
-            Err(wasted) => {
-                // Every transmission of the request was lost: the sender
-                // sat out the whole retransmission ladder and the kernel
-                // reports a timeout. Nothing was delivered, so the
-                // transaction resolves right here — still exactly once.
-                let now = self.advance(&mut st, wasted);
+            Err(e) => {
+                // Every transmission of the request was lost — to the wire
+                // or to a partition: the sender sat out the whole
+                // retransmission ladder and the kernel reports a timeout.
+                // A partitioned receiver is alive yet unreachable, but the
+                // sender cannot tell (that is the point of the model).
+                // Nothing was delivered, so the transaction resolves right
+                // here — still exactly once.
+                let now = self.advance(&mut st, e.wasted);
+                if e.partition_drops > 0 {
+                    st.note_partition(now, self.pid, e.partition_drops);
+                }
                 st.note_event(6, now, u64::from(self.pid.raw()), txn_id);
                 self.core.ledger.on_sender_resolved(txn_id);
                 return Err(IpcError::Timeout);
@@ -764,10 +835,19 @@ impl Ipc for SimCtx {
         self.core.ledger.on_sender_resolved(txn_id);
         st.txns.remove(&txn_id);
         waited?;
-        st.procs
+        let result = st
+            .procs
             .get_mut(&self.pid)
             .and_then(|p| p.resume.take())
-            .unwrap_or(Err(IpcError::ProcessDied))
+            .unwrap_or(Err(IpcError::ProcessDied));
+        if !local && result.is_ok() {
+            // A completed remote transaction is a round-trip sample for
+            // the adaptive RTT estimator; per Karn's rule a sample from a
+            // retransmitted exchange is flagged (and discarded there).
+            let rtt = Duration::from_nanos(self.my_time(&st).saturating_sub(t_send));
+            st.observe_rtt(rtt, trial.retransmits > 0 || trial.partition_drops > 0);
+        }
+        result
     }
 
     fn send_group(&self, group: GroupId, msg: Message, payload: Bytes) -> Result<Reply, IpcError> {
@@ -804,14 +884,18 @@ impl Ipc for SimCtx {
         let mut delivered = 0usize;
         for member in &members {
             // Multicast is best-effort (one datagram, no retransmission):
-            // each remote member's copy is lost independently; a lost
-            // member simply never answers, like a dead one.
-            let local = self.host_of(&st, *member) == self.host;
+            // each remote member's copy is lost independently — to the
+            // wire or to a partition; a lost member simply never answers,
+            // like a dead one.
+            let member_host = self.host_of(&st, *member);
+            let local = member_host == self.host;
+            let send_at = SimTime::from_nanos(self.my_time(&st));
+            let from = self.host;
             let lost = !local
                 && st
                     .faults
                     .as_mut()
-                    .is_some_and(|plane| !plane.multicast_delivered());
+                    .is_some_and(|plane| !plane.multicast_delivered(from, member_host, send_at));
             if lost {
                 st.note_event(7, arrival, u64::from(member.raw()), txn_id);
                 if let Some(txn) = st.txns.get_mut(&txn_id) {
@@ -920,18 +1004,25 @@ impl Ipc for SimCtx {
             Some(t) => (t.sender, t.cap, t.buf.len(), t.done),
             None => return Ok(()), // sender gone; discard like the real kernel
         };
-        let local = self.host_of(&st, sender) == self.host;
+        let sender_host = self.host_of(&st, sender);
+        let local = sender_host == self.host;
         let total = buf_len + data.len();
         let hop = self.core.net.hop_cost(local, total);
-        let trial = match st.fault_transmit(local) {
+        let t_reply = self.my_time(&st);
+        let trial = match st.fault_transmit(local, self.host, sender_host, t_reply) {
             Ok(t) => t,
-            Err(wasted) => {
-                // The reply never got through: the replier's kernel burned
-                // its ladder, and the sender's own retransmissions cannot
+            Err(e) => {
+                // The reply never got through — lost on the wire or severed
+                // by a partition (the asymmetric case: the request arrived,
+                // the answer cannot): the replier's kernel burned its
+                // ladder, and the sender's own retransmissions cannot
                 // recover a lost *reply* (the server already answered).
                 // Fail the blocked sender with a timeout — exactly one
                 // resolution, as the ledger demands.
-                let now = self.advance(&mut st, wasted);
+                let now = self.advance(&mut st, e.wasted);
+                if e.partition_drops > 0 {
+                    st.note_partition(now, self.pid, e.partition_drops);
+                }
                 st.note_event(6, now, u64::from(self.pid.raw()), txn_id);
                 if let Some(t) = st.txns.get_mut(&txn_id) {
                     t.outstanding = t.outstanding.saturating_sub(1);
@@ -986,14 +1077,20 @@ impl Ipc for SimCtx {
         if let Some(p) = st.procs.get_mut(&self.pid) {
             p.holding.retain(|&t| t != txn_id);
         }
-        let local = self.host_of(&st, to) == self.host;
+        let to_host = self.host_of(&st, to);
+        let local = to_host == self.host;
         let hop = self.core.net.hop_cost(local, rx.payload.len());
-        let trial = match st.fault_transmit(local) {
+        let t_fwd = self.my_time(&st);
+        let trial = match st.fault_transmit(local, self.host, to_host, t_fwd) {
             Ok(t) => t,
-            Err(wasted) => {
-                // The forwarded request never arrived; with no other
-                // outstanding delivery the blocked sender times out.
-                let now = self.advance(&mut st, wasted);
+            Err(e) => {
+                // The forwarded request never arrived (lost or severed by a
+                // partition); with no other outstanding delivery the
+                // blocked sender times out.
+                let now = self.advance(&mut st, e.wasted);
+                if e.partition_drops > 0 {
+                    st.note_partition(now, self.pid, e.partition_drops);
+                }
                 st.note_event(6, now, u64::from(self.pid.raw()), txn_id);
                 if let Some(txn) = st.txns.get_mut(&txn_id) {
                     txn.outstanding = txn.outstanding.saturating_sub(1);
@@ -1079,16 +1176,43 @@ impl Ipc for SimCtx {
             params.t_getpid_local
         };
         // A broadcast query is a remote transmission like any other: under
-        // the fault plane it can be retransmitted or (rarely) time out, in
-        // which case the caller sees a miss and must re-query.
+        // the fault plane it can be retransmitted, severed by a partition,
+        // or (rarely) time out — in each case the caller sees a miss and
+        // must re-query.
         if broadcast {
-            match st.fault_transmit(false) {
+            let responder = found.map(|(pid, _)| self.host_of(&st, pid));
+            let to_host = responder.unwrap_or(self.host);
+            let t_query = self.my_time(&st);
+            match st.fault_transmit(false, self.host, to_host, t_query) {
                 Ok(trial) => {
                     let now = self.advance(&mut st, cost + trial.delay);
                     st.note_transmit(now, self.pid, 0, trial);
+                    // The answer travels the reverse direction: under an
+                    // asymmetric cut the responder hears the query but its
+                    // answer never arrives, so the querier still sees a
+                    // miss after sitting out its ladder.
+                    if let Some(resp) = responder {
+                        let answer_cut = resp != self.host
+                            && st.faults.as_ref().is_some_and(|p| {
+                                p.severed(resp, self.host, SimTime::from_nanos(now))
+                            });
+                        if answer_cut {
+                            let wait = st
+                                .faults
+                                .as_ref()
+                                .map(|p| p.give_up_cost())
+                                .unwrap_or_default();
+                            let at = self.advance(&mut st, wait);
+                            st.note_event(6, at, u64::from(self.pid.raw()), 0);
+                            return None;
+                        }
+                    }
                 }
-                Err(wasted) => {
-                    let now = self.advance(&mut st, cost + wasted);
+                Err(e) => {
+                    let now = self.advance(&mut st, cost + e.wasted);
+                    if e.partition_drops > 0 {
+                        st.note_partition(now, self.pid, e.partition_drops);
+                    }
                     st.note_event(6, now, u64::from(self.pid.raw()), 0);
                     return None;
                 }

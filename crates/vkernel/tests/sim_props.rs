@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
 use vkernel::SimDomain;
-use vnet::{FaultConfig, Params1984};
-use vproto::{Message, RequestCode};
+use vnet::{FaultConfig, Params1984, Partition, SimTime};
+use vproto::{LogicalHost, Message, RequestCode};
 
 /// One step of a generated client script.
 #[derive(Debug, Clone, Copy)]
@@ -132,14 +132,44 @@ fn execute_with(
     )
 }
 
-/// An arbitrary fault plane: seed, loss/duplication probabilities, jitter.
+/// An arbitrary partition window over the workload's possible hosts: a
+/// cut naming a host the workload never created simply never matches.
+fn arb_partition() -> impl Strategy<Value = Partition> {
+    (1u16..4, 1u16..4, 0u64..100, 0u64..100, any::<bool>()).prop_map(
+        |(a, b, start_ms, width_ms, symmetric)| {
+            let start = SimTime::ZERO + Duration::from_millis(start_ms);
+            let heal = Some(start + Duration::from_millis(width_ms));
+            Partition {
+                from: LogicalHost::new(a),
+                to: LogicalHost::new(b),
+                start,
+                heal,
+                symmetric,
+            }
+        },
+    )
+}
+
+/// An arbitrary fault plane: seed, loss/duplication probabilities, jitter,
+/// and up to two scheduled partitions.
 fn arb_faults() -> impl Strategy<Value = FaultConfig> {
-    (any::<u64>(), 0.0f64..0.3, 0.0f64..0.2, 0u64..2000).prop_map(|(seed, loss, dup, jitter_us)| {
-        FaultConfig::lossless(seed)
-            .with_loss(loss)
-            .with_dup(dup)
-            .with_jitter(Duration::from_micros(jitter_us))
-    })
+    (
+        any::<u64>(),
+        0.0f64..0.3,
+        0.0f64..0.2,
+        0u64..2000,
+        proptest::collection::vec(arb_partition(), 0..3),
+    )
+        .prop_map(|(seed, loss, dup, jitter_us, partitions)| {
+            let mut cfg = FaultConfig::lossless(seed)
+                .with_loss(loss)
+                .with_dup(dup)
+                .with_jitter(Duration::from_micros(jitter_us));
+            for p in partitions {
+                cfg = cfg.with_partition(p);
+            }
+            cfg
+        })
 }
 
 proptest! {
@@ -163,15 +193,19 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
-    /// Fault accounting is conserved: every dropped packet is either
-    /// eventually retransmitted to success or part of an exhausted ladder
-    /// of exactly `max_attempts` losses — no drop goes unaccounted, so no
-    /// transaction can be silently swallowed by the plane.
+    /// Fault accounting is conserved: every lost attempt — dropped on the
+    /// wire or severed by a partition — is either eventually retransmitted
+    /// to success or part of an exhausted ladder of exactly `max_attempts`
+    /// losses. No drop goes unaccounted, so no transaction can be silently
+    /// swallowed by the plane, partitions included.
     #[test]
     fn fault_accounting_is_conserved(w in arb_workload(), cfg in arb_faults()) {
         let max = cfg.retransmit.max_attempts as u64;
         let (_, _, stats) = execute_with(&w, Some(cfg));
-        prop_assert_eq!(stats.drops, stats.retransmits + stats.exhausted * max);
+        prop_assert_eq!(
+            stats.drops + stats.partition_drops,
+            stats.retransmits + stats.exhausted * max
+        );
     }
 
     /// Conservation: every send to a live echo server completes, and each

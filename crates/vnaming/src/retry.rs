@@ -8,8 +8,15 @@
 //! *bounded* part: a [`BackoffPolicy`] yields a finite, monotone ladder of
 //! delays and then gives up, so no client can turn a dead server into a
 //! retry storm.
+//!
+//! The ladder math itself lives in [`vnet::ExpBackoff`] — shared with the
+//! kernel's `RetransmitPolicy` so the two cannot silently diverge — and
+//! [`RetryPolicy`] lets a client swap the static ladder for the adaptive
+//! RTT-estimated timer ([`vnet::AdaptiveTimer`]) behind one
+//! [`RetryTimer`] interface.
 
 use std::time::Duration;
+use vnet::{AdaptiveTimer, ExpBackoff, RetryTimer};
 
 /// A bounded exponential-backoff schedule for client-level retries.
 ///
@@ -61,17 +68,17 @@ impl BackoffPolicy {
         }
     }
 
+    /// The ladder this policy climbs, as shared backoff math.
+    pub const fn ladder(&self) -> ExpBackoff {
+        ExpBackoff::new(self.base, self.factor, self.cap)
+    }
+
     /// The pause after `failed_attempts` failures (1-based), or `None`
     /// when the attempt budget is exhausted and the caller must give up.
+    /// Unlike the kernel's convention, the final failure yields no pause:
+    /// the client surfaces the error immediately.
     pub fn delay(&self, failed_attempts: u32) -> Option<Duration> {
-        if failed_attempts >= self.max_attempts {
-            return None;
-        }
-        let mut d = self.base;
-        for _ in 1..failed_attempts {
-            d = d.saturating_mul(self.factor).min(self.cap);
-        }
-        Some(d.min(self.cap))
+        (failed_attempts < self.max_attempts).then(|| self.ladder().nth(failed_attempts))
     }
 
     /// The worst-case total time a caller can spend pausing between
@@ -81,6 +88,59 @@ impl BackoffPolicy {
         (1..self.max_attempts)
             .map(|n| self.delay(n).unwrap_or(Duration::ZERO))
             .sum()
+    }
+}
+
+impl RetryTimer for BackoffPolicy {
+    fn failure_delay(&self, failed_attempts: u32) -> Option<Duration> {
+        self.delay(failed_attempts)
+    }
+}
+
+/// A client retry policy: the static exponential ladder of
+/// [`BackoffPolicy`], or the adaptive RTT-estimated timer — both behind
+/// the shared [`RetryTimer`] interface, so the transaction loop does not
+/// care which one it is pacing itself with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryPolicy {
+    /// A fixed exponential ladder.
+    Static(BackoffPolicy),
+    /// Jacobson/Karn SRTT-driven pacing with exponential backoff.
+    Adaptive(AdaptiveTimer),
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::Static(BackoffPolicy::default())
+    }
+}
+
+impl From<BackoffPolicy> for RetryPolicy {
+    fn from(p: BackoffPolicy) -> Self {
+        RetryPolicy::Static(p)
+    }
+}
+
+impl RetryTimer for RetryPolicy {
+    fn failure_delay(&self, failed_attempts: u32) -> Option<Duration> {
+        match self {
+            RetryPolicy::Static(p) => p.failure_delay(failed_attempts),
+            RetryPolicy::Adaptive(t) => t.failure_delay(failed_attempts),
+        }
+    }
+
+    fn observe_rtt(&mut self, rtt: Duration, retransmitted: bool) {
+        match self {
+            RetryPolicy::Static(p) => p.observe_rtt(rtt, retransmitted),
+            RetryPolicy::Adaptive(t) => t.observe_rtt(rtt, retransmitted),
+        }
+    }
+
+    fn on_give_up(&mut self) {
+        match self {
+            RetryPolicy::Static(p) => p.on_give_up(),
+            RetryPolicy::Adaptive(t) => t.on_give_up(),
+        }
     }
 }
 

@@ -37,9 +37,16 @@
 mod fault;
 mod model;
 mod params;
+mod retry;
+mod rtt;
 mod time;
 
-pub use fault::{FaultConfig, FaultPlane, FaultStats, RetransmitPolicy, Transmit};
+pub use fault::{
+    Exhausted, FaultConfig, FaultPlane, FaultStats, LinkFaults, Partition, RetransmitPolicy,
+    Transmit,
+};
 pub use model::NetModel;
 pub use params::Params1984;
+pub use retry::{ExpBackoff, RetryTimer};
+pub use rtt::{AdaptiveTimer, RttConfig, RttEstimator};
 pub use time::SimTime;

@@ -1,0 +1,95 @@
+//! The shared retry vocabulary: one implementation of the bounded
+//! exponential ladder that both the kernel's
+//! [`RetransmitPolicy`](crate::RetransmitPolicy) and the client-level
+//! backoff policy in `vnaming` delegate to, plus the [`RetryTimer`] trait
+//! that lets static ladders and the adaptive RTT-estimated timer
+//! ([`AdaptiveTimer`](crate::AdaptiveTimer)) be used interchangeably.
+//!
+//! Before this module existed the two ladders were hand-rolled copies of
+//! the same loop; a change to one could silently diverge from the other.
+//! Now the math lives once, in [`ExpBackoff`], and each policy keeps only
+//! its own *budget* convention (the kernel charges a timeout for every
+//! lost transmission including the last; the client gives up without a
+//! final pause).
+
+use std::time::Duration;
+
+/// The bounded exponential ladder `min(base * factor^(n-1), cap)`.
+///
+/// This is pure math with no budget: callers decide how many rungs they
+/// climb before giving up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpBackoff {
+    /// The first rung of the ladder.
+    pub base: Duration,
+    /// Multiplier between consecutive rungs.
+    pub factor: u32,
+    /// Ceiling on any rung.
+    pub cap: Duration,
+}
+
+impl ExpBackoff {
+    /// Builds a ladder from its three constants.
+    pub const fn new(base: Duration, factor: u32, cap: Duration) -> Self {
+        ExpBackoff { base, factor, cap }
+    }
+
+    /// The `n`-th rung (1-based): `base * factor^(n-1)`, capped.
+    pub fn nth(&self, n: u32) -> Duration {
+        let mut d = self.base;
+        for _ in 1..n {
+            d = d.saturating_mul(self.factor).min(self.cap);
+        }
+        d.min(self.cap)
+    }
+
+    /// The sum of the first `count` rungs.
+    pub fn total(&self, count: u32) -> Duration {
+        (1..=count).map(|n| self.nth(n)).sum()
+    }
+}
+
+/// A retry timer: given how many attempts have failed, how long to wait
+/// before the next one — or `None` when the budget is spent and the
+/// caller must surface the error.
+///
+/// Static policies ignore the feedback methods; the adaptive timer uses
+/// [`observe_rtt`](RetryTimer::observe_rtt) to track the network and
+/// [`on_give_up`](RetryTimer::on_give_up) to back its estimate off
+/// (Karn's rule pairs with both: samples from retransmitted exchanges
+/// must be flagged so they are not fed into the estimator).
+pub trait RetryTimer {
+    /// The pause after `failed_attempts` failures (1-based), or `None`
+    /// once the attempt budget is exhausted.
+    fn failure_delay(&self, failed_attempts: u32) -> Option<Duration>;
+
+    /// Feeds back a measured round-trip time. `retransmitted` marks a
+    /// sample from an exchange that needed retransmission — ambiguous
+    /// under Karn's rule, so adaptive timers discard it.
+    fn observe_rtt(&mut self, _rtt: Duration, _retransmitted: bool) {}
+
+    /// Signals that the budget was exhausted without an answer.
+    fn on_give_up(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_doubles_then_caps() {
+        let l = ExpBackoff::new(Duration::from_millis(5), 2, Duration::from_millis(80));
+        assert_eq!(l.nth(1), Duration::from_millis(5));
+        assert_eq!(l.nth(2), Duration::from_millis(10));
+        assert_eq!(l.nth(4), Duration::from_millis(40));
+        assert_eq!(l.nth(5), Duration::from_millis(80));
+        assert_eq!(l.nth(9), Duration::from_millis(80));
+        assert_eq!(l.total(5), Duration::from_millis(155));
+    }
+
+    #[test]
+    fn base_above_cap_is_clamped_immediately() {
+        let l = ExpBackoff::new(Duration::from_millis(90), 2, Duration::from_millis(80));
+        assert_eq!(l.nth(1), Duration::from_millis(80));
+    }
+}

@@ -1,0 +1,254 @@
+//! Adaptive round-trip-time estimation: SRTT/RTTVAR smoothing with Karn's
+//! rule and exponential backoff, in the style of period BSD TCP
+//! (Jacobson's 1988 gains, Karn & Partridge 1987 sample discipline).
+//!
+//! The paper's kernel retransmits on a fixed ladder; ROADMAP lists
+//! "adaptive retry (paper-era BSD-style RTT estimation)" as the open
+//! refinement. This module supplies it for both retransmission layers:
+//! the kernel's packet ladder (via [`FaultConfig::with_adaptive`]) and
+//! the client's transaction backoff (via [`AdaptiveTimer`]).
+//!
+//! All arithmetic is integer nanoseconds with shift-based gains
+//! (`err/8`, `|err|/4`), so the estimator is bit-deterministic and safe
+//! to fold into the simulation's event hash.
+//!
+//! [`FaultConfig::with_adaptive`]: crate::FaultConfig::with_adaptive
+
+use crate::retry::RetryTimer;
+use std::time::Duration;
+
+/// Bounds and initial value for the adaptive retransmission timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RttConfig {
+    /// RTO used before the first accepted sample.
+    pub initial_rto: Duration,
+    /// Floor under the computed RTO (a zero-variance estimator must not
+    /// spin-retransmit).
+    pub min_rto: Duration,
+    /// Ceiling over the computed RTO, shared with the static ladder's cap.
+    pub max_rto: Duration,
+}
+
+impl Default for RttConfig {
+    fn default() -> Self {
+        // Matches the static ladder's base/cap so the two policies are
+        // comparable: an adaptive timer with no samples behaves like the
+        // static ladder's first rung.
+        RttConfig {
+            initial_rto: Duration::from_millis(5),
+            min_rto: Duration::from_millis(1),
+            max_rto: Duration::from_millis(80),
+        }
+    }
+}
+
+/// SRTT/RTTVAR estimator with Karn's rule.
+///
+/// * `observe(sample, retransmitted=false)`: first sample sets
+///   `SRTT = R`, `RTTVAR = R/2`; later samples apply Jacobson's gains
+///   `SRTT += err/8`, `RTTVAR += (|err| - RTTVAR)/4`.
+/// * `observe(_, retransmitted=true)`: discarded (Karn's rule — the
+///   sample is ambiguous: it may time the retransmission, not the
+///   original).
+/// * `on_timeout()`: doubles the effective RTO (exponential backoff),
+///   undone by the next accepted sample.
+/// * `rto()`: `SRTT + 4*RTTVAR`, clamped to `[min_rto, max_rto]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RttEstimator {
+    cfg: RttConfig,
+    srtt_ns: Option<u64>,
+    rttvar_ns: u64,
+    /// Consecutive-timeout backoff exponent (Karn: keep the backed-off
+    /// RTO until a sample from an unretransmitted exchange arrives).
+    backoff: u32,
+}
+
+/// Cap on the backoff exponent: `80 ms << 6` already saturates any
+/// plausible `max_rto`, and bounding the shift keeps the arithmetic total.
+const MAX_BACKOFF: u32 = 6;
+
+impl RttEstimator {
+    /// A fresh estimator with no samples.
+    pub fn new(cfg: RttConfig) -> Self {
+        RttEstimator {
+            cfg,
+            srtt_ns: None,
+            rttvar_ns: 0,
+            backoff: 0,
+        }
+    }
+
+    /// The configuration this estimator was built with.
+    pub fn config(&self) -> &RttConfig {
+        &self.cfg
+    }
+
+    /// Feeds one round-trip sample. Samples from retransmitted exchanges
+    /// are discarded per Karn's rule.
+    pub fn observe(&mut self, sample: Duration, retransmitted: bool) {
+        if retransmitted {
+            return;
+        }
+        self.backoff = 0;
+        let s = sample.as_nanos().min(u128::from(u64::MAX)) as u64;
+        match self.srtt_ns {
+            None => {
+                self.srtt_ns = Some(s);
+                self.rttvar_ns = s / 2;
+            }
+            Some(m) => {
+                let err = s as i64 - m as i64;
+                let srtt = (m as i64 + err / 8).max(0) as u64;
+                let var = self.rttvar_ns as i64;
+                self.rttvar_ns = (var + (err.abs() - var) / 4).max(0) as u64;
+                self.srtt_ns = Some(srtt);
+            }
+        }
+    }
+
+    /// Signals an exhausted exchange: the next ladder starts from a
+    /// doubled RTO.
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(MAX_BACKOFF);
+    }
+
+    /// The smoothed round-trip estimate, if any sample was accepted yet.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.srtt_ns.map(Duration::from_nanos)
+    }
+
+    /// The mean-deviation estimate.
+    pub fn rttvar(&self) -> Duration {
+        Duration::from_nanos(self.rttvar_ns)
+    }
+
+    /// The base retransmission timeout `SRTT + 4*RTTVAR`, clamped to the
+    /// configured bounds; `initial_rto` before the first sample. The
+    /// timeout-backoff exponent is *not* applied here — see
+    /// [`ladder`](Self::ladder).
+    pub fn rto(&self) -> Duration {
+        let raw = match self.srtt_ns {
+            Some(m) => Duration::from_nanos(m.saturating_add(self.rttvar_ns.saturating_mul(4))),
+            None => self.cfg.initial_rto,
+        };
+        raw.clamp(self.cfg.min_rto, self.cfg.max_rto)
+    }
+
+    /// The timeout for transmission `attempt` (1-based) of one exchange:
+    /// the current RTO shifted left by the accumulated timeout backoff
+    /// plus the in-exchange attempt index, capped at `max_rto` — the
+    /// adaptive replacement for the static ladder's `timeout(attempt)`.
+    pub fn ladder(&self, attempt: u32) -> Duration {
+        let shift = (self.backoff + attempt.saturating_sub(1)).min(MAX_BACKOFF);
+        let rto = self.rto();
+        rto.saturating_mul(1u32 << shift).min(self.cfg.max_rto)
+    }
+}
+
+/// A client-level [`RetryTimer`] driven by an [`RttEstimator`]: the pause
+/// after the `n`-th failure is the estimator's backed-off RTO for attempt
+/// `n`, and the budget convention matches the static client policy (no
+/// pause after the final failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveTimer {
+    /// Total attempts allowed (first try + retries).
+    pub max_attempts: u32,
+    est: RttEstimator,
+}
+
+impl AdaptiveTimer {
+    /// Builds an adaptive timer with the given attempt budget.
+    pub fn new(max_attempts: u32, cfg: RttConfig) -> Self {
+        AdaptiveTimer {
+            max_attempts,
+            est: RttEstimator::new(cfg),
+        }
+    }
+
+    /// Read access to the underlying estimator.
+    pub fn estimator(&self) -> &RttEstimator {
+        &self.est
+    }
+}
+
+impl RetryTimer for AdaptiveTimer {
+    fn failure_delay(&self, failed_attempts: u32) -> Option<Duration> {
+        (failed_attempts < self.max_attempts).then(|| self.est.ladder(failed_attempts))
+    }
+
+    fn observe_rtt(&mut self, rtt: Duration, retransmitted: bool) {
+        self.est.observe(rtt, retransmitted);
+    }
+
+    fn on_give_up(&mut self) {
+        self.est.on_timeout();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn first_sample_initializes_srtt_and_var() {
+        let mut e = RttEstimator::new(RttConfig::default());
+        assert_eq!(e.rto(), ms(5));
+        e.observe(ms(4), false);
+        assert_eq!(e.srtt(), Some(ms(4)));
+        assert_eq!(e.rttvar(), ms(2));
+        assert_eq!(e.rto(), ms(12)); // 4 + 4*2
+    }
+
+    #[test]
+    fn constant_samples_shrink_variance_toward_zero() {
+        let mut e = RttEstimator::new(RttConfig::default());
+        for _ in 0..64 {
+            e.observe(ms(3), false);
+        }
+        assert_eq!(e.srtt(), Some(ms(3)));
+        assert!(e.rttvar() < Duration::from_micros(10), "{:?}", e.rttvar());
+        // RTO collapses onto SRTT but respects the floor.
+        assert!(e.rto() >= RttConfig::default().min_rto);
+        assert!(e.rto() < ms(4));
+    }
+
+    #[test]
+    fn karn_discards_retransmitted_samples() {
+        let mut a = RttEstimator::new(RttConfig::default());
+        let mut b = a;
+        a.observe(ms(3), false);
+        b.observe(ms(3), false);
+        b.observe(ms(40), true); // must not move the estimate
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timeouts_double_the_rto_until_a_clean_sample() {
+        let mut e = RttEstimator::new(RttConfig::default());
+        e.observe(ms(2), false); // srtt 2, var 1 -> rto 6
+        assert_eq!(e.ladder(1), ms(6));
+        e.on_timeout();
+        assert_eq!(e.ladder(1), ms(12));
+        e.on_timeout();
+        assert_eq!(e.ladder(1), ms(24));
+        // In-exchange attempts stack on the timeout backoff, capped.
+        assert_eq!(e.ladder(2), ms(48));
+        assert_eq!(e.ladder(5), ms(80));
+        // A clean sample resets the backoff (and shrinks the variance:
+        // rttvar 1 ms -> 0.75 ms, so RTO is 2 + 4*0.75 = 5 ms).
+        e.observe(ms(2), false);
+        assert_eq!(e.ladder(1), ms(5));
+    }
+
+    #[test]
+    fn adaptive_timer_budget_matches_client_convention() {
+        let t = AdaptiveTimer::new(3, RttConfig::default());
+        assert!(t.failure_delay(1).is_some());
+        assert!(t.failure_delay(2).is_some());
+        assert_eq!(t.failure_delay(3), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the Jacobson/Karn RTT estimator — the adaptive half
+//! of the shared retry machinery.
+//!
+//! Three laws, each for arbitrary sample streams:
+//!
+//! * feeding a constant RTT converges SRTT to that RTT (and RTTVAR to 0),
+//!   so the adaptive RTO approaches the true round trip;
+//! * the RTO never leaves the configured `[min_rto, max_rto]` corridor,
+//!   whatever the samples do;
+//! * Karn's rule: samples flagged as retransmitted leave the estimator
+//!   state bit-identical (they are ambiguous and must be discarded).
+
+use proptest::prelude::*;
+use std::time::Duration;
+use vnet::{RttConfig, RttEstimator};
+
+fn arb_sample() -> impl Strategy<Value = Duration> {
+    // Microseconds to tens of milliseconds — the simulator's RTT range.
+    (10u64..50_000).prop_map(Duration::from_micros)
+}
+
+proptest! {
+    #[test]
+    fn constant_rtt_converges_srtt_to_it(
+        rtt_us in 100u64..20_000,
+        warmup in proptest::collection::vec(arb_sample(), 0..8),
+    ) {
+        let mut e = RttEstimator::new(RttConfig::default());
+        for s in warmup {
+            e.observe(s, false);
+        }
+        let rtt = Duration::from_micros(rtt_us);
+        // SRTT's error shrinks by 1/8 per sample: 128 clean samples decay
+        // any warmup residue (≤ 50 ms) by (7/8)^128 ≈ 4e-8 — nanoseconds.
+        for _ in 0..128 {
+            e.observe(rtt, false);
+        }
+        let srtt = e.srtt().expect("sampled");
+        let err = srtt.abs_diff(rtt);
+        prop_assert!(err <= Duration::from_micros(2), "srtt {srtt:?} vs rtt {rtt:?}");
+        prop_assert!(e.rttvar() <= Duration::from_micros(2), "rttvar {:?}", e.rttvar());
+    }
+
+    #[test]
+    fn rto_stays_inside_the_configured_corridor(
+        samples in proptest::collection::vec((arb_sample(), any::<bool>()), 1..64),
+        timeouts in proptest::collection::vec(any::<bool>(), 0..16),
+    ) {
+        let cfg = RttConfig::default();
+        let mut e = RttEstimator::new(cfg);
+        prop_assert!(e.rto() >= cfg.min_rto && e.rto() <= cfg.max_rto);
+        let mut t = timeouts.into_iter();
+        for (s, retransmitted) in samples {
+            e.observe(s, retransmitted);
+            if t.next() == Some(true) {
+                e.on_timeout();
+            }
+            prop_assert!(
+                e.rto() >= cfg.min_rto && e.rto() <= cfg.max_rto,
+                "rto {:?} outside [{:?}, {:?}]",
+                e.rto(),
+                cfg.min_rto,
+                cfg.max_rto
+            );
+            // The backed-off ladder is clamped by the same ceiling.
+            for attempt in 1..=6u32 {
+                prop_assert!(e.ladder(attempt) <= cfg.max_rto);
+            }
+        }
+    }
+
+    #[test]
+    fn karn_discards_retransmitted_samples(
+        clean in proptest::collection::vec(arb_sample(), 1..32),
+        ambiguous in proptest::collection::vec(arb_sample(), 1..16),
+    ) {
+        let mut with = RttEstimator::new(RttConfig::default());
+        let mut without = RttEstimator::new(RttConfig::default());
+        let mut amb = ambiguous.iter().cycle();
+        for s in &clean {
+            with.observe(*s, false);
+            without.observe(*s, false);
+            // Interleave ambiguous samples into one estimator only: if
+            // Karn's rule holds they change nothing.
+            with.observe(*amb.next().expect("cycle"), true);
+        }
+        prop_assert_eq!(with, without);
+    }
+}

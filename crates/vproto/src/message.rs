@@ -142,6 +142,11 @@ pub mod fields {
     /// paper's §7 complaint that failures deep in a forwarding chain are
     /// hard to report usefully.
     pub const W_FAIL_INDEX: usize = 5;
+    /// Replies carrying a context binding: nonzero when the binding is
+    /// *suspect* — served from a cache or a non-authoritative replica while
+    /// the authoritative server is unreachable (degraded-mode resolution).
+    /// Zero (the default) means the binding is fresh/authoritative.
+    pub const W_STALENESS: usize = 14;
     /// Requests that carry a forward count to detect interpretation loops.
     pub const W_FORWARD_COUNT: usize = 15;
 }

@@ -98,6 +98,7 @@ fn query_name_reply_layout() {
                 "object_id (central model)",
                 W_OBJECT_ID_LO..W_OBJECT_ID_LO + 2,
             ),
+            ("staleness", W_STALENESS..W_STALENESS + 1),
         ],
     );
 }

@@ -1,10 +1,10 @@
 //! The [`NameClient`] run-time library.
 
 use bytes::Bytes;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use vio::{FileHandle, IoError, OpenOutcome};
-use vkernel::{Ipc, IpcError};
-use vnaming::{build_csname_request, BackoffPolicy};
+use vkernel::{GroupId, Ipc, IpcError};
+use vnaming::{build_csname_request, BackoffPolicy, RetryPolicy, RetryTimer};
 use vproto::{
     fields, ContextId, ContextPair, CsName, Message, ObjectDescriptor, OpenMode, Pid, ReplyCode,
     RequestCode, Scope, ServiceId,
@@ -42,9 +42,48 @@ pub struct NameClient<'a> {
     ipc: &'a dyn Ipc,
     prefix_server: Cell<Option<Pid>>,
     current: ContextPair,
-    cache: Option<std::cell::RefCell<NameCache>>,
-    retry: BackoffPolicy,
+    cache: Option<RefCell<NameCache>>,
+    retry: RefCell<RetryPolicy>,
     retry_stats: Cell<RetryStats>,
+    degraded: bool,
+    replica_group: Cell<Option<GroupId>>,
+    degraded_stats: Cell<DegradedStats>,
+}
+
+/// How much a resolved binding should be trusted (degraded-mode naming).
+///
+/// The kernel cannot distinguish a dead host from an alive-but-unreachable
+/// one; a [`Suspect`](Staleness::Suspect) binding is the naming layer's
+/// honest answer during that ambiguity — served from a cache or a
+/// non-authoritative replica rather than the authority, and possibly stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Staleness {
+    /// Answered by the authoritative server along a live path.
+    Fresh,
+    /// Served from a cache or replica while the authority is unreachable.
+    Suspect,
+}
+
+/// A resolved prefix binding plus how much to trust it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binding {
+    /// The (server, context) pair the name maps to.
+    pub target: ContextPair,
+    /// Whether the authority vouched for it.
+    pub staleness: Staleness,
+}
+
+/// Counters for degraded-mode resolution (EXP-12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradedStats {
+    /// Bindings returned tagged [`Staleness::Suspect`].
+    pub suspect_bindings: u64,
+    /// Resolutions rescued by the client-side name cache.
+    pub cache_fallbacks: u64,
+    /// Resolutions rescued by a multicast to the replica group.
+    pub replica_fallbacks: u64,
+    /// Resolutions that failed even after every degraded fallback.
+    pub authority_failures: u64,
 }
 
 /// Client-side prefix→context cache — the design the paper *rejects* in
@@ -110,15 +149,31 @@ impl<'a> NameClient<'a> {
             prefix_server: Cell::new(prefix_server),
             current,
             cache: None,
-            retry: BackoffPolicy::default(),
+            retry: RefCell::new(RetryPolicy::default()),
             retry_stats: Cell::new(RetryStats::default()),
+            degraded: false,
+            replica_group: Cell::new(None),
+            degraded_stats: Cell::new(DegradedStats::default()),
         }
     }
 
     /// Replaces the client's retry policy (default: a modest bounded
     /// exponential backoff; [`BackoffPolicy::disabled`] turns retries off).
     pub fn set_retry_policy(&mut self, policy: BackoffPolicy) {
-        self.retry = policy;
+        *self.retry.borrow_mut() = RetryPolicy::Static(policy);
+    }
+
+    /// Replaces the retry policy with any [`RetryPolicy`] — in particular
+    /// the adaptive RTT-estimated timer, which paces retries off observed
+    /// round-trip times instead of a fixed ladder.
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        *self.retry.borrow_mut() = policy;
+    }
+
+    /// The retry policy currently in force (its adaptive estimator state,
+    /// if any, reflects the RTT samples observed so far).
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.borrow()
     }
 
     /// Counters from the bounded retry layer.
@@ -153,6 +208,37 @@ impl<'a> NameClient<'a> {
     /// the prefix server.
     pub fn enable_name_cache(&mut self) {
         self.cache = Some(std::cell::RefCell::new(NameCache::default()));
+    }
+
+    /// Enables degraded-mode resolution (EXP-12): when the authoritative
+    /// path for a `[prefix]` mapping fails at the transport level,
+    /// [`resolve`](Self::resolve) falls back to the client name cache and
+    /// then to a multicast of the replica group, returning the binding
+    /// tagged [`Staleness::Suspect`] instead of surfacing the timeout.
+    /// Implies the client name cache (fresh resolutions are remembered so
+    /// there is something to fall back on).
+    pub fn enable_degraded_mode(&mut self) {
+        self.degraded = true;
+        if self.cache.is_none() {
+            self.enable_name_cache();
+        }
+    }
+
+    /// Names the process group joined by non-authoritative prefix replicas,
+    /// used as the multicast fallback of degraded-mode resolution.
+    pub fn set_replica_group(&mut self, group: GroupId) {
+        self.replica_group.set(Some(group));
+    }
+
+    /// Counters from degraded-mode resolution (zeroes when disabled).
+    pub fn degraded_stats(&self) -> DegradedStats {
+        self.degraded_stats.get()
+    }
+
+    fn bump_degraded(&self, f: impl FnOnce(&mut DegradedStats)) {
+        let mut s = self.degraded_stats.get();
+        f(&mut s);
+        self.degraded_stats.set(s);
     }
 
     /// Plants a cache entry directly — experiment support for simulating a
@@ -227,8 +313,20 @@ impl<'a> NameClient<'a> {
         tune: impl FnOnce(&mut Message) + Copy,
         recv_cap: usize,
     ) -> Result<(Message, Bytes), IoError> {
+        self.csname_transaction_routed(op, name, extra, tune, recv_cap, true)
+    }
+
+    fn csname_transaction_routed(
+        &self,
+        op: RequestCode,
+        name: &CsName,
+        extra: &[u8],
+        tune: impl FnOnce(&mut Message) + Copy,
+        recv_cap: usize,
+        use_cache: bool,
+    ) -> Result<(Message, Bytes), IoError> {
         // Cached route first (EXP-10 ablation; off by default).
-        if let Some((server, ctx, index)) = self.cached_route(name)? {
+        if let Some((server, ctx, index)) = self.cached_route_maybe(name, use_cache)? {
             let (mut msg, payload) = build_csname_request(op, ctx, name, extra);
             msg.set_name_index(index as u16);
             tune(&mut msg);
@@ -247,19 +345,28 @@ impl<'a> NameClient<'a> {
         }
         // The bounded retry loop: transport failures and transient
         // "no server" answers retransmit the whole transaction after a
-        // backoff pause, rebinding the prefix server by broadcast re-query
+        // pause from the retry timer (static ladder or adaptive RTT
+        // estimator), rebinding the prefix server by broadcast re-query
         // first. On success the path costs exactly one transaction — the
         // retry layer is free when nothing fails.
         let mut failed = 0u32;
         loop {
             self.bump(|s| s.attempts += 1);
+            let t_send = self.ipc.now();
             let err = match self.route(name) {
                 Ok((server, ctx)) => {
                     let (mut msg, payload) = build_csname_request(op, ctx, name, extra);
                     tune(&mut msg);
                     match self.ipc.send(server, msg, payload, recv_cap) {
                         Ok(reply) => match check(reply.msg.reply_code()) {
-                            Ok(()) => return Ok((reply.msg, reply.data)),
+                            Ok(()) => {
+                                // Karn's rule rides on `failed`: a reply to a
+                                // retried transaction is ambiguous, so the
+                                // adaptive estimator discards it.
+                                let rtt = self.ipc.now().saturating_sub(t_send);
+                                self.retry.borrow_mut().observe_rtt(rtt, failed > 0);
+                                return Ok((reply.msg, reply.data));
+                            }
                             Err(e) => e,
                         },
                         Err(e) => IoError::Ipc(e),
@@ -271,7 +378,9 @@ impl<'a> NameClient<'a> {
                 return Err(err);
             }
             failed += 1;
-            let Some(delay) = self.retry.delay(failed) else {
+            let delay = self.retry.borrow().failure_delay(failed);
+            let Some(delay) = delay else {
+                self.retry.borrow_mut().on_give_up();
                 self.bump(|s| s.gave_up += 1);
                 return Err(err);
             };
@@ -288,7 +397,14 @@ impl<'a> NameClient<'a> {
 
     /// Resolves a bracketed name through the cache, filling it on a miss.
     /// `Ok(None)` when the cache is off or the name is not bracketed.
-    fn cached_route(&self, name: &CsName) -> Result<Option<(Pid, ContextId, usize)>, IoError> {
+    fn cached_route_maybe(
+        &self,
+        name: &CsName,
+        use_cache: bool,
+    ) -> Result<Option<(Pid, ContextId, usize)>, IoError> {
+        if !use_cache {
+            return Ok(None);
+        }
         let Some(cache) = &self.cache else {
             return Ok(None);
         };
@@ -369,6 +485,94 @@ impl<'a> NameClient<'a> {
             msg.pid_at(fields::W_PID_LO),
             msg.context_id(),
         ))
+    }
+
+    /// Maps a context name like [`query_name`](Self::query_name), but
+    /// reports how trustworthy the answer is — the degraded-mode entry
+    /// point (EXP-12).
+    ///
+    /// The authoritative path is always tried first (with the usual retry
+    /// budget, skipping the EXP-10 cache fast path so the authority really
+    /// is asked). A binding the prefix server served from its own table
+    /// while the authority is suspect comes back [`Staleness::Suspect`].
+    /// If the transaction itself fails at the transport level and degraded
+    /// mode is on, the client falls back to its name cache and then to a
+    /// multicast of the replica group, again tagged `Suspect`. Fresh
+    /// resolutions refresh the cache so later partitions have something to
+    /// fall back on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the authoritative path's error once every enabled
+    /// fallback has also failed.
+    pub fn resolve(&self, name: &str) -> Result<Binding, IoError> {
+        let csname = CsName::from(name);
+        match self.csname_transaction_routed(RequestCode::QueryName, &csname, &[], |_| {}, 0, false)
+        {
+            Ok((msg, _)) => {
+                let target = ContextPair::new(msg.pid_at(fields::W_PID_LO), msg.context_id());
+                if msg.word(fields::W_STALENESS) != 0 {
+                    self.bump_degraded(|s| s.suspect_bindings += 1);
+                    return Ok(Binding {
+                        target,
+                        staleness: Staleness::Suspect,
+                    });
+                }
+                if let (Some(cache), Some(parse)) = (&self.cache, csname.parse_prefix()) {
+                    cache
+                        .borrow_mut()
+                        .entries
+                        .insert(parse.prefix.to_vec(), target);
+                }
+                Ok(Binding {
+                    target,
+                    staleness: Staleness::Fresh,
+                })
+            }
+            Err(err) if self.degraded && retryable(&err) => self.degraded_resolve(&csname, err),
+            Err(err) => Err(err),
+        }
+    }
+
+    /// The fallback chain behind [`resolve`](Self::resolve): name cache
+    /// first (cheap, local), then one multicast round to the replica
+    /// group. Anything found is `Suspect` by construction — nobody
+    /// authoritative vouched for it.
+    fn degraded_resolve(&self, name: &CsName, err: IoError) -> Result<Binding, IoError> {
+        if let (Some(cache), Some(parse)) = (&self.cache, name.parse_prefix()) {
+            let cached = cache.borrow().entries.get(parse.prefix).copied();
+            if let Some(target) = cached {
+                self.bump_degraded(|s| {
+                    s.cache_fallbacks += 1;
+                    s.suspect_bindings += 1;
+                });
+                return Ok(Binding {
+                    target,
+                    staleness: Staleness::Suspect,
+                });
+            }
+        }
+        if let Some(group) = self.replica_group.get() {
+            let (msg, payload) =
+                build_csname_request(RequestCode::QueryName, ContextId::DEFAULT, name, &[]);
+            if let Ok(reply) = self.ipc.send_group(group, msg, payload) {
+                if reply.msg.reply_code().is_ok() {
+                    self.bump_degraded(|s| {
+                        s.replica_fallbacks += 1;
+                        s.suspect_bindings += 1;
+                    });
+                    return Ok(Binding {
+                        target: ContextPair::new(
+                            reply.msg.pid_at(fields::W_PID_LO),
+                            reply.msg.context_id(),
+                        ),
+                        staleness: Staleness::Suspect,
+                    });
+                }
+            }
+        }
+        self.bump_degraded(|s| s.authority_failures += 1);
+        Err(err)
     }
 
     /// Gets the description record of the named object (paper §5.5).

@@ -20,5 +20,6 @@
 
 mod client;
 
-pub use client::{CacheStats, NameClient, RetryStats};
+pub use client::{Binding, CacheStats, DegradedStats, NameClient, RetryStats, Staleness};
 pub use vio::IoError;
+pub use vnaming::{BackoffPolicy, RetryPolicy};

@@ -44,7 +44,7 @@ pub use file::{file_server, FileServerConfig};
 pub use internet::{internet_server, InternetConfig};
 pub use mail::{mail_server, MailConfig};
 pub use pipe::{pipe_server, PipeConfig};
-pub use prefix::{prefix_footprint_bytes, prefix_server, PrefixConfig};
+pub use prefix::{prefix_footprint_bytes, prefix_server, DegradedPrefixConfig, PrefixConfig};
 pub use printer::{printer_server, PrinterConfig};
 pub use program::{program_manager, ProgramConfig};
 pub use terminal::{terminal_server, TerminalConfig};

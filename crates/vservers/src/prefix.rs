@@ -11,12 +11,23 @@
 //! `GetPid` on every use (paper §6), which is how generic services get
 //! character string names and how rebinding after a server crash works
 //! without updating the prefix table.
+//!
+//! With [`DegradedPrefixConfig`] the server also resolves *degraded*: when
+//! forwarding through a direct entry times out (the bound host is alive
+//! yet unreachable — a partition, which the kernel cannot tell from a
+//! crash), the prefix is marked suspect for a TTL, and while suspect a
+//! `QueryName` for the bare prefix is answered straight from the table
+//! with the staleness flag set ([`vproto::fields::W_STALENESS`]) instead
+//! of timing out again. Non-authoritative replicas (`authoritative:
+//! false`) always answer from their table this way and can join a
+//! multicast replica group, which is the client's last-resort fallback.
 
 use crate::common::{forward_csname, reply_code, reply_data, reply_descriptor};
 use bytes::Bytes;
 use std::collections::BTreeMap;
+use std::time::Duration;
 use vio::{serve_read, InstanceTable};
-use vkernel::{Ipc, Received};
+use vkernel::{GroupId, Ipc, Received};
 use vnaming::{CsRequest, DirectoryBuilder};
 use vproto::{
     fields, ContextId, ContextPair, CsName, DescriptorExt, DescriptorTag, InstanceId, Message,
@@ -35,6 +46,35 @@ enum PrefixTarget {
     },
 }
 
+/// Degraded-mode resolution settings for a [`prefix_server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedPrefixConfig {
+    /// How long a prefix stays suspect after a forward times out. While
+    /// suspect, bare-prefix `QueryName`s are answered from the table
+    /// (staleness flagged) instead of re-forwarding; when the TTL
+    /// expires, the next request probes the bound server again.
+    pub suspect_ttl: Duration,
+    /// `true` (the default) forwards first and only answers degraded
+    /// while a suspicion is armed. `false` marks a *replica*: every
+    /// bare-prefix `QueryName` is answered from the table with the
+    /// staleness flag — the replica never claims authority.
+    pub authoritative: bool,
+    /// A multicast group to join at boot, so clients can reach any
+    /// surviving replica with one `send_group` when the authoritative
+    /// server is unreachable.
+    pub replica_group: Option<GroupId>,
+}
+
+impl Default for DegradedPrefixConfig {
+    fn default() -> Self {
+        DegradedPrefixConfig {
+            suspect_ttl: Duration::from_millis(50),
+            authoritative: true,
+            replica_group: None,
+        }
+    }
+}
+
 /// Configuration for a [`prefix_server`] process.
 #[derive(Debug, Clone)]
 pub struct PrefixConfig {
@@ -49,6 +89,9 @@ pub struct PrefixConfig {
     /// Logical prefixes installed at boot: (prefix, service,
     /// well-known-context), re-resolved via `GetPid` on each use.
     pub preload_logical: Vec<(String, ServiceId, ContextId)>,
+    /// Degraded-mode resolution; `None` (the default) times out like the
+    /// paper's protocol.
+    pub degraded: Option<DegradedPrefixConfig>,
 }
 
 impl Default for PrefixConfig {
@@ -57,6 +100,7 @@ impl Default for PrefixConfig {
             scope: Scope::Local,
             preload_direct: Vec::new(),
             preload_logical: Vec::new(),
+            degraded: None,
         }
     }
 }
@@ -92,7 +136,12 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
         );
     }
     let mut instances: InstanceTable<Vec<u8>> = InstanceTable::new();
+    // Suspect prefixes: prefix → virtual time (ns) the suspicion expires.
+    let mut suspects: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
     ctx.set_pid(ServiceId::CONTEXT_PREFIX, config.scope);
+    if let Some(group) = config.degraded.and_then(|d| d.replica_group) {
+        let _ = ctx.join_group(group);
+    }
 
     while let Ok(rx) = ctx.receive() {
         let msg = rx.msg;
@@ -108,7 +157,15 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                     continue;
                 }
             };
-            handle_csname(ctx, rx, &mut table, &mut instances, req);
+            handle_csname(
+                ctx,
+                rx,
+                &mut table,
+                &mut instances,
+                req,
+                config.degraded,
+                &mut suspects,
+            );
             continue;
         }
         match msg.request_code() {
@@ -182,6 +239,8 @@ fn handle_csname(
     table: &mut BTreeMap<Vec<u8>, PrefixTarget>,
     instances: &mut InstanceTable<Vec<u8>>,
     req: CsRequest,
+    degraded: Option<DegradedPrefixConfig>,
+    suspects: &mut BTreeMap<Vec<u8>, u64>,
 ) {
     let msg = rx.msg;
     // Add/delete with a bracketed name and a nonempty remainder are meant
@@ -256,6 +315,30 @@ fn handle_csname(
         Some(t) => *t,
         None => return reply_code(ctx, rx, ReplyCode::NotFound),
     };
+
+    // Degraded-mode resolution: a bare-prefix `QueryName` asks only for
+    // the binding, which this table already knows. While the bound host
+    // is suspect (a recent forward timed out — unreachable, not
+    // necessarily dead), or always on a non-authoritative replica, answer
+    // it from the table with the staleness flag set instead of burning
+    // another retransmission ladder. Only direct entries qualify: a
+    // logical entry's authority is `GetPid`, which has its own recovery.
+    if let Some(d) = degraded {
+        let binding_query = msg.request_code() == Some(RequestCode::QueryName)
+            && remaining[rest_index..].is_empty();
+        let now_ns = ctx.now().as_nanos() as u64;
+        let suspect_armed = suspects.get(&prefix).is_some_and(|&until| now_ns < until);
+        if binding_query && (suspect_armed || !d.authoritative) {
+            if let PrefixTarget::Direct(pair) = target {
+                let mut m = Message::ok();
+                m.set_context_id(pair.context);
+                m.set_pid_at(fields::W_PID_LO, pair.server);
+                m.set_word(fields::W_STALENESS, 1);
+                return reply_data(ctx, rx, m, Vec::new());
+            }
+        }
+    }
+
     let (server, target_ctx) = match target {
         PrefixTarget::Direct(pair) => (pair.server, pair.context),
         PrefixTarget::Logical { service, context } => {
@@ -268,16 +351,33 @@ fn handle_csname(
         }
     };
     let absolute_index = req.index + rest_index;
-    if forward_csname(ctx, rx, server, target_ctx, absolute_index)
-        == Err(vkernel::IpcError::NoProcess)
-    {
-        // The bound server is permanently gone (not a transient loss
-        // timeout): a direct entry is now a stale binding, so drop it —
-        // the next definition re-binds. Logical entries stay; they
-        // re-resolve via `GetPid` and survive restarts by design.
-        if matches!(target, PrefixTarget::Direct(_)) {
-            table.remove(&prefix);
+    match forward_csname(ctx, rx, server, target_ctx, absolute_index) {
+        Err(vkernel::IpcError::NoProcess) => {
+            // The bound server is permanently gone (not a transient loss
+            // timeout): a direct entry is now a stale binding, so drop it —
+            // the next definition re-binds. Logical entries stay; they
+            // re-resolve via `GetPid` and survive restarts by design.
+            if matches!(target, PrefixTarget::Direct(_)) {
+                table.remove(&prefix);
+            }
         }
+        Err(vkernel::IpcError::Timeout) => {
+            // The bound host did not answer the kernel's full ladder: it
+            // may be alive yet unreachable (a partition). Arm a suspicion
+            // so binding queries are served degraded until the TTL
+            // expires — then the next request probes again. The *current*
+            // request is already resolved as a timeout for its sender;
+            // the client's retry is what lands on the degraded path.
+            if let Some(d) = degraded {
+                let until = ctx.now() + d.suspect_ttl;
+                suspects.insert(prefix, until.as_nanos() as u64);
+            }
+        }
+        Ok(()) => {
+            // The path works again; any armed suspicion is disproved.
+            suspects.remove(&prefix);
+        }
+        Err(_) => {}
     }
 }
 

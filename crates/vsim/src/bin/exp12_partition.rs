@@ -1,0 +1,4 @@
+//! Regenerates EXP-12 of the experiment index (see DESIGN.md).
+fn main() {
+    println!("{}", vsim::exp12::run());
+}

@@ -20,6 +20,7 @@
 pub mod exp1;
 pub mod exp10;
 pub mod exp11;
+pub mod exp12;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;
@@ -49,5 +50,6 @@ pub fn run_all() -> Vec<ExpReport> {
         exp9::run(),
         exp10::run(),
         exp11::run(),
+        exp12::run(),
     ]
 }

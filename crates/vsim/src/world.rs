@@ -2,11 +2,11 @@
 //! a diskless workstation (client + per-user prefix server + local file
 //! server) and a remote server machine, on one simulated Ethernet.
 
-use vkernel::SimDomain;
+use vkernel::{GroupId, SimDomain};
 use vnet::{FaultConfig, Params1984};
 use vproto::{ContextId, ContextPair, LogicalHost, Pid, Scope};
 use vruntime::NameClient;
-use vservers::{file_server, prefix_server, FileServerConfig, PrefixConfig};
+use vservers::{file_server, prefix_server, DegradedPrefixConfig, FileServerConfig, PrefixConfig};
 
 /// The simulated installation.
 pub struct SimWorld {
@@ -23,6 +23,44 @@ pub struct SimWorld {
     pub local_fs: Pid,
     /// The network file server.
     pub remote_fs: Pid,
+    /// The non-authoritative prefix replica on the server machine, when
+    /// the world was booted with one ([`WorldConfig::replica`]).
+    pub replica: Option<Pid>,
+    /// The multicast group the replica answers on, for
+    /// [`vruntime::NameClient::set_replica_group`].
+    pub replica_group: Option<GroupId>,
+}
+
+/// Configuration for [`boot_world_cfg`]: the standard world plus the
+/// robustness knobs EXP-12 turns (degraded-mode prefix resolution and a
+/// prefix replica on the server machine). With `degraded: None` and
+/// `replica: false` the boot is identical to [`boot_world_with`].
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// The calibrated network cost model.
+    pub params: Params1984,
+    /// Seeded fault plane; `None` keeps timings bit-identical to
+    /// [`boot_world`].
+    pub faults: Option<FaultConfig>,
+    /// Degraded-mode settings for the workstation's (authoritative)
+    /// prefix server.
+    pub degraded: Option<DegradedPrefixConfig>,
+    /// Also boot a non-authoritative prefix replica on the server
+    /// machine, preloaded with the standard bindings and joined to a
+    /// fresh multicast group.
+    pub replica: bool,
+}
+
+impl WorldConfig {
+    /// The plain world under `params`: no faults, no degraded mode.
+    pub fn new(params: Params1984) -> Self {
+        WorldConfig {
+            params,
+            faults: None,
+            degraded: None,
+            replica: false,
+        }
+    }
 }
 
 /// Boots the standard world and defines the standard prefixes:
@@ -36,9 +74,17 @@ pub fn boot_world(params: Params1984) -> SimWorld {
 /// (message loss, duplication, jitter — see [`vnet::FaultConfig`]).
 /// With `faults: None` the timings are bit-identical to [`boot_world`].
 pub fn boot_world_with(params: Params1984, faults: Option<FaultConfig>) -> SimWorld {
-    let domain = match faults {
-        Some(cfg) => SimDomain::with_faults(params, cfg),
-        None => SimDomain::new(params),
+    boot_world_cfg(WorldConfig {
+        faults,
+        ..WorldConfig::new(params)
+    })
+}
+
+/// Boots the world described by `cfg` — see [`WorldConfig`].
+pub fn boot_world_cfg(cfg: WorldConfig) -> SimWorld {
+    let domain = match cfg.faults {
+        Some(f) => SimDomain::with_faults(cfg.params, f),
+        None => SimDomain::new(cfg.params),
     };
     let workstation = domain.add_host();
     let server_machine = domain.add_host();
@@ -70,8 +116,53 @@ pub fn boot_world_with(params: Params1984, faults: Option<FaultConfig>) -> SimWo
         );
         move |ctx| file_server(ctx, cfg)
     });
-    let prefix = domain.spawn(workstation, "prefix", |ctx| {
-        prefix_server(ctx, PrefixConfig::default())
+    let degraded = cfg.degraded;
+    let prefix = domain.spawn(workstation, "prefix", move |ctx| {
+        prefix_server(
+            ctx,
+            PrefixConfig {
+                degraded,
+                ..PrefixConfig::default()
+            },
+        )
+    });
+
+    // The optional replica: a non-authoritative prefix server on the
+    // server machine, preloaded with the same bindings the user's login
+    // script defines below. It registers Scope::Local there, so the
+    // workstation's GetPid rebind never discovers it — the only road to
+    // it is the explicit multicast group, which is the point: it is a
+    // last-resort answerer, not a second authority.
+    let replica_group = cfg.replica.then(|| {
+        domain
+            .client(workstation, |ctx| ctx.create_group())
+            .expect("replica group created")
+    });
+    let replica = replica_group.map(|group| {
+        domain.spawn(server_machine, "prefix-replica", move |ctx| {
+            prefix_server(
+                ctx,
+                PrefixConfig {
+                    preload_direct: vec![
+                        (
+                            "local".into(),
+                            ContextPair::new(local_fs, ContextId::DEFAULT),
+                        ),
+                        (
+                            "remote".into(),
+                            ContextPair::new(remote_fs, ContextId::DEFAULT),
+                        ),
+                        ("home".into(), ContextPair::new(local_fs, ContextId::HOME)),
+                    ],
+                    degraded: Some(DegradedPrefixConfig {
+                        authoritative: false,
+                        replica_group: Some(group),
+                        ..DegradedPrefixConfig::default()
+                    }),
+                    ..PrefixConfig::default()
+                },
+            )
+        })
     });
     domain.run();
 
@@ -96,6 +187,8 @@ pub fn boot_world_with(params: Params1984, faults: Option<FaultConfig>) -> SimWo
         prefix,
         local_fs,
         remote_fs,
+        replica,
+        replica_group,
     }
 }
 

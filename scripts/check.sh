@@ -20,4 +20,8 @@ echo "==> fault-plane seed matrix (two distinct seeds)"
 VSIM_FAULT_SEED=0x1984 cargo test -q -p vsim --test fault_plane
 VSIM_FAULT_SEED=271828 cargo test -q -p vsim --test fault_plane
 
+echo "==> partition-plane seed matrix (two distinct seeds)"
+VSIM_FAULT_SEED=0x1984 cargo test -q -p vsim --test partition_plane
+VSIM_FAULT_SEED=271828 cargo test -q -p vsim --test partition_plane
+
 echo "==> all checks passed"
