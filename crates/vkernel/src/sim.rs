@@ -244,12 +244,13 @@ impl SimState {
         self.note_event(8, at, u64::from(who.raw()), u64::from(drops));
     }
 
-    /// Feeds a measured round trip into the adaptive RTT estimator, if one
-    /// is configured. Called under the state lock in scheduler order, so
-    /// the estimator's trajectory is deterministic.
-    fn observe_rtt(&mut self, rtt: Duration, retransmitted: bool) {
+    /// Feeds a round trip measured to destination host `to` into that
+    /// destination's adaptive RTT estimator, if the plane is adaptive.
+    /// Called under the state lock in scheduler order, so every
+    /// estimator's trajectory is deterministic.
+    fn observe_rtt(&mut self, to: LogicalHost, rtt: Duration, retransmitted: bool) {
         if let Some(plane) = self.faults.as_mut() {
-            plane.observe_rtt(rtt, retransmitted);
+            plane.observe_rtt(to, rtt, retransmitted);
         }
     }
 }
@@ -611,26 +612,108 @@ impl SimDomain {
             .add_partition(p);
     }
 
-    /// The adaptive estimator's smoothed round-trip estimate, if the
-    /// domain runs an adaptive fault plane that has accepted a sample.
+    /// The largest smoothed round-trip estimate across all destinations
+    /// the adaptive fault plane has sampled (the RTT picture is kept per
+    /// destination host; see [`srtt_to`](Self::srtt_to) for one link).
     pub fn srtt(&self) -> Option<Duration> {
         self.core
             .state
             .lock()
             .faults
             .as_ref()
-            .and_then(|p| p.rtt().and_then(|e| e.srtt()))
+            .and_then(|p| p.rtt_estimators().filter_map(|(_, e)| e.srtt()).max())
     }
 
-    /// The adaptive estimator's current retransmission timeout, if the
-    /// domain runs an adaptive fault plane.
+    /// The largest per-destination retransmission timeout across all
+    /// destinations the adaptive fault plane has sampled.
     pub fn rto(&self) -> Option<Duration> {
         self.core
             .state
             .lock()
             .faults
             .as_ref()
-            .and_then(|p| p.rtt().map(|e| e.rto()))
+            .and_then(|p| p.rtt_estimators().map(|(_, e)| e.rto()).max())
+    }
+
+    /// The smoothed round-trip estimate towards one destination host, if
+    /// the adaptive plane has accepted a sample for that destination.
+    pub fn srtt_to(&self, to: LogicalHost) -> Option<Duration> {
+        self.core
+            .state
+            .lock()
+            .faults
+            .as_ref()
+            .and_then(|p| p.rtt_to(to).and_then(|e| e.srtt()))
+    }
+
+    /// The current retransmission timeout towards one destination host,
+    /// if the adaptive plane has state for that destination.
+    pub fn rto_to(&self, to: LogicalHost) -> Option<Duration> {
+        self.core
+            .state
+            .lock()
+            .faults
+            .as_ref()
+            .and_then(|p| p.rtt_to(to).map(|e| e.rto()))
+    }
+
+    /// The sorted, deduplicated heal times of every partition scheduled on
+    /// the fault plane (unhealed cuts contribute nothing). Experiment
+    /// wiring uses this with [`notify_at`](Self::notify_at) to trigger an
+    /// anti-entropy round as soon as connectivity returns.
+    pub fn heal_times(&self) -> Vec<SimTime> {
+        let st = self.core.state.lock();
+        let mut out: Vec<SimTime> = st
+            .faults
+            .as_ref()
+            .map(|p| {
+                p.config()
+                    .partitions
+                    .iter()
+                    .filter_map(|c| c.heal)
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Spawns a notifier process on `to`'s host that sleeps until virtual
+    /// time `at` and then sends `msg` (no payload) to `to`, ignoring the
+    /// outcome. The notification is an ordinary simulated send, so it is
+    /// folded into the event hash and priced by the cost model like any
+    /// other message. Used to schedule heal-triggered or periodic
+    /// anti-entropy rounds without breaking determinism.
+    pub fn notify_at(&self, at: SimTime, to: Pid, msg: Message) {
+        let host = {
+            let st = self.core.state.lock();
+            st.procs
+                .get(&to)
+                .map(|p| p.host)
+                .unwrap_or_else(|| to.logical_host())
+        };
+        self.spawn(host, "notify", move |ctx| {
+            let target = Duration::from_nanos(at.as_nanos());
+            let now = ctx.now();
+            if target > now {
+                ctx.sleep(target - now);
+            }
+            let _ = ctx.send(to, msg, Bytes::new(), 256);
+        });
+    }
+
+    /// Like [`notify_at`](Self::notify_at), but multicasts `msg` to a
+    /// process group from a notifier spawned on `host`.
+    pub fn notify_group_at(&self, host: LogicalHost, at: SimTime, group: GroupId, msg: Message) {
+        self.spawn(host, "notify-group", move |ctx| {
+            let target = Duration::from_nanos(at.as_nanos());
+            let now = ctx.now();
+            if target > now {
+                ctx.sleep(target - now);
+            }
+            let _ = ctx.send_group(group, msg, Bytes::new());
+        });
     }
 
     /// A snapshot of the fault-plane counters (all zero for a fault-free
@@ -845,7 +928,11 @@ impl Ipc for SimCtx {
             // the adaptive RTT estimator; per Karn's rule a sample from a
             // retransmitted exchange is flagged (and discarded there).
             let rtt = Duration::from_nanos(self.my_time(&st).saturating_sub(t_send));
-            st.observe_rtt(rtt, trial.retransmits > 0 || trial.partition_drops > 0);
+            st.observe_rtt(
+                to_host,
+                rtt,
+                trial.retransmits > 0 || trial.partition_drops > 0,
+            );
         }
         result
     }
@@ -1200,7 +1287,7 @@ impl Ipc for SimCtx {
                             let wait = st
                                 .faults
                                 .as_ref()
-                                .map(|p| p.give_up_cost())
+                                .map(|p| p.give_up_cost(resp))
                                 .unwrap_or_default();
                             let at = self.advance(&mut st, wait);
                             st.note_event(6, at, u64::from(self.pid.raw()), 0);

@@ -27,6 +27,7 @@
 use crate::retry::{ExpBackoff, RetryTimer};
 use crate::rtt::{RttConfig, RttEstimator};
 use crate::time::SimTime;
+use std::collections::BTreeMap;
 use std::time::Duration;
 use vproto::LogicalHost;
 
@@ -312,7 +313,11 @@ pub struct FaultPlane {
     cfg: FaultConfig,
     rng_state: u64,
     stats: FaultStats,
-    est: Option<RttEstimator>,
+    /// Adaptive RTT estimators, keyed by *destination* logical host so
+    /// asymmetric links converge to per-destination RTOs. Populated lazily
+    /// (first sample or first exhaustion towards a destination); always
+    /// empty on a static plane.
+    ests: BTreeMap<LogicalHost, RttEstimator>,
 }
 
 impl FaultPlane {
@@ -320,7 +325,7 @@ impl FaultPlane {
     pub fn new(cfg: FaultConfig) -> Self {
         FaultPlane {
             rng_state: cfg.seed,
-            est: cfg.adaptive.map(RttEstimator::new),
+            ests: BTreeMap::new(),
             cfg,
             stats: FaultStats::default(),
         }
@@ -336,9 +341,15 @@ impl FaultPlane {
         self.stats
     }
 
-    /// The adaptive RTT estimator, when configured.
-    pub fn rtt(&self) -> Option<&RttEstimator> {
-        self.est.as_ref()
+    /// The adaptive RTT estimator for destination `to`, when the plane is
+    /// adaptive and has observed that destination.
+    pub fn rtt_to(&self, to: LogicalHost) -> Option<&RttEstimator> {
+        self.ests.get(&to)
+    }
+
+    /// All per-destination estimators, for aggregate reporting.
+    pub fn rtt_estimators(&self) -> impl Iterator<Item = (LogicalHost, &RttEstimator)> {
+        self.ests.iter().map(|(h, e)| (*h, e))
     }
 
     /// Injects a partition into the schedule at runtime (experiments
@@ -352,12 +363,17 @@ impl FaultPlane {
         self.cfg.partitions.iter().any(|p| p.cuts(from, to, at))
     }
 
-    /// Feeds a measured round trip into the adaptive estimator (no-op on
-    /// a static plane). `retransmitted` applies Karn's rule.
-    pub fn observe_rtt(&mut self, rtt: Duration, retransmitted: bool) {
-        if let Some(est) = self.est.as_mut() {
-            est.observe(rtt, retransmitted);
-        }
+    /// Feeds a round trip measured *to destination `to`* into that
+    /// destination's adaptive estimator (no-op on a static plane).
+    /// `retransmitted` applies Karn's rule.
+    pub fn observe_rtt(&mut self, to: LogicalHost, rtt: Duration, retransmitted: bool) {
+        let Some(rc) = self.cfg.adaptive else {
+            return;
+        };
+        self.ests
+            .entry(to)
+            .or_insert_with(|| RttEstimator::new(rc))
+            .observe(rtt, retransmitted);
     }
 
     /// SplitMix64 — the same generator the vendored proptest uses; chosen
@@ -391,21 +407,25 @@ impl FaultPlane {
         }
     }
 
-    /// The timeout the kernel charges for lost transmission `attempt`:
-    /// the adaptive estimator's backed-off RTO when configured, else the
-    /// static ladder.
-    fn attempt_timeout(&self, attempt: u32) -> Duration {
-        match &self.est {
-            Some(est) => est.ladder(attempt),
+    /// The timeout the kernel charges for lost transmission `attempt`
+    /// towards `to`: the destination's adaptive backed-off RTO when
+    /// configured (an unobserved destination uses a fresh estimator's
+    /// initial RTO), else the static ladder.
+    fn attempt_timeout(&self, to: LogicalHost, attempt: u32) -> Duration {
+        match self.cfg.adaptive {
+            Some(rc) => match self.ests.get(&to) {
+                Some(est) => est.ladder(attempt),
+                None => RttEstimator::new(rc).ladder(attempt),
+            },
             None => self.cfg.retransmit.timeout(attempt),
         }
     }
 
-    /// Virtual time an exhausted ladder costs right now (adaptive planes
-    /// change this as the estimate moves).
-    pub fn give_up_cost(&self) -> Duration {
+    /// Virtual time an exhausted ladder towards `to` costs right now
+    /// (adaptive planes change this per destination as estimates move).
+    pub fn give_up_cost(&self, to: LogicalHost) -> Duration {
         (1..=self.cfg.retransmit.max_attempts)
-            .map(|k| self.attempt_timeout(k))
+            .map(|k| self.attempt_timeout(to, k))
             .sum()
     }
 
@@ -451,11 +471,14 @@ impl FaultPlane {
             } else {
                 self.stats.drops += 1;
             }
-            waited += self.attempt_timeout(attempt);
+            waited += self.attempt_timeout(to, attempt);
         }
         self.stats.exhausted += 1;
-        if let Some(est) = self.est.as_mut() {
-            est.on_timeout();
+        if let Some(rc) = self.cfg.adaptive {
+            self.ests
+                .entry(to)
+                .or_insert_with(|| RttEstimator::new(rc))
+                .on_timeout();
         }
         Err(Exhausted {
             wasted: waited,
@@ -692,7 +715,7 @@ mod tests {
             .with_loss(1.0)
             .with_adaptive(RttConfig::default());
         let mut plane = FaultPlane::new(cfg);
-        plane.observe_rtt(Duration::from_millis(2), false); // rto = 2 + 4*1 = 6ms
+        plane.observe_rtt(B, Duration::from_millis(2), false); // rto = 2 + 4*1 = 6ms
         let e = plane
             .transmit(A, B, SimTime::ZERO)
             .expect_err("always lost");
@@ -704,7 +727,7 @@ mod tests {
             .expect_err("always lost");
         assert!(e2.wasted > e.wasted);
         // Karn: a retransmitted sample must not reset the backoff.
-        plane.observe_rtt(Duration::from_millis(2), true);
+        plane.observe_rtt(B, Duration::from_millis(2), true);
         let e3 = plane
             .transmit(A, B, SimTime::ZERO)
             .expect_err("always lost");
@@ -715,10 +738,33 @@ mod tests {
     fn give_up_cost_matches_exhausted_wait() {
         let cfg = FaultConfig::lossless(11).with_loss(1.0);
         let mut plane = FaultPlane::new(cfg);
-        let expected = plane.give_up_cost();
+        let expected = plane.give_up_cost(B);
         let e = plane
             .transmit(A, B, SimTime::ZERO)
             .expect_err("always lost");
         assert_eq!(e.wasted, expected);
+    }
+
+    #[test]
+    fn estimators_are_kept_per_destination() {
+        const C: LogicalHost = LogicalHost::new(3);
+        let cfg = FaultConfig::lossless(12).with_adaptive(RttConfig::default());
+        let mut plane = FaultPlane::new(cfg);
+        // A fast link to B, a slow link to C: samples must not bleed.
+        for _ in 0..16 {
+            plane.observe_rtt(B, Duration::from_millis(2), false);
+            plane.observe_rtt(C, Duration::from_millis(40), false);
+        }
+        let rto_b = plane.rtt_to(B).expect("B observed").rto();
+        let rto_c = plane.rtt_to(C).expect("C observed").rto();
+        assert!(rto_b < rto_c, "rto_b={rto_b:?} rto_c={rto_c:?}");
+        assert!(plane.give_up_cost(B) < plane.give_up_cost(C));
+        // An unobserved destination falls back to the fresh initial RTO.
+        const D: LogicalHost = LogicalHost::new(4);
+        assert!(plane.rtt_to(D).is_none());
+        let fresh: Duration = (1..=5)
+            .map(|k| RttEstimator::new(RttConfig::default()).ladder(k))
+            .sum();
+        assert_eq!(plane.give_up_cost(D), fresh);
     }
 }

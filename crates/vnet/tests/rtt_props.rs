@@ -12,7 +12,8 @@
 
 use proptest::prelude::*;
 use std::time::Duration;
-use vnet::{RttConfig, RttEstimator};
+use vnet::{FaultConfig, FaultPlane, RttConfig, RttEstimator};
+use vproto::LogicalHost;
 
 fn arb_sample() -> impl Strategy<Value = Duration> {
     // Microseconds to tens of milliseconds — the simulator's RTT range.
@@ -85,5 +86,55 @@ proptest! {
             with.observe(*amb.next().expect("cycle"), true);
         }
         prop_assert_eq!(with, without);
+    }
+
+    /// Per-destination estimation (asymmetric links): feeding a fault
+    /// plane consistently small samples towards one destination and larger
+    /// ones towards another must leave the two destinations with diverged
+    /// RTOs — and the fast destination's RTO must never be dragged up by
+    /// the slow one's samples.
+    #[test]
+    fn asymmetric_links_converge_to_per_destination_rtos(
+        fast_us in 100u64..2_000,
+        gap_us in 5_000u64..40_000,
+        rounds in 8usize..48,
+        interleave in proptest::collection::vec(any::<bool>(), 8..48),
+    ) {
+        let fast_dst = LogicalHost::new(2);
+        let slow_dst = LogicalHost::new(3);
+        let mut plane = FaultPlane::new(
+            FaultConfig::lossless(1).with_adaptive(RttConfig::default()),
+        );
+        let fast = Duration::from_micros(fast_us);
+        let slow = Duration::from_micros(fast_us + gap_us);
+        let mut order = interleave.iter().cycle();
+        for _ in 0..rounds {
+            // Arbitrary interleaving: per-destination state must not care.
+            if *order.next().expect("cycle") {
+                plane.observe_rtt(fast_dst, fast, false);
+                plane.observe_rtt(slow_dst, slow, false);
+            } else {
+                plane.observe_rtt(slow_dst, slow, false);
+                plane.observe_rtt(fast_dst, fast, false);
+            }
+        }
+        let rto_fast = plane.rtt_to(fast_dst).expect("observed").rto();
+        let rto_slow = plane.rtt_to(slow_dst).expect("observed").rto();
+        let cfg = RttConfig::default();
+        // Unless both hit the same corridor wall, the estimates diverge.
+        if rto_slow < cfg.max_rto && rto_fast > cfg.min_rto {
+            prop_assert!(
+                rto_fast < rto_slow,
+                "fast {rto_fast:?} !< slow {rto_slow:?}"
+            );
+        }
+        // The fast destination's RTO is what a lone fast-only estimator
+        // would compute: the slow link's samples never bled into it.
+        let mut lone = RttEstimator::new(cfg);
+        for _ in 0..rounds {
+            lone.observe(fast, false);
+        }
+        prop_assert_eq!(rto_fast, lone.rto());
+        prop_assert!(plane.give_up_cost(fast_dst) <= plane.give_up_cost(slow_dst));
     }
 }

@@ -85,6 +85,18 @@ request_codes! {
         OpenById = 0x000A,
         /// Delete an object by its low-level identifier (baseline model).
         RemoveById = 0x000B,
+        /// Anti-entropy: ask a prefix replica to run one sync round against
+        /// its configured authority (digest → delta → apply). The reply
+        /// summarizes what changed (adopted/dropped/promoted counts).
+        SyncPull = 0x000C,
+        /// Anti-entropy: a replica's table digest (prefix, epoch) list in the
+        /// request payload; the authority replies with the delta of entries
+        /// the digest proves the replica is missing or holding stale.
+        SyncDigest = 0x000D,
+        /// Anti-entropy introspection: the server's versioned-table summary
+        /// (epoch, entry counts, table hash, sync counters) in the reply
+        /// payload.
+        SyncStatus = 0x000E,
 
         // ---- CSname requests (standard fields present) ----
         /// Map a CSname that names a context into a (server-pid, context-id)

@@ -42,6 +42,7 @@ mod descriptor;
 mod message;
 mod pid;
 mod service;
+mod sync;
 mod wire;
 
 pub use codes::{is_csname_request_raw, ReplyCode, RequestCode, CSNAME_BIT};
@@ -53,4 +54,8 @@ pub use descriptor::{
 pub use message::{fields, ContextId, Message, OpenMode, MSG_WORDS};
 pub use pid::{LogicalHost, Pid};
 pub use service::{Scope, ServiceId};
+pub use sync::{
+    decode_delta, decode_digest, encode_delta, encode_digest, SyncBinding, SyncDigestEntry,
+    SyncEntry, SyncStatusRec,
+};
 pub use wire::{WireReader, WireWriter};

@@ -149,6 +149,18 @@ pub mod fields {
     pub const W_STALENESS: usize = 14;
     /// Requests that carry a forward count to detect interpretation loops.
     pub const W_FORWARD_COUNT: usize = 15;
+    /// `SyncPull` reply: bindings adopted from the authority this round.
+    pub const W_SYNC_ADOPTED: usize = 5;
+    /// `SyncPull` reply: live entries dropped (tombstoned) this round.
+    pub const W_SYNC_DROPPED: usize = 6;
+    /// `SyncPull` reply: entries promoted unverified → verified this round.
+    pub const W_SYNC_PROMOTED: usize = 7;
+    /// `SyncPull` reply: low 32 bits of the table epoch after the round
+    /// (u32, words 8-9).
+    pub const W_SYNC_EPOCH_LO: usize = 8;
+    /// `SyncDigest` request and reply: number of encoded entries in the
+    /// payload (digest entries in the request, delta entries in the reply).
+    pub const W_SYNC_COUNT: usize = 5;
 }
 
 /// Open modes for `CreateInstance` (V I/O protocol session conventions).

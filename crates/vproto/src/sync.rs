@@ -1,0 +1,343 @@
+//! Anti-entropy wire structures for prefix-replica reconciliation.
+//!
+//! The paper's §5 multi-manager model assumes context servers can re-learn
+//! bindings from their peers. This module defines the payloads of the three
+//! anti-entropy operations ([`crate::RequestCode::SyncPull`],
+//! [`crate::RequestCode::SyncDigest`], [`crate::RequestCode::SyncStatus`]):
+//!
+//! * a **digest** — the compact `(prefix, epoch)` summary a replica sends to
+//!   its authority ([`SyncDigestEntry`], [`encode_digest`]);
+//! * a **delta** — the versioned entries the authority proves the replica is
+//!   missing or holding stale, tombstones included ([`SyncEntry`],
+//!   [`encode_delta`]);
+//! * a **status record** — the introspection summary a server replies to
+//!   `SyncStatus` with ([`SyncStatusRec`]).
+//!
+//! All three ride the existing [`WireWriter`]/[`WireReader`] little-endian
+//! encoding used by descriptor records, travelling as request/reply payloads
+//! (`MoveFrom`/`MoveTo` segments), never in the fixed 32-byte message.
+
+use crate::descriptor::DecodeError;
+use crate::wire::{WireReader, WireWriter};
+
+/// A prefix binding as carried in an anti-entropy delta.
+///
+/// Mirrors the `AddContextName` request fields: a *direct* binding names a
+/// concrete `(server-pid, context-id)` pair, a *logical* binding names a
+/// `(service-id, well-known-context)` pair re-resolved via GetPid on use
+/// (paper §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SyncBinding {
+    /// `true` if `target` is a logical service id rather than a pid.
+    pub logical: bool,
+    /// Raw target: a pid (`logical == false`) or a service id.
+    pub target: u32,
+    /// Raw target context id.
+    pub context: u32,
+}
+
+/// One versioned table entry in an anti-entropy delta.
+///
+/// `binding == None` is a **tombstone**: the authority asserts the prefix was
+/// deleted at `epoch`, and the replica must drop any older live entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SyncEntry {
+    /// The prefix name (bytes, per §5.1).
+    pub prefix: Vec<u8>,
+    /// Monotonic per-entry version, stamped at the authority.
+    pub epoch: u64,
+    /// The binding, or `None` for a tombstone.
+    pub binding: Option<SyncBinding>,
+}
+
+/// One `(prefix, epoch)` pair in a table digest.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SyncDigestEntry {
+    /// The prefix name.
+    pub prefix: Vec<u8>,
+    /// The epoch the sender holds for it (0 = preloaded, never verified).
+    pub epoch: u64,
+}
+
+/// The `SyncStatus` reply payload: a server's versioned-table summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SyncStatusRec {
+    /// Highest epoch the server has stamped or adopted.
+    pub epoch: u64,
+    /// Live (non-tombstone) table entries.
+    pub live_entries: u32,
+    /// Tombstoned entries retained for reconciliation.
+    pub tombstones: u32,
+    /// Currently armed suspicion entries.
+    pub suspects: u32,
+    /// Order-independent hash of the versioned table (entries + epochs +
+    /// tombstones); two tables with equal hashes hold identical contents.
+    pub table_hash: u64,
+    /// Completed sync rounds (replica side).
+    pub rounds: u32,
+    /// Entries adopted from deltas, cumulative.
+    pub adopted: u32,
+    /// Live entries dropped by tombstone adoption, cumulative.
+    pub dropped: u32,
+    /// Entries promoted unverified → verified, cumulative.
+    pub promoted: u32,
+    /// Suspicion entries expired by the TTL sweep, cumulative.
+    pub suspects_expired: u32,
+    /// Bare-prefix `QueryName` binding queries answered, cumulative.
+    pub binding_queries: u32,
+}
+
+fn write_entry(w: &mut WireWriter, e: &SyncEntry) {
+    w.bytes(&e.prefix);
+    w.u64(e.epoch);
+    match &e.binding {
+        None => {
+            w.u16(1); // tombstone flag
+        }
+        Some(b) => {
+            w.u16(0);
+            w.u16(u16::from(b.logical));
+            w.u32(b.target);
+            w.u32(b.context);
+        }
+    }
+}
+
+fn read_entry(r: &mut WireReader<'_>) -> Result<SyncEntry, DecodeError> {
+    let prefix = r.bytes()?.to_vec();
+    let epoch = r.u64()?;
+    let binding = match r.u16()? {
+        1 => None,
+        0 => {
+            let logical = match r.u16()? {
+                0 => false,
+                1 => true,
+                _ => return Err(DecodeError::BadValue { field: "logical" }),
+            };
+            Some(SyncBinding {
+                logical,
+                target: r.u32()?,
+                context: r.u32()?,
+            })
+        }
+        _ => return Err(DecodeError::BadValue { field: "tombstone" }),
+    };
+    Ok(SyncEntry {
+        prefix,
+        epoch,
+        binding,
+    })
+}
+
+/// Encodes a table digest (`SyncDigest` request payload).
+///
+/// # Panics
+///
+/// Panics if `entries.len()` or any prefix length exceeds `u16::MAX`.
+pub fn encode_digest(entries: &[SyncDigestEntry]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    assert!(entries.len() <= u16::MAX as usize, "digest too large");
+    w.u16(entries.len() as u16);
+    for e in entries {
+        w.bytes(&e.prefix);
+        w.u64(e.epoch);
+    }
+    w.into_vec()
+}
+
+/// Decodes a table digest.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncation or trailing bytes.
+pub fn decode_digest(buf: &[u8]) -> Result<Vec<SyncDigestEntry>, DecodeError> {
+    let mut r = WireReader::new(buf);
+    let count = r.u16()? as usize;
+    let mut out = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let prefix = r.bytes()?.to_vec();
+        let epoch = r.u64()?;
+        out.push(SyncDigestEntry { prefix, epoch });
+    }
+    if !r.is_exhausted() {
+        return Err(DecodeError::TrailingBytes {
+            remaining: r.remaining(),
+        });
+    }
+    Ok(out)
+}
+
+/// Encodes a delta (`SyncDigest` reply payload).
+///
+/// # Panics
+///
+/// Panics if `entries.len()` or any prefix length exceeds `u16::MAX`.
+pub fn encode_delta(entries: &[SyncEntry]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    assert!(entries.len() <= u16::MAX as usize, "delta too large");
+    w.u16(entries.len() as u16);
+    for e in entries {
+        write_entry(&mut w, e);
+    }
+    w.into_vec()
+}
+
+/// Decodes a delta.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncation, trailing bytes, or invalid flags.
+pub fn decode_delta(buf: &[u8]) -> Result<Vec<SyncEntry>, DecodeError> {
+    let mut r = WireReader::new(buf);
+    let count = r.u16()? as usize;
+    let mut out = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        out.push(read_entry(&mut r)?);
+    }
+    if !r.is_exhausted() {
+        return Err(DecodeError::TrailingBytes {
+            remaining: r.remaining(),
+        });
+    }
+    Ok(out)
+}
+
+impl SyncStatusRec {
+    /// Encodes the record as a `SyncStatus` reply payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.epoch)
+            .u32(self.live_entries)
+            .u32(self.tombstones)
+            .u32(self.suspects)
+            .u64(self.table_hash)
+            .u32(self.rounds)
+            .u32(self.adopted)
+            .u32(self.dropped)
+            .u32(self.promoted)
+            .u32(self.suspects_expired)
+            .u32(self.binding_queries);
+        w.into_vec()
+    }
+
+    /// Decodes a record from a `SyncStatus` reply payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation or trailing bytes.
+    pub fn decode(buf: &[u8]) -> Result<SyncStatusRec, DecodeError> {
+        let mut r = WireReader::new(buf);
+        let rec = SyncStatusRec {
+            epoch: r.u64()?,
+            live_entries: r.u32()?,
+            tombstones: r.u32()?,
+            suspects: r.u32()?,
+            table_hash: r.u64()?,
+            rounds: r.u32()?,
+            adopted: r.u32()?,
+            dropped: r.u32()?,
+            promoted: r.u32()?,
+            suspects_expired: r.u32()?,
+            binding_queries: r.u32()?,
+        };
+        if !r.is_exhausted() {
+            return Err(DecodeError::TrailingBytes {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_roundtrip() {
+        let digest = vec![
+            SyncDigestEntry {
+                prefix: b"local".to_vec(),
+                epoch: 0,
+            },
+            SyncDigestEntry {
+                prefix: b"remote".to_vec(),
+                epoch: 42,
+            },
+        ];
+        let buf = encode_digest(&digest);
+        assert_eq!(decode_digest(&buf).unwrap(), digest);
+    }
+
+    #[test]
+    fn delta_roundtrip_with_tombstone() {
+        let delta = vec![
+            SyncEntry {
+                prefix: b"remote".to_vec(),
+                epoch: 7,
+                binding: Some(SyncBinding {
+                    logical: false,
+                    target: 0xDEAD_BEEF,
+                    context: 3,
+                }),
+            },
+            SyncEntry {
+                prefix: b"gone".to_vec(),
+                epoch: 8,
+                binding: None,
+            },
+        ];
+        let buf = encode_delta(&delta);
+        assert_eq!(decode_delta(&buf).unwrap(), delta);
+    }
+
+    #[test]
+    fn truncated_delta_is_an_error() {
+        let delta = vec![SyncEntry {
+            prefix: b"x".to_vec(),
+            epoch: 1,
+            binding: None,
+        }];
+        let buf = encode_delta(&delta);
+        assert!(decode_delta(&buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = encode_digest(&[]);
+        buf.push(0);
+        assert!(matches!(
+            decode_digest(&buf),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_flags_rejected() {
+        // count=1, empty prefix, epoch=0, tombstone flag 9.
+        let mut w = WireWriter::new();
+        w.u16(1).bytes(b"").u64(0).u16(9);
+        assert!(matches!(
+            decode_delta(&w.into_vec()),
+            Err(DecodeError::BadValue { field: "tombstone" })
+        ));
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        let rec = SyncStatusRec {
+            epoch: 0x0123_4567_89AB_CDEF,
+            live_entries: 3,
+            tombstones: 1,
+            suspects: 2,
+            table_hash: 0xFEED_FACE_CAFE_BABE,
+            rounds: 4,
+            adopted: 5,
+            dropped: 6,
+            promoted: 7,
+            suspects_expired: 8,
+            binding_queries: 9,
+        };
+        assert_eq!(SyncStatusRec::decode(&rec.encode()).unwrap(), rec);
+    }
+}

@@ -104,6 +104,27 @@ fn query_name_reply_layout() {
 }
 
 #[test]
+fn sync_pull_reply_layout() {
+    assert_disjoint(
+        "SyncPull reply",
+        &[
+            ("adopted", W_SYNC_ADOPTED..W_SYNC_ADOPTED + 1),
+            ("dropped", W_SYNC_DROPPED..W_SYNC_DROPPED + 1),
+            ("promoted", W_SYNC_PROMOTED..W_SYNC_PROMOTED + 1),
+            ("epoch", W_SYNC_EPOCH_LO..W_SYNC_EPOCH_LO + 2),
+        ],
+    );
+}
+
+#[test]
+fn sync_digest_layout() {
+    assert_disjoint(
+        "SyncDigest request/reply",
+        &[("entry_count", W_SYNC_COUNT..W_SYNC_COUNT + 1)],
+    );
+}
+
+#[test]
 fn invert_request_layout() {
     assert_disjoint(
         "GetContextName/GetInstanceName request",

@@ -1,0 +1,111 @@
+//! Wire round-trips for the anti-entropy payloads carried by the
+//! `SyncPull` / `SyncDigest` / `SyncStatus` operations.
+
+use proptest::prelude::*;
+use vproto::{
+    decode_delta, decode_digest, encode_delta, encode_digest, SyncBinding, SyncDigestEntry,
+    SyncEntry, SyncStatusRec,
+};
+
+fn arb_prefix() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..24)
+}
+
+fn arb_binding() -> impl Strategy<Value = Option<SyncBinding>> {
+    (any::<bool>(), any::<bool>(), any::<u32>(), any::<u32>()).prop_map(
+        |(present, logical, target, context)| {
+            present.then_some(SyncBinding {
+                logical,
+                target,
+                context,
+            })
+        },
+    )
+}
+
+fn arb_entry() -> impl Strategy<Value = SyncEntry> {
+    (arb_prefix(), any::<u64>(), arb_binding()).prop_map(|(prefix, epoch, binding)| SyncEntry {
+        prefix,
+        epoch,
+        binding,
+    })
+}
+
+proptest! {
+    /// Any digest — any prefixes, any epochs — survives the wire intact
+    /// (the `SyncDigest` request payload).
+    #[test]
+    fn any_digest_round_trips(
+        entries in proptest::collection::vec(
+            (arb_prefix(), any::<u64>())
+                .prop_map(|(prefix, epoch)| SyncDigestEntry { prefix, epoch }),
+            0..32,
+        )
+    ) {
+        let buf = encode_digest(&entries);
+        prop_assert_eq!(decode_digest(&buf).unwrap(), entries);
+    }
+
+    /// Any delta — live bindings, logical bindings, tombstones — survives
+    /// the wire intact (the `SyncDigest` reply payload).
+    #[test]
+    fn any_delta_round_trips(entries in proptest::collection::vec(arb_entry(), 0..32)) {
+        let buf = encode_delta(&entries);
+        prop_assert_eq!(decode_delta(&buf).unwrap(), entries);
+    }
+
+    /// The `SyncStatus` reply record survives the wire for any counter
+    /// values.
+    #[test]
+    fn any_status_record_round_trips(
+        epoch in any::<u64>(),
+        table_hash in any::<u64>(),
+        counters in proptest::collection::vec(any::<u32>(), 9),
+    ) {
+        let rec = SyncStatusRec {
+            epoch,
+            live_entries: counters[0],
+            tombstones: counters[1],
+            suspects: counters[2],
+            table_hash,
+            rounds: counters[3],
+            adopted: counters[4],
+            dropped: counters[5],
+            promoted: counters[6],
+            suspects_expired: counters[7],
+            binding_queries: counters[8],
+        };
+        prop_assert_eq!(SyncStatusRec::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    /// Truncating an encoded delta at any interior byte is a decode error,
+    /// never a silent partial table (a `SyncPull` round is atomic).
+    #[test]
+    fn truncated_delta_never_decodes(
+        entries in proptest::collection::vec(arb_entry(), 1..8),
+        frac in 0.0f64..1.0,
+    ) {
+        let buf = encode_delta(&entries);
+        let cut = ((buf.len() - 1) as f64 * frac) as usize;
+        prop_assert!(decode_delta(&buf[..cut]).is_err());
+    }
+}
+
+#[test]
+fn tombstone_and_live_entries_are_distinguishable() {
+    let live = SyncEntry {
+        prefix: b"remote".to_vec(),
+        epoch: 3,
+        binding: Some(SyncBinding {
+            logical: true,
+            target: 17,
+            context: 1,
+        }),
+    };
+    let dead = SyncEntry {
+        prefix: b"remote".to_vec(),
+        epoch: 3,
+        binding: None,
+    };
+    assert_ne!(encode_delta(&[live]), encode_delta(&[dead]));
+}

@@ -24,6 +24,9 @@ const REQUESTS: &[(RequestCode, u16, bool)] = &[
     (RequestCode::SetInstanceOwner, 0x0009, false),
     (RequestCode::OpenById, 0x000A, false),
     (RequestCode::RemoveById, 0x000B, false),
+    (RequestCode::SyncPull, 0x000C, false),
+    (RequestCode::SyncDigest, 0x000D, false),
+    (RequestCode::SyncStatus, 0x000E, false),
     (RequestCode::QueryName, 0x8001, true),
     (RequestCode::QueryObject, 0x8002, true),
     (RequestCode::ModifyObject, 0x8003, true),

@@ -82,6 +82,10 @@ pub struct DegradedStats {
     pub cache_fallbacks: u64,
     /// Resolutions rescued by a multicast to the replica group.
     pub replica_fallbacks: u64,
+    /// Replica-rescued resolutions that came back [`Staleness::Fresh`]:
+    /// the replica's binding was vouched for by anti-entropy with the
+    /// authority (verified, no suspicion armed), so nothing degrades.
+    pub fresh_from_replica: u64,
     /// Resolutions that failed even after every degraded fallback.
     pub authority_failures: u64,
 }
@@ -557,16 +561,29 @@ impl<'a> NameClient<'a> {
                 build_csname_request(RequestCode::QueryName, ContextId::DEFAULT, name, &[]);
             if let Ok(reply) = self.ipc.send_group(group, msg, payload) {
                 if reply.msg.reply_code().is_ok() {
+                    // A replica that has reconciled with the authority
+                    // (anti-entropy) answers with the staleness flag
+                    // clear: its binding is vouched for and counts as
+                    // fresh. An unsynced replica still answers, honestly
+                    // tagged suspect.
+                    let staleness = if reply.msg.word(fields::W_STALENESS) == 0 {
+                        Staleness::Fresh
+                    } else {
+                        Staleness::Suspect
+                    };
                     self.bump_degraded(|s| {
                         s.replica_fallbacks += 1;
-                        s.suspect_bindings += 1;
+                        match staleness {
+                            Staleness::Fresh => s.fresh_from_replica += 1,
+                            Staleness::Suspect => s.suspect_bindings += 1,
+                        }
                     });
                     return Ok(Binding {
                         target: ContextPair::new(
                             reply.msg.pid_at(fields::W_PID_LO),
                             reply.msg.context_id(),
                         ),
-                        staleness: Staleness::Suspect,
+                        staleness,
                     });
                 }
             }

@@ -23,6 +23,7 @@
 //! multicast replica group, which is the client's last-resort fallback.
 
 use crate::common::{forward_csname, reply_code, reply_data, reply_descriptor};
+use crate::sync::SyncTable;
 use bytes::Bytes;
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -30,8 +31,9 @@ use vio::{serve_read, InstanceTable};
 use vkernel::{GroupId, Ipc, Received};
 use vnaming::{CsRequest, DirectoryBuilder};
 use vproto::{
-    fields, ContextId, ContextPair, CsName, DescriptorExt, DescriptorTag, InstanceId, Message,
-    ObjectDescriptor, OpenMode, Pid, ReplyCode, RequestCode, Scope, ServiceId,
+    decode_delta, decode_digest, encode_delta, encode_digest, fields, ContextId, ContextPair,
+    CsName, DescriptorExt, DescriptorTag, InstanceId, Message, ObjectDescriptor, OpenMode, Pid,
+    ReplyCode, RequestCode, Scope, ServiceId, SyncBinding, SyncStatusRec,
 };
 
 /// One prefix table entry.
@@ -44,6 +46,56 @@ enum PrefixTarget {
         service: ServiceId,
         context: ContextId,
     },
+}
+
+impl PrefixTarget {
+    /// The wire form carried in anti-entropy deltas.
+    fn to_binding(self) -> SyncBinding {
+        match self {
+            PrefixTarget::Direct(pair) => SyncBinding {
+                logical: false,
+                target: pair.server.raw(),
+                context: pair.context.raw(),
+            },
+            PrefixTarget::Logical { service, context } => SyncBinding {
+                logical: true,
+                target: service.raw(),
+                context: context.raw(),
+            },
+        }
+    }
+
+    /// The resolvable form of a wire binding.
+    fn from_binding(b: &SyncBinding) -> Self {
+        if b.logical {
+            PrefixTarget::Logical {
+                service: ServiceId::new(b.target),
+                context: ContextId::new(b.context),
+            }
+        } else {
+            PrefixTarget::Direct(ContextPair::new(
+                Pid::from_raw(b.target),
+                ContextId::new(b.context),
+            ))
+        }
+    }
+}
+
+/// Cumulative anti-entropy bookkeeping, reported via `SyncStatus`.
+#[derive(Debug, Clone, Copy, Default)]
+struct SyncCounters {
+    /// Completed sync rounds (replica side).
+    rounds: u32,
+    /// Delta entries adopted.
+    adopted: u32,
+    /// Live entries dropped by adopted tombstones.
+    dropped: u32,
+    /// Entries promoted unverified → verified.
+    promoted: u32,
+    /// Suspicion entries expired by the TTL sweep.
+    suspects_expired: u32,
+    /// Bare-prefix `QueryName` binding queries received.
+    binding_queries: u32,
 }
 
 /// Degraded-mode resolution settings for a [`prefix_server`].
@@ -63,6 +115,11 @@ pub struct DegradedPrefixConfig {
     /// surviving replica with one `send_group` when the authoritative
     /// server is unreachable.
     pub replica_group: Option<GroupId>,
+    /// The authoritative peer this server reconciles against when it
+    /// receives a `SyncPull`: one digest → delta → apply round per pull.
+    /// `None` (the default) disables anti-entropy — a `SyncPull` answers
+    /// `NoServer`.
+    pub sync_peer: Option<Pid>,
 }
 
 impl Default for DegradedPrefixConfig {
@@ -71,6 +128,7 @@ impl Default for DegradedPrefixConfig {
             suspect_ttl: Duration::from_millis(50),
             authoritative: true,
             replica_group: None,
+            sync_peer: None,
         }
     }
 }
@@ -122,22 +180,37 @@ pub fn prefix_footprint_bytes(n_entries: usize, total_name_bytes: usize) -> usiz
 /// prefixes themselves, and the inverse (server, context) → `[prefix]`
 /// mapping.
 pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
-    let mut table: BTreeMap<Vec<u8>, PrefixTarget> = BTreeMap::new();
+    // An authoritative server's preloads are first-hand: stamped at boot
+    // time and verified. A replica's preloads are hearsay (epoch 0,
+    // unverified) until a sync round or a successful probe vouches for
+    // them.
+    let authoritative = config.degraded.is_none_or(|d| d.authoritative);
+    let boot_ns = ctx.now().as_nanos() as u64;
+    let mut table = SyncTable::new();
     for (name, pair) in &config.preload_direct {
-        table.insert(name.as_bytes().to_vec(), PrefixTarget::Direct(*pair));
+        let b = PrefixTarget::Direct(*pair).to_binding();
+        if authoritative {
+            table.define(name.as_bytes().to_vec(), b, boot_ns);
+        } else {
+            table.preload(name.as_bytes().to_vec(), b);
+        }
     }
     for (name, service, context) in &config.preload_logical {
-        table.insert(
-            name.as_bytes().to_vec(),
-            PrefixTarget::Logical {
-                service: *service,
-                context: *context,
-            },
-        );
+        let b = PrefixTarget::Logical {
+            service: *service,
+            context: *context,
+        }
+        .to_binding();
+        if authoritative {
+            table.define(name.as_bytes().to_vec(), b, boot_ns);
+        } else {
+            table.preload(name.as_bytes().to_vec(), b);
+        }
     }
     let mut instances: InstanceTable<Vec<u8>> = InstanceTable::new();
     // Suspect prefixes: prefix → virtual time (ns) the suspicion expires.
     let mut suspects: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    let mut counters = SyncCounters::default();
     ctx.set_pid(ServiceId::CONTEXT_PREFIX, config.scope);
     if let Some(group) = config.degraded.and_then(|d| d.replica_group) {
         let _ = ctx.join_group(group);
@@ -145,6 +218,15 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
 
     while let Ok(rx) = ctx.receive() {
         let msg = rx.msg;
+        // Sweep expired suspicions on every iteration — a suspicion whose
+        // TTL elapsed must clear even if no query for that prefix ever
+        // arrives again (any message wakes the sweep).
+        {
+            let now_ns = ctx.now().as_nanos() as u64;
+            let before = suspects.len();
+            suspects.retain(|_, until| *until > now_ns);
+            counters.suspects_expired += (before - suspects.len()) as u32;
+        }
         if msg.is_csname_request() {
             let payload = match ctx.move_from(&rx) {
                 Ok(p) => p,
@@ -165,6 +247,7 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                 req,
                 config.degraded,
                 &mut suspects,
+                &mut counters,
             );
             continue;
         }
@@ -200,9 +283,11 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                 let server = msg.pid_at(fields::W_TARGET_PID_LO);
                 let target_ctx = ContextId::new(msg.word32(fields::W_TARGET_CTX_LO));
                 let looking_for = ContextPair::new(server, target_ctx);
-                let found = table.iter().find_map(|(name, t)| match t {
-                    PrefixTarget::Direct(pair) if *pair == looking_for => Some(name.clone()),
-                    _ => None,
+                let found = table.live_iter().find_map(|(name, b, _)| {
+                    match PrefixTarget::from_binding(b) {
+                        PrefixTarget::Direct(pair) if pair == looking_for => Some(name.to_vec()),
+                        _ => None,
+                    }
                 });
                 match found {
                     Some(name) => {
@@ -220,6 +305,75 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
             Some(RequestCode::Echo) => {
                 let _ = ctx.reply(rx, msg, Bytes::new());
             }
+            Some(RequestCode::SyncPull) => {
+                // One anti-entropy round against the configured authority:
+                // digest out, delta back, apply atomically. A successful
+                // round is the authority vouching for the whole table, so
+                // armed suspicions clear and everything becomes verified.
+                let Some(peer) = config.degraded.and_then(|d| d.sync_peer) else {
+                    reply_code(ctx, rx, ReplyCode::NoServer);
+                    continue;
+                };
+                let digest = table.digest();
+                let mut req = Message::request(RequestCode::SyncDigest);
+                req.set_word(fields::W_SYNC_COUNT, digest.len() as u16);
+                let sent = ctx.send(peer, req, Bytes::from(encode_digest(&digest)), 65536);
+                let applied = match sent {
+                    Ok(reply) if reply.msg.reply_code().is_ok() => decode_delta(&reply.data).ok(),
+                    _ => None,
+                };
+                match applied {
+                    Some(delta) => {
+                        let out = table.apply(&delta);
+                        counters.rounds += 1;
+                        counters.adopted += out.adopted;
+                        counters.dropped += out.dropped_live;
+                        counters.promoted += out.promoted + table.mark_all_verified();
+                        suspects.clear();
+                        let mut m = Message::ok();
+                        m.set_word(fields::W_SYNC_ADOPTED, out.adopted as u16)
+                            .set_word(fields::W_SYNC_DROPPED, out.dropped_live as u16)
+                            .set_word(fields::W_SYNC_PROMOTED, out.promoted as u16)
+                            .set_word32(fields::W_SYNC_EPOCH_LO, table.max_epoch() as u32);
+                        reply_data(ctx, rx, m, Vec::new());
+                    }
+                    // Nothing was applied: the round is atomic, and the
+                    // puller learns it must retry after the next heal.
+                    None => reply_code(ctx, rx, ReplyCode::NoServer),
+                }
+            }
+            Some(RequestCode::SyncDigest) => {
+                let payload = match ctx.move_from(&rx) {
+                    Ok(p) => p,
+                    Err(_) => continue,
+                };
+                match decode_digest(&payload) {
+                    Ok(digest) => {
+                        let now_ns = ctx.now().as_nanos() as u64;
+                        let delta = table.delta_for(&digest, authoritative, now_ns);
+                        let mut m = Message::ok();
+                        m.set_word(fields::W_SYNC_COUNT, delta.len() as u16);
+                        reply_data(ctx, rx, m, encode_delta(&delta));
+                    }
+                    Err(_) => reply_code(ctx, rx, ReplyCode::BadArgs),
+                }
+            }
+            Some(RequestCode::SyncStatus) => {
+                let rec = SyncStatusRec {
+                    epoch: table.max_epoch(),
+                    live_entries: table.live_len() as u32,
+                    tombstones: table.tombstone_len() as u32,
+                    suspects: suspects.len() as u32,
+                    table_hash: table.table_hash(),
+                    rounds: counters.rounds,
+                    adopted: counters.adopted,
+                    dropped: counters.dropped,
+                    promoted: counters.promoted,
+                    suspects_expired: counters.suspects_expired,
+                    binding_queries: counters.binding_queries,
+                };
+                reply_data(ctx, rx, Message::ok(), rec.encode());
+            }
             _ => reply_code(ctx, rx, ReplyCode::UnknownRequest),
         }
     }
@@ -233,14 +387,16 @@ fn strip_brackets(name: &[u8]) -> &[u8] {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_csname(
     ctx: &dyn Ipc,
     rx: Received,
-    table: &mut BTreeMap<Vec<u8>, PrefixTarget>,
+    table: &mut SyncTable,
     instances: &mut InstanceTable<Vec<u8>>,
     req: CsRequest,
     degraded: Option<DegradedPrefixConfig>,
     suspects: &mut BTreeMap<Vec<u8>, u64>,
+    counters: &mut SyncCounters,
 ) {
     let msg = rx.msg;
     // Add/delete with a bracketed name and a nonempty remainder are meant
@@ -274,13 +430,17 @@ fn handle_csname(
                     ContextId::new(msg.word32(fields::W_TARGET_CTX_LO)),
                 ))
             };
-            table.insert(name, target);
+            let now_ns = ctx.now().as_nanos() as u64;
+            table.define(name, target.to_binding(), now_ns);
             reply_code(ctx, rx, ReplyCode::Ok);
             return;
         }
         Some(RequestCode::DeleteContextName) => {
+            // Deletion is a stamped tombstone, not a removal: sync rounds
+            // must propagate the delete rather than resurrect the binding.
             let name = strip_brackets(req.remaining()).to_vec();
-            let code = if table.remove(&name).is_some() {
+            let now_ns = ctx.now().as_nanos() as u64;
+            let code = if table.tombstone(&name, now_ns) {
                 ReplyCode::Ok
             } else {
                 ReplyCode::NotFound
@@ -311,10 +471,20 @@ fn handle_csname(
         ctx.charge(net.params().t_prefix_processing);
     }
 
-    let target = match table.get(&prefix) {
-        Some(t) => *t,
+    let entry = match table.lookup(&prefix) {
+        Some(e) => *e,
         None => return reply_code(ctx, rx, ReplyCode::NotFound),
     };
+    let target = match entry.binding {
+        Some(b) => PrefixTarget::from_binding(&b),
+        None => return reply_code(ctx, rx, ReplyCode::NotFound),
+    };
+
+    let binding_query =
+        msg.request_code() == Some(RequestCode::QueryName) && remaining[rest_index..].is_empty();
+    if binding_query {
+        counters.binding_queries += 1;
+    }
 
     // Degraded-mode resolution: a bare-prefix `QueryName` asks only for
     // the binding, which this table already knows. While the bound host
@@ -323,17 +493,23 @@ fn handle_csname(
     // it from the table with the staleness flag set instead of burning
     // another retransmission ladder. Only direct entries qualify: a
     // logical entry's authority is `GetPid`, which has its own recovery.
+    // An entry the authority has vouched for (verified, no suspicion
+    // armed) answers *fresh*: anti-entropy is what lets a replica hand
+    // out first-class bindings without a probe to the authority.
     if let Some(d) = degraded {
-        let binding_query = msg.request_code() == Some(RequestCode::QueryName)
-            && remaining[rest_index..].is_empty();
         let now_ns = ctx.now().as_nanos() as u64;
         let suspect_armed = suspects.get(&prefix).is_some_and(|&until| now_ns < until);
         if binding_query && (suspect_armed || !d.authoritative) {
             if let PrefixTarget::Direct(pair) = target {
+                let staleness = if entry.verified && !suspect_armed {
+                    0
+                } else {
+                    1
+                };
                 let mut m = Message::ok();
                 m.set_context_id(pair.context);
                 m.set_pid_at(fields::W_PID_LO, pair.server);
-                m.set_word(fields::W_STALENESS, 1);
+                m.set_word(fields::W_STALENESS, staleness);
                 return reply_data(ctx, rx, m, Vec::new());
             }
         }
@@ -354,11 +530,13 @@ fn handle_csname(
     match forward_csname(ctx, rx, server, target_ctx, absolute_index) {
         Err(vkernel::IpcError::NoProcess) => {
             // The bound server is permanently gone (not a transient loss
-            // timeout): a direct entry is now a stale binding, so drop it —
-            // the next definition re-binds. Logical entries stay; they
+            // timeout): a direct entry is now a stale binding, so
+            // tombstone it — the next definition re-binds, and sync
+            // rounds propagate the removal. Logical entries stay; they
             // re-resolve via `GetPid` and survive restarts by design.
             if matches!(target, PrefixTarget::Direct(_)) {
-                table.remove(&prefix);
+                let now_ns = ctx.now().as_nanos() as u64;
+                table.tombstone(&prefix, now_ns);
             }
         }
         Err(vkernel::IpcError::Timeout) => {
@@ -386,7 +564,7 @@ fn handle_csname(
 fn handle_own_context(
     ctx: &dyn Ipc,
     rx: Received,
-    table: &BTreeMap<Vec<u8>, PrefixTarget>,
+    table: &SyncTable,
     instances: &mut InstanceTable<Vec<u8>>,
     req: &CsRequest,
 ) {
@@ -404,19 +582,21 @@ fn handle_own_context(
                 Some(p) => DirectoryBuilder::with_pattern(p),
                 None => DirectoryBuilder::new(),
             };
-            for (name, target) in table {
-                let (pair, logical) = match target {
-                    PrefixTarget::Direct(pair) => (*pair, 0u32),
+            for (name, binding, _) in table.live_iter() {
+                let (pair, logical) = match PrefixTarget::from_binding(binding) {
+                    PrefixTarget::Direct(pair) => (pair, 0u32),
                     PrefixTarget::Logical { service, context } => {
-                        (ContextPair::new(Pid::NULL, *context), service.raw())
+                        (ContextPair::new(Pid::NULL, context), service.raw())
                     }
                 };
-                let d =
-                    ObjectDescriptor::new(DescriptorTag::ContextPrefix, CsName::from(name.clone()))
-                        .with_ext(DescriptorExt::ContextPrefix {
-                            target: pair,
-                            logical_service: logical,
-                        });
+                let d = ObjectDescriptor::new(
+                    DescriptorTag::ContextPrefix,
+                    CsName::from(name.to_vec()),
+                )
+                .with_ext(DescriptorExt::ContextPrefix {
+                    target: pair,
+                    logical_service: logical,
+                });
                 b.push(&d);
             }
             let snapshot = b.finish();
@@ -436,10 +616,10 @@ fn handle_own_context(
         }
         Some(RequestCode::QueryObject) => {
             let d = ObjectDescriptor::new(DescriptorTag::Directory, CsName::from("[]"))
-                .with_size(table.len() as u64)
+                .with_size(table.live_len() as u64)
                 .with_ext(DescriptorExt::Directory {
                     context: ContextId::DEFAULT,
-                    entries: table.len() as u32,
+                    entries: table.live_len() as u32,
                 });
             reply_descriptor(ctx, rx, &d);
         }

@@ -1,0 +1,389 @@
+//! The versioned prefix table behind anti-entropy reconciliation.
+//!
+//! Prefix servers are soft-state caches of naming information (paper §5.5),
+//! so replicas drift: a partition or crash window hides the authority's
+//! adds and deletes. [`SyncTable`] makes that drift *reconcilable* by
+//! versioning every entry with a per-entry **epoch** stamped at the
+//! authority and keeping deletes as **tombstones** instead of removals.
+//! A replica then converges in one pull round: it sends the authority its
+//! `(prefix, epoch)` [digest](SyncTable::digest), the authority answers
+//! with the [delta](SyncTable::delta_for) of everything newer (fresh
+//! tombstones included for prefixes it never defined), and the replica
+//! [applies](SyncTable::apply) entries that out-rank its own — after which
+//! the two tables hash identically ([`SyncTable::table_hash`]).
+//!
+//! Epoch stamps are `max(previous + 1, virtual-now-ns)`: monotonic within
+//! one incarnation, and — because virtual time only moves forward — a
+//! *restarted* authority's fresh stamps still out-rank everything it
+//! handed out before the crash. Epoch 0 is reserved for preloaded,
+//! never-verified replica entries, so any authoritative entry wins over a
+//! preload.
+
+use vproto::{SyncBinding, SyncDigestEntry, SyncEntry};
+
+use std::collections::BTreeMap;
+
+/// FNV-1a offset basis / prime (64-bit) — the same constants the
+/// virtual-time kernel uses for its event hash.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One versioned prefix-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionedEntry {
+    /// The binding, or `None` for a tombstone (deleted at `epoch`).
+    pub binding: Option<SyncBinding>,
+    /// The entry's version: 0 for a preload, otherwise an authority stamp.
+    pub epoch: u64,
+    /// `true` once the entry is first-hand (defined here) or vouched for
+    /// by the authority in a sync round. Unverified entries answer
+    /// binding queries with the staleness flag set.
+    pub verified: bool,
+}
+
+/// What one [`SyncTable::apply`] round did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ApplyOutcome {
+    /// Delta entries adopted (they out-ranked the local version).
+    pub adopted: u32,
+    /// Live local entries dropped by an adopted tombstone.
+    pub dropped_live: u32,
+    /// Entries that went unverified → verified.
+    pub promoted: u32,
+}
+
+/// A versioned, tombstone-retaining prefix table.
+#[derive(Debug, Clone, Default)]
+pub struct SyncTable {
+    entries: BTreeMap<Vec<u8>, VersionedEntry>,
+    next_epoch: u64,
+}
+
+impl SyncTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stamps and returns a fresh epoch: monotonic, never 0, and at least
+    /// the current virtual time so post-restart stamps out-rank pre-crash
+    /// ones.
+    fn stamp(&mut self, now_ns: u64) -> u64 {
+        self.next_epoch = (self.next_epoch + 1).max(now_ns).max(1);
+        self.next_epoch
+    }
+
+    /// Defines (or redefines) a prefix first-hand: stamped and verified.
+    pub fn define(&mut self, prefix: Vec<u8>, binding: SyncBinding, now_ns: u64) {
+        let epoch = self.stamp(now_ns);
+        self.entries.insert(
+            prefix,
+            VersionedEntry {
+                binding: Some(binding),
+                epoch,
+                verified: true,
+            },
+        );
+    }
+
+    /// Preloads a prefix at epoch 0, unverified — a replica's boot-time
+    /// copy, out-ranked by any authoritative stamp.
+    pub fn preload(&mut self, prefix: Vec<u8>, binding: SyncBinding) {
+        self.entries.insert(
+            prefix,
+            VersionedEntry {
+                binding: Some(binding),
+                epoch: 0,
+                verified: false,
+            },
+        );
+    }
+
+    /// Deletes a prefix by writing a freshly stamped tombstone. Returns
+    /// `true` if a live entry existed. The tombstone is retained so sync
+    /// rounds propagate the delete instead of resurrecting the binding.
+    pub fn tombstone(&mut self, prefix: &[u8], now_ns: u64) -> bool {
+        let was_live = self
+            .entries
+            .get(prefix)
+            .is_some_and(|e| e.binding.is_some());
+        let epoch = self.stamp(now_ns);
+        self.entries.insert(
+            prefix.to_vec(),
+            VersionedEntry {
+                binding: None,
+                epoch,
+                verified: true,
+            },
+        );
+        was_live
+    }
+
+    /// Looks up a live binding (tombstones answer `None`).
+    pub fn lookup(&self, prefix: &[u8]) -> Option<&VersionedEntry> {
+        self.entries.get(prefix).filter(|e| e.binding.is_some())
+    }
+
+    /// Iterates live `(prefix, binding, verified)` entries in name order.
+    pub fn live_iter(&self) -> impl Iterator<Item = (&[u8], &SyncBinding, bool)> {
+        self.entries
+            .iter()
+            .filter_map(|(name, e)| e.binding.as_ref().map(|b| (name.as_slice(), b, e.verified)))
+    }
+
+    /// Marks every entry verified — used when the authority has just
+    /// vouched for the whole table (a successful sync round).
+    pub fn mark_all_verified(&mut self) -> u32 {
+        let mut promoted = 0;
+        for e in self.entries.values_mut() {
+            if !e.verified {
+                e.verified = true;
+                promoted += 1;
+            }
+        }
+        promoted
+    }
+
+    /// The number of live entries.
+    pub fn live_len(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.binding.is_some())
+            .count()
+    }
+
+    /// The number of retained tombstones.
+    pub fn tombstone_len(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.binding.is_none())
+            .count()
+    }
+
+    /// The highest epoch stamped or adopted so far.
+    pub fn max_epoch(&self) -> u64 {
+        self.entries
+            .values()
+            .map(|e| e.epoch)
+            .max()
+            .unwrap_or(0)
+            .max(self.next_epoch)
+    }
+
+    /// The `(prefix, epoch)` digest of the whole table, tombstones
+    /// included — the `SyncDigest` request payload.
+    pub fn digest(&self) -> Vec<SyncDigestEntry> {
+        self.entries
+            .iter()
+            .map(|(name, e)| SyncDigestEntry {
+                prefix: name.clone(),
+                epoch: e.epoch,
+            })
+            .collect()
+    }
+
+    /// Computes the delta that brings the sender of `digest` up to date:
+    /// every local entry the digest is missing or holds at an older epoch.
+    ///
+    /// When `authoritative`, prefixes the digest knows but this table does
+    /// not are answered with a *freshly stamped tombstone* (epoch at least
+    /// `digest_epoch + 1`, so it out-ranks the replica's copy), which both
+    /// sides then retain — that is what makes the two tables converge to
+    /// bytewise-identical contents rather than merely compatible ones.
+    pub fn delta_for(
+        &mut self,
+        digest: &[SyncDigestEntry],
+        authoritative: bool,
+        now_ns: u64,
+    ) -> Vec<SyncEntry> {
+        let remote: BTreeMap<&[u8], u64> = digest
+            .iter()
+            .map(|d| (d.prefix.as_slice(), d.epoch))
+            .collect();
+        let mut out: Vec<SyncEntry> = self
+            .entries
+            .iter()
+            .filter(|(name, e)| match remote.get(name.as_slice()) {
+                Some(&remote_epoch) => e.epoch > remote_epoch,
+                None => true,
+            })
+            .map(|(name, e)| SyncEntry {
+                prefix: name.clone(),
+                epoch: e.epoch,
+                binding: e.binding,
+            })
+            .collect();
+        if authoritative {
+            let unknown: Vec<(Vec<u8>, u64)> = digest
+                .iter()
+                .filter(|d| !self.entries.contains_key(&d.prefix))
+                .map(|d| (d.prefix.clone(), d.epoch))
+                .collect();
+            for (prefix, remote_epoch) in unknown {
+                let epoch = self.stamp(now_ns).max(remote_epoch.saturating_add(1));
+                self.next_epoch = epoch;
+                self.entries.insert(
+                    prefix.clone(),
+                    VersionedEntry {
+                        binding: None,
+                        epoch,
+                        verified: true,
+                    },
+                );
+                out.push(SyncEntry {
+                    prefix,
+                    epoch,
+                    binding: None,
+                });
+            }
+            out.sort_by(|a, b| a.prefix.cmp(&b.prefix));
+        }
+        out
+    }
+
+    /// Applies a delta: each entry that out-ranks (strictly newer epoch
+    /// than) the local version is adopted and marked verified. Equal or
+    /// older epochs change nothing — epochs never regress.
+    pub fn apply(&mut self, delta: &[SyncEntry]) -> ApplyOutcome {
+        let mut outcome = ApplyOutcome::default();
+        for d in delta {
+            let local = self.entries.get(&d.prefix);
+            let local_epoch = local.map(|e| e.epoch);
+            if local_epoch.is_some_and(|le| le >= d.epoch) {
+                continue;
+            }
+            let was_unverified = local.is_some_and(|e| !e.verified);
+            let was_live = local.is_some_and(|e| e.binding.is_some());
+            if was_live && d.binding.is_none() {
+                outcome.dropped_live += 1;
+            }
+            if was_unverified {
+                outcome.promoted += 1;
+            }
+            self.entries.insert(
+                d.prefix.clone(),
+                VersionedEntry {
+                    binding: d.binding,
+                    epoch: d.epoch,
+                    verified: true,
+                },
+            );
+            self.next_epoch = self.next_epoch.max(d.epoch);
+            outcome.adopted += 1;
+        }
+        outcome
+    }
+
+    /// An order-independent-input, content-complete FNV-1a hash of the
+    /// table: prefixes, epochs, tombstone flags, and binding fields (the
+    /// `verified` bit is local bookkeeping and excluded). Two tables hash
+    /// equal iff their reconcilable contents are identical — the witness
+    /// EXP-13 uses for "bytewise identical within one round".
+    pub fn table_hash(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for (name, e) in &self.entries {
+            fold(&(name.len() as u64).to_le_bytes());
+            fold(name);
+            fold(&e.epoch.to_le_bytes());
+            match &e.binding {
+                None => fold(&[1]),
+                Some(b) => {
+                    fold(&[0, u8::from(b.logical)]);
+                    fold(&b.target.to_le_bytes());
+                    fold(&b.context.to_le_bytes());
+                }
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bind(target: u32) -> SyncBinding {
+        SyncBinding {
+            logical: false,
+            target,
+            context: 1,
+        }
+    }
+
+    #[test]
+    fn one_round_converges_preloaded_replica() {
+        let mut auth = SyncTable::new();
+        auth.define(b"home".to_vec(), bind(1), 100);
+        auth.define(b"remote".to_vec(), bind(2), 200);
+        auth.tombstone(b"home", 300);
+
+        let mut replica = SyncTable::new();
+        replica.preload(b"home".to_vec(), bind(1));
+        replica.preload(b"stale".to_vec(), bind(9)); // authority never had it
+
+        let delta = auth.delta_for(&replica.digest(), true, 400);
+        replica.apply(&delta);
+        assert_eq!(replica.table_hash(), auth.table_hash());
+        assert!(replica.lookup(b"home").is_none(), "tombstone adopted");
+        assert!(replica.lookup(b"stale").is_none(), "unknown prefix killed");
+        assert!(replica.lookup(b"remote").is_some());
+    }
+
+    #[test]
+    fn second_round_is_a_no_op() {
+        let mut auth = SyncTable::new();
+        auth.define(b"a".to_vec(), bind(1), 10);
+        let mut replica = SyncTable::new();
+        let d1 = auth.delta_for(&replica.digest(), true, 20);
+        replica.apply(&d1);
+        let d2 = auth.delta_for(&replica.digest(), true, 30);
+        assert!(d2.is_empty());
+        assert_eq!(replica.apply(&d2), ApplyOutcome::default());
+    }
+
+    #[test]
+    fn epochs_never_regress_on_apply() {
+        let mut t = SyncTable::new();
+        t.define(b"a".to_vec(), bind(1), 100);
+        let e = t.lookup(b"a").map(|v| v.epoch).unwrap_or(0);
+        let out = t.apply(&[SyncEntry {
+            prefix: b"a".to_vec(),
+            epoch: e, // equal epoch: must not re-adopt
+            binding: None,
+        }]);
+        assert_eq!(out, ApplyOutcome::default());
+        assert!(t.lookup(b"a").is_some());
+    }
+
+    #[test]
+    fn restart_stamps_outrank_pre_crash_entries() {
+        let mut before = SyncTable::new();
+        before.define(b"a".to_vec(), bind(1), 5_000_000);
+        let pre_crash = before.lookup(b"a").map(|v| v.epoch).unwrap_or(0);
+        // A restarted authority starts a fresh table but stamps at the
+        // (later) virtual time, so its entries win.
+        let mut after = SyncTable::new();
+        after.define(b"a".to_vec(), bind(2), 9_000_000);
+        let post_crash = after.lookup(b"a").map(|v| v.epoch).unwrap_or(0);
+        assert!(post_crash > pre_crash);
+    }
+
+    #[test]
+    fn promotion_counts_unverified_entries() {
+        let mut auth = SyncTable::new();
+        auth.define(b"a".to_vec(), bind(1), 10);
+        let mut replica = SyncTable::new();
+        replica.preload(b"a".to_vec(), bind(1));
+        assert!(replica.lookup(b"a").is_some_and(|e| !e.verified));
+        let delta = auth.delta_for(&replica.digest(), true, 20);
+        let out = replica.apply(&delta);
+        assert_eq!(out.promoted, 1);
+        assert!(replica.lookup(b"a").is_some_and(|e| e.verified));
+    }
+}

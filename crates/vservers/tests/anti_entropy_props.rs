@@ -1,0 +1,206 @@
+//! Property tests: anti-entropy convergence of the versioned prefix table.
+//!
+//! The convergence argument in DESIGN.md rests on three properties of
+//! [`vservers::SyncTable`] that must hold for *every* interleaving of
+//! authority churn and (possibly failing) sync rounds, not just the
+//! schedules the experiments happen to drive:
+//!
+//! 1. per-prefix epochs never regress, on any table, at any step;
+//! 2. once connectivity returns, a bounded number of successful rounds
+//!    makes every replica hash identical to the authority; and
+//! 3. a failed round (digest lost, or reply lost) changes nothing at the
+//!    replica — partial application is impossible by construction.
+//!
+//! Replicas here drift under an arbitrary seeded schedule: defines and
+//! deletes land at the authority while sync rounds succeed or fail
+//! according to the generated fate of each round.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use vproto::SyncBinding;
+use vservers::SyncTable;
+
+/// A small prefix pool so generated schedules collide on names (the
+/// interesting case: redefinitions, delete-then-redefine, stale preloads).
+const PREFIX_POOL: u8 = 8;
+
+fn name(i: u8) -> Vec<u8> {
+    format!("p{}", i % PREFIX_POOL).into_bytes()
+}
+
+fn bind(target: u32) -> SyncBinding {
+    SyncBinding {
+        logical: target.is_multiple_of(2),
+        target,
+        context: target ^ 0x5a,
+    }
+}
+
+/// One step of a generated schedule.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// The authority defines (or redefines) a prefix.
+    Define(u8, u32),
+    /// The authority deletes a prefix (stamping a tombstone).
+    Delete(u8),
+    /// A replica attempts a sync round; `fate` is the round's seeded
+    /// outcome: 0 = success, 1 = digest lost in flight (nothing happens
+    /// anywhere), 2 = reply lost (the authority saw the digest, the
+    /// replica applies nothing).
+    Sync { replica: u8, fate: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u32>()).prop_map(|(i, t)| Op::Define(i, t)),
+        any::<u8>().prop_map(Op::Delete),
+        (any::<u8>(), 0u8..3).prop_map(|(r, fate)| Op::Sync {
+            replica: r % 2,
+            fate
+        }),
+    ]
+}
+
+/// One pull round exactly as `prefix.rs` runs it, with the failure modes
+/// of the lossy plane modelled by `fate`.
+fn sync_round(auth: &mut SyncTable, replica: &mut SyncTable, fate: u8, now_ns: u64) {
+    if fate == 1 {
+        return; // digest lost: the authority never hears from the replica
+    }
+    let delta = auth.delta_for(&replica.digest(), true, now_ns);
+    if fate == 2 {
+        return; // reply lost: a failed round applies nothing at the replica
+    }
+    replica.apply(&delta);
+    replica.mark_all_verified();
+}
+
+/// Snapshot of every `(prefix, epoch)` pair, tombstones included.
+fn epochs(t: &SyncTable) -> BTreeMap<Vec<u8>, u64> {
+    t.digest()
+        .into_iter()
+        .map(|d| (d.prefix, d.epoch))
+        .collect()
+}
+
+/// Asserts no prefix lost its entry or moved to an older epoch.
+fn check_monotone(
+    before: &BTreeMap<Vec<u8>, u64>,
+    after: &BTreeMap<Vec<u8>, u64>,
+) -> Result<(), TestCaseError> {
+    for (prefix, e_before) in before {
+        let e_after = after.get(prefix).copied().unwrap_or(0);
+        prop_assert!(
+            e_after >= *e_before,
+            "epoch regressed for {:?}: {} -> {}",
+            prefix,
+            e_before,
+            e_after
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline property: replicas diverging under an arbitrary
+    /// schedule of authority churn and lossy sync rounds converge to the
+    /// authority's exact table hash once rounds stop failing — and epochs
+    /// never regress anywhere along the way.
+    #[test]
+    fn replicas_converge_after_heal_for_any_schedule(
+        preload_a in proptest::collection::vec(any::<u8>(), 0..6),
+        preload_b in proptest::collection::vec(any::<u8>(), 0..6),
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let mut auth = SyncTable::new();
+        let mut reps = [SyncTable::new(), SyncTable::new()];
+        for i in preload_a {
+            reps[0].preload(name(i), bind(u32::from(i)));
+        }
+        for i in preload_b {
+            reps[1].preload(name(i), bind(u32::from(i)));
+        }
+
+        let mut now_ns: u64 = 1_000;
+        let mut snaps = [epochs(&auth), epochs(&reps[0]), epochs(&reps[1])];
+        for op in &ops {
+            now_ns += 1_000;
+            match *op {
+                Op::Define(i, t) => auth.define(name(i), bind(t), now_ns),
+                Op::Delete(i) => {
+                    auth.tombstone(&name(i), now_ns);
+                }
+                Op::Sync { replica, fate } => {
+                    sync_round(&mut auth, &mut reps[replica as usize], fate, now_ns);
+                }
+            }
+            let next = [epochs(&auth), epochs(&reps[0]), epochs(&reps[1])];
+            for (before, after) in snaps.iter().zip(next.iter()) {
+                check_monotone(before, after)?;
+            }
+            snaps = next;
+        }
+
+        // The heal: successful rounds only. The A, B, A order matters —
+        // syncing B may stamp fresh tombstones at the authority for B's
+        // replica-only preloads, which A then needs a second round to
+        // learn. Convergence within that bounded pass is the property.
+        for &r in &[0usize, 1, 0] {
+            now_ns += 1_000;
+            sync_round(&mut auth, &mut reps[r], 0, now_ns);
+        }
+        prop_assert_eq!(reps[0].table_hash(), auth.table_hash());
+        prop_assert_eq!(reps[1].table_hash(), auth.table_hash());
+
+        // Converged means drained: one more round has nothing to move.
+        for rep in reps.iter_mut() {
+            now_ns += 1_000;
+            let delta = auth.delta_for(&rep.digest(), true, now_ns);
+            prop_assert!(delta.is_empty(), "post-convergence delta: {:?}", delta);
+        }
+
+        // Epoch 0 is reserved for preloads: nothing the authority ever
+        // stamped or retained sits at 0.
+        prop_assert!(epochs(&auth).values().all(|&e| e > 0));
+    }
+
+    /// Redefining the same prefix always moves it strictly forward, even
+    /// when virtual time stands still — the `max(previous + 1, now)` stamp.
+    #[test]
+    fn redefinition_epochs_strictly_increase(
+        targets in proptest::collection::vec(any::<u32>(), 2..20),
+        now in any::<u32>(),
+    ) {
+        let mut t = SyncTable::new();
+        let mut last = 0u64;
+        for tg in targets {
+            t.define(b"p".to_vec(), bind(tg), u64::from(now));
+            let e = epochs(&t).get(b"p".as_slice()).copied().unwrap_or(0);
+            prop_assert!(e > last, "stamp did not advance: {} then {}", last, e);
+            last = e;
+        }
+    }
+
+    /// A failed round is invisible at the replica: whether the digest or
+    /// the reply was lost, the replica's reconcilable contents are
+    /// untouched (no partial application).
+    #[test]
+    fn failed_rounds_change_nothing_at_the_replica(
+        defs in proptest::collection::vec((any::<u8>(), any::<u32>()), 1..20),
+        fate in 1u8..3,
+    ) {
+        let mut auth = SyncTable::new();
+        let mut rep = SyncTable::new();
+        rep.preload(name(3), bind(3));
+        let mut now_ns = 1_000;
+        for (i, t) in defs {
+            now_ns += 1_000;
+            auth.define(name(i), bind(t), now_ns);
+        }
+        let before = rep.table_hash();
+        sync_round(&mut auth, &mut rep, fate, now_ns + 1_000);
+        prop_assert_eq!(rep.table_hash(), before);
+    }
+}

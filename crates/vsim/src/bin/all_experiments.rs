@@ -1,4 +1,4 @@
-//! Regenerates every experiment in the index (EXP-1 .. EXP-11) and prints
+//! Regenerates every experiment in the index (EXP-1 .. EXP-13) and prints
 //! the paper-vs-measured tables used in EXPERIMENTS.md.
 fn main() {
     let markdown = std::env::args().any(|a| a == "--markdown");

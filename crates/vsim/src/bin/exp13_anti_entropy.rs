@@ -1,0 +1,4 @@
+//! Regenerates EXP-13 of the experiment index (see DESIGN.md).
+fn main() {
+    println!("{}", vsim::exp13::run());
+}

@@ -65,6 +65,7 @@ fn degraded_world(seed: u64, replica: bool) -> SimWorld {
         faults: Some(FaultConfig::lossless(seed)),
         degraded: Some(DegradedPrefixConfig::default()),
         replica,
+        sync_replica: false,
     })
 }
 

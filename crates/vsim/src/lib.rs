@@ -21,6 +21,7 @@ pub mod exp1;
 pub mod exp10;
 pub mod exp11;
 pub mod exp12;
+pub mod exp13;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;
@@ -51,5 +52,6 @@ pub fn run_all() -> Vec<ExpReport> {
         exp10::run(),
         exp11::run(),
         exp12::run(),
+        exp13::run(),
     ]
 }

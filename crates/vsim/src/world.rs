@@ -49,6 +49,11 @@ pub struct WorldConfig {
     /// machine, preloaded with the standard bindings and joined to a
     /// fresh multicast group.
     pub replica: bool,
+    /// Point the replica's anti-entropy at the workstation's
+    /// authoritative prefix server (`sync_peer`), so a `SyncPull` runs a
+    /// digest → delta → apply round against it. Implies nothing unless
+    /// `replica` is also set.
+    pub sync_replica: bool,
 }
 
 impl WorldConfig {
@@ -59,6 +64,7 @@ impl WorldConfig {
             faults: None,
             degraded: None,
             replica: false,
+            sync_replica: false,
         }
     }
 }
@@ -138,6 +144,7 @@ pub fn boot_world_cfg(cfg: WorldConfig) -> SimWorld {
             .client(workstation, |ctx| ctx.create_group())
             .expect("replica group created")
     });
+    let sync_peer = cfg.sync_replica.then_some(prefix);
     let replica = replica_group.map(|group| {
         domain.spawn(server_machine, "prefix-replica", move |ctx| {
             prefix_server(
@@ -157,6 +164,7 @@ pub fn boot_world_cfg(cfg: WorldConfig) -> SimWorld {
                     degraded: Some(DegradedPrefixConfig {
                         authoritative: false,
                         replica_group: Some(group),
+                        sync_peer,
                         ..DegradedPrefixConfig::default()
                     }),
                     ..PrefixConfig::default()

@@ -39,6 +39,7 @@ fn partitioned_lossy_scenario(s: u64) -> (u64, FaultStats, Option<Staleness>, De
         faults: Some(FaultConfig::lossless(s).with_loss(0.02)),
         degraded: Some(DegradedPrefixConfig::default()),
         replica: false,
+        sync_replica: false,
     });
     let t0 = world.domain.run();
     let cut = t0 + Duration::from_millis(20);

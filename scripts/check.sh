@@ -24,4 +24,8 @@ echo "==> partition-plane seed matrix (two distinct seeds)"
 VSIM_FAULT_SEED=0x1984 cargo test -q -p vsim --test partition_plane
 VSIM_FAULT_SEED=271828 cargo test -q -p vsim --test partition_plane
 
+echo "==> anti-entropy seed matrix (two distinct seeds)"
+VSIM_FAULT_SEED=0x1984 cargo test -q -p vsim --test anti_entropy_plane
+VSIM_FAULT_SEED=271828 cargo test -q -p vsim --test anti_entropy_plane
+
 echo "==> all checks passed"
