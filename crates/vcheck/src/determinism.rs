@@ -209,6 +209,7 @@ pub const SAMPLED_EXPERIMENTS: &[ExpRunner] = &[
     ("EXP-11", vsim::exp11::run),
     ("EXP-12", vsim::exp12::run),
     ("EXP-13", vsim::exp13::run),
+    ("EXP-14", vsim::exp14::run),
 ];
 
 /// Runs the determinism gate: every workload twice, comparing hashes.

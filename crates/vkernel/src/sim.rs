@@ -679,6 +679,24 @@ impl SimDomain {
         out
     }
 
+    /// The sorted, deduplicated *start* times of every partition scheduled
+    /// on the fault plane — the mirror of [`heal_times`](Self::heal_times).
+    /// Experiment wiring uses this with [`notify_at`](Self::notify_at) to
+    /// schedule replica↔replica gossip rounds *inside* the cut window,
+    /// when the authority is unreachable and peer reconciliation is the
+    /// only anti-entropy left.
+    pub fn cut_times(&self) -> Vec<SimTime> {
+        let st = self.core.state.lock();
+        let mut out: Vec<SimTime> = st
+            .faults
+            .as_ref()
+            .map(|p| p.config().partitions.iter().map(|c| c.start).collect())
+            .unwrap_or_default();
+        out.sort();
+        out.dedup();
+        out
+    }
+
     /// Spawns a notifier process on `to`'s host that sleeps until virtual
     /// time `at` and then sends `msg` (no payload) to `to`, ignoring the
     /// outcome. The notification is an ordinary simulated send, so it is

@@ -97,6 +97,13 @@ request_codes! {
         /// (epoch, entry counts, table hash, sync counters) in the reply
         /// payload.
         SyncStatus = 0x000E,
+        /// Anti-entropy gossip between non-authoritative replicas. Phase 0
+        /// (trigger, unicast) asks a replica to run one gossip round: it
+        /// multicasts a phase-1 probe on the replica group, picks the first
+        /// peer that answers, and runs a digest → delta round against it.
+        /// Phase 1 (probe, multicast) merely solicits a peer pid — group
+        /// replies carry no payload, so the digest round itself is unicast.
+        SyncGossip = 0x000F,
 
         // ---- CSname requests (standard fields present) ----
         /// Map a CSname that names a context into a (server-pid, context-id)

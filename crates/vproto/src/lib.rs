@@ -55,7 +55,6 @@ pub use message::{fields, ContextId, Message, OpenMode, MSG_WORDS};
 pub use pid::{LogicalHost, Pid};
 pub use service::{Scope, ServiceId};
 pub use sync::{
-    decode_delta, decode_digest, encode_delta, encode_digest, SyncBinding, SyncDigestEntry,
-    SyncEntry, SyncStatusRec,
+    SyncBinding, SyncDeltaMsg, SyncDigestEntry, SyncDigestMsg, SyncEntry, SyncStatusRec,
 };
 pub use wire::{WireReader, WireWriter};

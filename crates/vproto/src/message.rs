@@ -160,7 +160,16 @@ pub mod fields {
     pub const W_SYNC_EPOCH_LO: usize = 8;
     /// `SyncDigest` request and reply: number of encoded entries in the
     /// payload (digest entries in the request, delta entries in the reply).
+    /// Advisory — saturates at `u16::MAX`; the 32-bit count inside the
+    /// payload is authoritative.
     pub const W_SYNC_COUNT: usize = 5;
+    /// `SyncGossip` request: phase. 0 = trigger (unicast: run one gossip
+    /// round now), 1 = probe (multicast: reply with your pid if willing to
+    /// answer a gossip digest).
+    pub const W_SYNC_PHASE: usize = 7;
+    /// `SyncPull` reply: nonzero if the round was satisfied by gossiping
+    /// with a peer replica because the authority was unreachable.
+    pub const W_SYNC_GOSSIP: usize = 10;
 }
 
 /// Open modes for `CreateInstance` (V I/O protocol session conventions).

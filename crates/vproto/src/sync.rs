@@ -1,21 +1,33 @@
 //! Anti-entropy wire structures for prefix-replica reconciliation.
 //!
 //! The paper's §5 multi-manager model assumes context servers can re-learn
-//! bindings from their peers. This module defines the payloads of the three
+//! bindings from their peers. This module defines the payloads of the four
 //! anti-entropy operations ([`crate::RequestCode::SyncPull`],
-//! [`crate::RequestCode::SyncDigest`], [`crate::RequestCode::SyncStatus`]):
+//! [`crate::RequestCode::SyncDigest`], [`crate::RequestCode::SyncGossip`],
+//! [`crate::RequestCode::SyncStatus`]):
 //!
-//! * a **digest** — the compact `(prefix, epoch)` summary a replica sends to
-//!   its authority ([`SyncDigestEntry`], [`encode_digest`]);
-//! * a **delta** — the versioned entries the authority proves the replica is
-//!   missing or holding stale, tombstones included ([`SyncEntry`],
-//!   [`encode_delta`]);
+//! * a **digest** — the compact `(prefix, epoch, tombstone?)` summary a
+//!   replica sends to a peer, headed by the replica's **synced watermark**,
+//!   the highest authority epoch it has fully reconciled through
+//!   ([`SyncDigestMsg`]). The watermark is the replica's acknowledgement
+//!   that every tombstone at or below that epoch has been adopted — the
+//!   input to the authority's tombstone-GC horizon;
+//! * a **delta** — the versioned entries the responder proves the digest
+//!   sender is missing or holding stale, tombstones included, headed by the
+//!   responder's table epoch and (when the responder is the authority) the
+//!   current **GC horizon** = the minimum watermark across known replicas,
+//!   below which tombstones are provably adopted everywhere and may be
+//!   dropped ([`SyncDeltaMsg`]);
 //! * a **status record** — the introspection summary a server replies to
 //!   `SyncStatus` with ([`SyncStatusRec`]).
 //!
-//! All three ride the existing [`WireWriter`]/[`WireReader`] little-endian
-//! encoding used by descriptor records, travelling as request/reply payloads
-//! (`MoveFrom`/`MoveTo` segments), never in the fixed 32-byte message.
+//! All payloads ride the existing [`WireWriter`]/[`WireReader`]
+//! little-endian encoding used by descriptor records, travelling as
+//! request/reply payloads (`MoveFrom`/`MoveTo` segments), never in the
+//! fixed 32-byte message. Entry counts are 32-bit on the wire: a prefix
+//! table can exceed 65 535 entries, and the old 16-bit count would
+//! silently truncate it (the message-word count field is advisory and
+//! saturates; the payload count is authoritative).
 
 use crate::descriptor::DecodeError;
 use crate::wire::{WireReader, WireWriter};
@@ -38,8 +50,9 @@ pub struct SyncBinding {
 
 /// One versioned table entry in an anti-entropy delta.
 ///
-/// `binding == None` is a **tombstone**: the authority asserts the prefix was
-/// deleted at `epoch`, and the replica must drop any older live entry.
+/// `binding == None` is a **tombstone**: the responder asserts the prefix
+/// was deleted at `epoch`, and the digest sender must drop any older live
+/// entry.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SyncEntry {
     /// The prefix name (bytes, per §5.1).
@@ -51,12 +64,50 @@ pub struct SyncEntry {
 }
 
 /// One `(prefix, epoch)` pair in a table digest.
+///
+/// The `tombstone` flag lets the authority tell a **GC'd tombstone** the
+/// sender still retains (dropped on the sender's side by the horizon in
+/// the delta reply — no re-stamp needed) from a **stray live entry** below
+/// the horizon (which must be killed with a freshly stamped tombstone, or
+/// a delete could be resurrected through gossip).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SyncDigestEntry {
     /// The prefix name.
     pub prefix: Vec<u8>,
     /// The epoch the sender holds for it (0 = preloaded, never verified).
     pub epoch: u64,
+    /// `true` if the sender holds this entry as a tombstone.
+    pub tombstone: bool,
+}
+
+/// The `SyncDigest` request payload: the sender's synced watermark plus
+/// its whole-table digest.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SyncDigestMsg {
+    /// The highest authority epoch the sender has fully synced through —
+    /// its acknowledgement that every entry (tombstones included) at or
+    /// below this epoch has been adopted. 0 until the first successful
+    /// authority round; never advanced by gossip.
+    pub watermark: u64,
+    /// The `(prefix, epoch, tombstone?)` digest, tombstones included.
+    pub entries: Vec<SyncDigestEntry>,
+}
+
+/// The `SyncDigest` reply payload: the responder's table epoch, its GC
+/// horizon (authority only; 0 from replicas), and the delta.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SyncDeltaMsg {
+    /// The responder's highest stamped/adopted epoch after computing the
+    /// delta. A replica that applies the whole delta has synced through
+    /// this epoch — its next watermark.
+    pub epoch: u64,
+    /// The responder's tombstone-GC horizon: tombstones at or below it are
+    /// adopted by every known replica and may be dropped. 0 means "no GC
+    /// instruction" (replicas answering gossip digests always send 0; the
+    /// puller only honours a horizon from its configured authority).
+    pub horizon: u64,
+    /// The versioned entries the digest sender is missing or holding stale.
+    pub entries: Vec<SyncEntry>,
 }
 
 /// The `SyncStatus` reply payload: a server's versioned-table summary.
@@ -73,9 +124,9 @@ pub struct SyncStatusRec {
     /// Order-independent hash of the versioned table (entries + epochs +
     /// tombstones); two tables with equal hashes hold identical contents.
     pub table_hash: u64,
-    /// Completed sync rounds (replica side).
+    /// Completed authority sync rounds (replica side).
     pub rounds: u32,
-    /// Entries adopted from deltas, cumulative.
+    /// Entries adopted from authority deltas, cumulative.
     pub adopted: u32,
     /// Live entries dropped by tombstone adoption, cumulative.
     pub dropped: u32,
@@ -85,6 +136,21 @@ pub struct SyncStatusRec {
     pub suspects_expired: u32,
     /// Bare-prefix `QueryName` binding queries answered, cumulative.
     pub binding_queries: u32,
+    /// The server's synced watermark: the highest authority epoch it has
+    /// fully reconciled through (0 on the authority itself and on replicas
+    /// that never completed an authority round).
+    pub watermark: u64,
+    /// The tombstone-GC horizon this table last collected at (authority:
+    /// min watermark across known replicas; replica: the last horizon its
+    /// authority advertised).
+    pub gc_horizon: u64,
+    /// Completed replica↔replica gossip rounds, cumulative.
+    pub gossip_rounds: u32,
+    /// Entries adopted from gossip peers (held Suspect until the authority
+    /// vouches), cumulative.
+    pub gossip_adopted: u32,
+    /// Tombstones dropped by horizon GC, cumulative.
+    pub gc_dropped: u32,
 }
 
 fn write_entry(w: &mut WireWriter, e: &SyncEntry) {
@@ -129,77 +195,93 @@ fn read_entry(r: &mut WireReader<'_>) -> Result<SyncEntry, DecodeError> {
     })
 }
 
-/// Encodes a table digest (`SyncDigest` request payload).
-///
-/// # Panics
-///
-/// Panics if `entries.len()` or any prefix length exceeds `u16::MAX`.
-pub fn encode_digest(entries: &[SyncDigestEntry]) -> Vec<u8> {
-    let mut w = WireWriter::new();
-    assert!(entries.len() <= u16::MAX as usize, "digest too large");
-    w.u16(entries.len() as u16);
-    for e in entries {
-        w.bytes(&e.prefix);
-        w.u64(e.epoch);
+impl SyncDigestMsg {
+    /// Encodes the digest message (`SyncDigest` request payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.watermark);
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.bytes(&e.prefix);
+            w.u64(e.epoch);
+            w.u16(u16::from(e.tombstone));
+        }
+        w.into_vec()
     }
-    w.into_vec()
+
+    /// Decodes a digest message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation, trailing bytes, or invalid
+    /// flags.
+    pub fn decode(buf: &[u8]) -> Result<SyncDigestMsg, DecodeError> {
+        let mut r = WireReader::new(buf);
+        let watermark = r.u64()?;
+        let count = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let prefix = r.bytes()?.to_vec();
+            let epoch = r.u64()?;
+            let tombstone = match r.u16()? {
+                0 => false,
+                1 => true,
+                _ => return Err(DecodeError::BadValue { field: "tombstone" }),
+            };
+            entries.push(SyncDigestEntry {
+                prefix,
+                epoch,
+                tombstone,
+            });
+        }
+        if !r.is_exhausted() {
+            return Err(DecodeError::TrailingBytes {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(SyncDigestMsg { watermark, entries })
+    }
 }
 
-/// Decodes a table digest.
-///
-/// # Errors
-///
-/// Returns [`DecodeError`] on truncation or trailing bytes.
-pub fn decode_digest(buf: &[u8]) -> Result<Vec<SyncDigestEntry>, DecodeError> {
-    let mut r = WireReader::new(buf);
-    let count = r.u16()? as usize;
-    let mut out = Vec::with_capacity(count.min(1024));
-    for _ in 0..count {
-        let prefix = r.bytes()?.to_vec();
+impl SyncDeltaMsg {
+    /// Encodes the delta message (`SyncDigest` reply payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.epoch);
+        w.u64(self.horizon);
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            write_entry(&mut w, e);
+        }
+        w.into_vec()
+    }
+
+    /// Decodes a delta message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation, trailing bytes, or invalid
+    /// flags.
+    pub fn decode(buf: &[u8]) -> Result<SyncDeltaMsg, DecodeError> {
+        let mut r = WireReader::new(buf);
         let epoch = r.u64()?;
-        out.push(SyncDigestEntry { prefix, epoch });
+        let horizon = r.u64()?;
+        let count = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            entries.push(read_entry(&mut r)?);
+        }
+        if !r.is_exhausted() {
+            return Err(DecodeError::TrailingBytes {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(SyncDeltaMsg {
+            epoch,
+            horizon,
+            entries,
+        })
     }
-    if !r.is_exhausted() {
-        return Err(DecodeError::TrailingBytes {
-            remaining: r.remaining(),
-        });
-    }
-    Ok(out)
-}
-
-/// Encodes a delta (`SyncDigest` reply payload).
-///
-/// # Panics
-///
-/// Panics if `entries.len()` or any prefix length exceeds `u16::MAX`.
-pub fn encode_delta(entries: &[SyncEntry]) -> Vec<u8> {
-    let mut w = WireWriter::new();
-    assert!(entries.len() <= u16::MAX as usize, "delta too large");
-    w.u16(entries.len() as u16);
-    for e in entries {
-        write_entry(&mut w, e);
-    }
-    w.into_vec()
-}
-
-/// Decodes a delta.
-///
-/// # Errors
-///
-/// Returns [`DecodeError`] on truncation, trailing bytes, or invalid flags.
-pub fn decode_delta(buf: &[u8]) -> Result<Vec<SyncEntry>, DecodeError> {
-    let mut r = WireReader::new(buf);
-    let count = r.u16()? as usize;
-    let mut out = Vec::with_capacity(count.min(1024));
-    for _ in 0..count {
-        out.push(read_entry(&mut r)?);
-    }
-    if !r.is_exhausted() {
-        return Err(DecodeError::TrailingBytes {
-            remaining: r.remaining(),
-        });
-    }
-    Ok(out)
 }
 
 impl SyncStatusRec {
@@ -216,7 +298,12 @@ impl SyncStatusRec {
             .u32(self.dropped)
             .u32(self.promoted)
             .u32(self.suspects_expired)
-            .u32(self.binding_queries);
+            .u32(self.binding_queries)
+            .u64(self.watermark)
+            .u64(self.gc_horizon)
+            .u32(self.gossip_rounds)
+            .u32(self.gossip_adopted)
+            .u32(self.gc_dropped);
         w.into_vec()
     }
 
@@ -239,6 +326,11 @@ impl SyncStatusRec {
             promoted: r.u32()?,
             suspects_expired: r.u32()?,
             binding_queries: r.u32()?,
+            watermark: r.u64()?,
+            gc_horizon: r.u64()?,
+            gossip_rounds: r.u32()?,
+            gossip_adopted: r.u32()?,
+            gc_dropped: r.u32()?,
         };
         if !r.is_exhausted() {
             return Err(DecodeError::TrailingBytes {
@@ -255,70 +347,83 @@ mod tests {
 
     #[test]
     fn digest_roundtrip() {
-        let digest = vec![
-            SyncDigestEntry {
-                prefix: b"local".to_vec(),
-                epoch: 0,
-            },
-            SyncDigestEntry {
-                prefix: b"remote".to_vec(),
-                epoch: 42,
-            },
-        ];
-        let buf = encode_digest(&digest);
-        assert_eq!(decode_digest(&buf).unwrap(), digest);
+        let msg = SyncDigestMsg {
+            watermark: 0xAB,
+            entries: vec![
+                SyncDigestEntry {
+                    prefix: b"local".to_vec(),
+                    epoch: 0,
+                    tombstone: false,
+                },
+                SyncDigestEntry {
+                    prefix: b"remote".to_vec(),
+                    epoch: 42,
+                    tombstone: true,
+                },
+            ],
+        };
+        let buf = msg.encode();
+        assert_eq!(SyncDigestMsg::decode(&buf).unwrap(), msg);
     }
 
     #[test]
     fn delta_roundtrip_with_tombstone() {
-        let delta = vec![
-            SyncEntry {
-                prefix: b"remote".to_vec(),
-                epoch: 7,
-                binding: Some(SyncBinding {
-                    logical: false,
-                    target: 0xDEAD_BEEF,
-                    context: 3,
-                }),
-            },
-            SyncEntry {
-                prefix: b"gone".to_vec(),
-                epoch: 8,
-                binding: None,
-            },
-        ];
-        let buf = encode_delta(&delta);
-        assert_eq!(decode_delta(&buf).unwrap(), delta);
+        let msg = SyncDeltaMsg {
+            epoch: 9,
+            horizon: 6,
+            entries: vec![
+                SyncEntry {
+                    prefix: b"remote".to_vec(),
+                    epoch: 7,
+                    binding: Some(SyncBinding {
+                        logical: false,
+                        target: 0xDEAD_BEEF,
+                        context: 3,
+                    }),
+                },
+                SyncEntry {
+                    prefix: b"gone".to_vec(),
+                    epoch: 8,
+                    binding: None,
+                },
+            ],
+        };
+        let buf = msg.encode();
+        assert_eq!(SyncDeltaMsg::decode(&buf).unwrap(), msg);
     }
 
     #[test]
     fn truncated_delta_is_an_error() {
-        let delta = vec![SyncEntry {
-            prefix: b"x".to_vec(),
+        let msg = SyncDeltaMsg {
             epoch: 1,
-            binding: None,
-        }];
-        let buf = encode_delta(&delta);
-        assert!(decode_delta(&buf[..buf.len() - 1]).is_err());
+            horizon: 0,
+            entries: vec![SyncEntry {
+                prefix: b"x".to_vec(),
+                epoch: 1,
+                binding: None,
+            }],
+        };
+        let buf = msg.encode();
+        assert!(SyncDeltaMsg::decode(&buf[..buf.len() - 1]).is_err());
     }
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut buf = encode_digest(&[]);
+        let mut buf = SyncDigestMsg::default().encode();
         buf.push(0);
         assert!(matches!(
-            decode_digest(&buf),
+            SyncDigestMsg::decode(&buf),
             Err(DecodeError::TrailingBytes { remaining: 1 })
         ));
     }
 
     #[test]
     fn bad_flags_rejected() {
-        // count=1, empty prefix, epoch=0, tombstone flag 9.
+        // epoch=0, horizon=0, count=1, empty prefix, epoch=0, tombstone flag 9.
         let mut w = WireWriter::new();
-        w.u16(1).bytes(b"").u64(0).u16(9);
+        w.u64(0).u64(0).u32(1).bytes(b"").u64(0).u16(9);
         assert!(matches!(
-            decode_delta(&w.into_vec()),
+            SyncDeltaMsg::decode(&w.into_vec()),
             Err(DecodeError::BadValue { field: "tombstone" })
         ));
     }
@@ -337,7 +442,32 @@ mod tests {
             promoted: 7,
             suspects_expired: 8,
             binding_queries: 9,
+            watermark: 0x1111_2222_3333_4444,
+            gc_horizon: 0x0000_0000_1111_0000,
+            gossip_rounds: 10,
+            gossip_adopted: 11,
+            gc_dropped: 12,
         };
         assert_eq!(SyncStatusRec::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn digest_counts_are_not_u16_bounded() {
+        // The boundary the old format silently truncated at: one entry
+        // past u16::MAX must survive the wire intact.
+        let n = usize::from(u16::MAX) + 1;
+        let msg = SyncDigestMsg {
+            watermark: 7,
+            entries: (0..n)
+                .map(|i| SyncDigestEntry {
+                    prefix: (i as u32).to_le_bytes().to_vec(),
+                    epoch: i as u64,
+                    tombstone: i % 3 == 0,
+                })
+                .collect(),
+        };
+        let decoded = SyncDigestMsg::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded.entries.len(), n);
+        assert_eq!(decoded, msg);
     }
 }

@@ -112,6 +112,7 @@ fn sync_pull_reply_layout() {
             ("dropped", W_SYNC_DROPPED..W_SYNC_DROPPED + 1),
             ("promoted", W_SYNC_PROMOTED..W_SYNC_PROMOTED + 1),
             ("epoch", W_SYNC_EPOCH_LO..W_SYNC_EPOCH_LO + 2),
+            ("gossip", W_SYNC_GOSSIP..W_SYNC_GOSSIP + 1),
         ],
     );
 }
@@ -121,6 +122,18 @@ fn sync_digest_layout() {
     assert_disjoint(
         "SyncDigest request/reply",
         &[("entry_count", W_SYNC_COUNT..W_SYNC_COUNT + 1)],
+    );
+}
+
+#[test]
+fn sync_gossip_request_layout() {
+    // The probe reply reuses the pid words; the request carries the phase.
+    assert_disjoint(
+        "SyncGossip request/reply",
+        &[
+            ("peer_pid (reply)", W_PID_LO..W_PID_LO + 2),
+            ("phase (request)", W_SYNC_PHASE..W_SYNC_PHASE + 1),
+        ],
     );
 }
 

@@ -1,11 +1,8 @@
 //! Wire round-trips for the anti-entropy payloads carried by the
-//! `SyncPull` / `SyncDigest` / `SyncStatus` operations.
+//! `SyncPull` / `SyncDigest` / `SyncGossip` / `SyncStatus` operations.
 
 use proptest::prelude::*;
-use vproto::{
-    decode_delta, decode_digest, encode_delta, encode_digest, SyncBinding, SyncDigestEntry,
-    SyncEntry, SyncStatusRec,
-};
+use vproto::{SyncBinding, SyncDeltaMsg, SyncDigestEntry, SyncDigestMsg, SyncEntry, SyncStatusRec};
 
 fn arb_prefix() -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(any::<u8>(), 0..24)
@@ -32,26 +29,37 @@ fn arb_entry() -> impl Strategy<Value = SyncEntry> {
 }
 
 proptest! {
-    /// Any digest — any prefixes, any epochs — survives the wire intact
-    /// (the `SyncDigest` request payload).
+    /// Any digest — any prefixes, any epochs, any tombstone flags, any
+    /// watermark — survives the wire intact (the `SyncDigest` request
+    /// payload).
     #[test]
     fn any_digest_round_trips(
+        watermark in any::<u64>(),
         entries in proptest::collection::vec(
-            (arb_prefix(), any::<u64>())
-                .prop_map(|(prefix, epoch)| SyncDigestEntry { prefix, epoch }),
+            (arb_prefix(), any::<u64>(), any::<bool>())
+                .prop_map(|(prefix, epoch, tombstone)| SyncDigestEntry {
+                    prefix,
+                    epoch,
+                    tombstone,
+                }),
             0..32,
         )
     ) {
-        let buf = encode_digest(&entries);
-        prop_assert_eq!(decode_digest(&buf).unwrap(), entries);
+        let msg = SyncDigestMsg { watermark, entries };
+        prop_assert_eq!(SyncDigestMsg::decode(&msg.encode()).unwrap(), msg);
     }
 
-    /// Any delta — live bindings, logical bindings, tombstones — survives
-    /// the wire intact (the `SyncDigest` reply payload).
+    /// Any delta — live bindings, logical bindings, tombstones, any epoch
+    /// and GC-horizon header — survives the wire intact (the `SyncDigest`
+    /// reply payload).
     #[test]
-    fn any_delta_round_trips(entries in proptest::collection::vec(arb_entry(), 0..32)) {
-        let buf = encode_delta(&entries);
-        prop_assert_eq!(decode_delta(&buf).unwrap(), entries);
+    fn any_delta_round_trips(
+        epoch in any::<u64>(),
+        horizon in any::<u64>(),
+        entries in proptest::collection::vec(arb_entry(), 0..32),
+    ) {
+        let msg = SyncDeltaMsg { epoch, horizon, entries };
+        prop_assert_eq!(SyncDeltaMsg::decode(&msg.encode()).unwrap(), msg);
     }
 
     /// The `SyncStatus` reply record survives the wire for any counter
@@ -60,7 +68,9 @@ proptest! {
     fn any_status_record_round_trips(
         epoch in any::<u64>(),
         table_hash in any::<u64>(),
-        counters in proptest::collection::vec(any::<u32>(), 9),
+        watermark in any::<u64>(),
+        gc_horizon in any::<u64>(),
+        counters in proptest::collection::vec(any::<u32>(), 12),
     ) {
         let rec = SyncStatusRec {
             epoch,
@@ -74,6 +84,11 @@ proptest! {
             promoted: counters[6],
             suspects_expired: counters[7],
             binding_queries: counters[8],
+            watermark,
+            gc_horizon,
+            gossip_rounds: counters[9],
+            gossip_adopted: counters[10],
+            gc_dropped: counters[11],
         };
         prop_assert_eq!(SyncStatusRec::decode(&rec.encode()).unwrap(), rec);
     }
@@ -85,27 +100,72 @@ proptest! {
         entries in proptest::collection::vec(arb_entry(), 1..8),
         frac in 0.0f64..1.0,
     ) {
-        let buf = encode_delta(&entries);
+        let msg = SyncDeltaMsg { epoch: 1, horizon: 0, entries };
+        let buf = msg.encode();
         let cut = ((buf.len() - 1) as f64 * frac) as usize;
-        prop_assert!(decode_delta(&buf[..cut]).is_err());
+        prop_assert!(SyncDeltaMsg::decode(&buf[..cut]).is_err());
     }
 }
 
 #[test]
 fn tombstone_and_live_entries_are_distinguishable() {
-    let live = SyncEntry {
-        prefix: b"remote".to_vec(),
-        epoch: 3,
-        binding: Some(SyncBinding {
-            logical: true,
-            target: 17,
-            context: 1,
-        }),
+    let delta = |binding| {
+        SyncDeltaMsg {
+            epoch: 3,
+            horizon: 0,
+            entries: vec![SyncEntry {
+                prefix: b"remote".to_vec(),
+                epoch: 3,
+                binding,
+            }],
+        }
+        .encode()
     };
-    let dead = SyncEntry {
-        prefix: b"remote".to_vec(),
-        epoch: 3,
-        binding: None,
+    let live = delta(Some(SyncBinding {
+        logical: true,
+        target: 17,
+        context: 1,
+    }));
+    assert_ne!(live, delta(None));
+}
+
+/// The boundary the old 16-bit count silently truncated at: a table one
+/// entry past `u16::MAX` must survive the wire with every entry intact.
+/// (The advisory `W_SYNC_COUNT` message word saturates; the payload's
+/// 32-bit count is authoritative — pinned here.)
+#[test]
+fn tables_past_u16_max_survive_the_wire() {
+    let n = usize::from(u16::MAX) + 1;
+    let digest = SyncDigestMsg {
+        watermark: 1,
+        entries: (0..n)
+            .map(|i| SyncDigestEntry {
+                prefix: (i as u32).to_le_bytes().to_vec(),
+                epoch: i as u64 + 1,
+                tombstone: i % 7 == 0,
+            })
+            .collect(),
     };
-    assert_ne!(encode_delta(&[live]), encode_delta(&[dead]));
+    let decoded = SyncDigestMsg::decode(&digest.encode()).unwrap();
+    assert_eq!(decoded.entries.len(), n);
+    assert_eq!(decoded, digest);
+
+    let delta = SyncDeltaMsg {
+        epoch: n as u64,
+        horizon: 3,
+        entries: (0..n)
+            .map(|i| SyncEntry {
+                prefix: (i as u32).to_le_bytes().to_vec(),
+                epoch: i as u64 + 1,
+                binding: (i % 2 == 0).then_some(SyncBinding {
+                    logical: false,
+                    target: i as u32,
+                    context: 9,
+                }),
+            })
+            .collect(),
+    };
+    let decoded = SyncDeltaMsg::decode(&delta.encode()).unwrap();
+    assert_eq!(decoded.entries.len(), n);
+    assert_eq!(decoded, delta);
 }

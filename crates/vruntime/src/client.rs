@@ -7,7 +7,7 @@ use vkernel::{GroupId, Ipc, IpcError};
 use vnaming::{build_csname_request, BackoffPolicy, RetryPolicy, RetryTimer};
 use vproto::{
     fields, ContextId, ContextPair, CsName, Message, ObjectDescriptor, OpenMode, Pid, ReplyCode,
-    RequestCode, Scope, ServiceId,
+    RequestCode, Scope, ServiceId, SyncStatusRec,
 };
 
 fn check(code: ReplyCode) -> Result<(), IoError> {
@@ -290,6 +290,34 @@ impl<'a> NameClient<'a> {
     /// The discovered prefix server, if any.
     pub fn prefix_server(&self) -> Option<Pid> {
         self.prefix_server.get()
+    }
+
+    /// Pins the prefix server this client routes bracketed names through,
+    /// overriding `GetPid` discovery. Experiment drivers use this to aim a
+    /// client at a *specific* replica (e.g. to watch it answer Suspect
+    /// from gossip-adopted entries while the authority is down).
+    pub fn set_prefix_server(&self, server: Pid) {
+        self.prefix_server.set(Some(server));
+    }
+
+    /// Reads a prefix server's `SyncStatus` record — its versioned-table
+    /// summary (epoch, entry counts, table hash, watermark, GC horizon,
+    /// sync/gossip counters). `None` if the server cannot be reached or
+    /// the record cannot be decoded.
+    pub fn sync_status(&self, server: Pid) -> Option<SyncStatusRec> {
+        let reply = self
+            .ipc
+            .send(
+                server,
+                Message::request(RequestCode::SyncStatus),
+                Bytes::new(),
+                4096,
+            )
+            .ok()?;
+        if !reply.msg.reply_code().is_ok() {
+            return None;
+        }
+        SyncStatusRec::decode(&reply.data).ok()
     }
 
     /// The single common routine that checks for `[` (paper §6): decides

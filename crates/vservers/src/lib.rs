@@ -48,6 +48,6 @@ pub use pipe::{pipe_server, PipeConfig};
 pub use prefix::{prefix_footprint_bytes, prefix_server, DegradedPrefixConfig, PrefixConfig};
 pub use printer::{printer_server, PrinterConfig};
 pub use program::{program_manager, ProgramConfig};
-pub use sync::{ApplyOutcome, SyncTable, VersionedEntry};
+pub use sync::{ApplyOutcome, SyncTable, TombstoneOutcome, VersionedEntry, MAX_EPOCH_SKEW_NS};
 pub use terminal::{terminal_server, TerminalConfig};
 pub use time::{get_time, time_server, TimeConfig};

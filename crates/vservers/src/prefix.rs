@@ -23,7 +23,7 @@
 //! multicast replica group, which is the client's last-resort fallback.
 
 use crate::common::{forward_csname, reply_code, reply_data, reply_descriptor};
-use crate::sync::SyncTable;
+use crate::sync::{ApplyOutcome, SyncTable, TombstoneOutcome};
 use bytes::Bytes;
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -31,9 +31,9 @@ use vio::{serve_read, InstanceTable};
 use vkernel::{GroupId, Ipc, Received};
 use vnaming::{CsRequest, DirectoryBuilder};
 use vproto::{
-    decode_delta, decode_digest, encode_delta, encode_digest, fields, ContextId, ContextPair,
-    CsName, DescriptorExt, DescriptorTag, InstanceId, Message, ObjectDescriptor, OpenMode, Pid,
-    ReplyCode, RequestCode, Scope, ServiceId, SyncBinding, SyncStatusRec,
+    fields, ContextId, ContextPair, CsName, DescriptorExt, DescriptorTag, InstanceId, Message,
+    ObjectDescriptor, OpenMode, Pid, ReplyCode, RequestCode, Scope, ServiceId, SyncBinding,
+    SyncDeltaMsg, SyncDigestMsg, SyncStatusRec,
 };
 
 /// One prefix table entry.
@@ -96,6 +96,19 @@ struct SyncCounters {
     suspects_expired: u32,
     /// Bare-prefix `QueryName` binding queries received.
     binding_queries: u32,
+    /// Completed replica↔replica gossip rounds.
+    gossip_rounds: u32,
+    /// Entries adopted from gossip peers (held Suspect).
+    gossip_adopted: u32,
+    /// Tombstones dropped by horizon GC.
+    gc_dropped: u32,
+}
+
+/// The advisory entry-count message word for sync payloads: saturates at
+/// `u16::MAX` instead of silently truncating tables past 65 535 entries —
+/// the 32-bit count inside the payload is authoritative.
+fn count_word(n: usize) -> u16 {
+    u16::try_from(n).unwrap_or(u16::MAX)
 }
 
 /// Degraded-mode resolution settings for a [`prefix_server`].
@@ -309,36 +322,74 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                 // One anti-entropy round against the configured authority:
                 // digest out, delta back, apply atomically. A successful
                 // round is the authority vouching for the whole table, so
-                // armed suspicions clear and everything becomes verified.
-                let Some(peer) = config.degraded.and_then(|d| d.sync_peer) else {
+                // armed suspicions clear, everything becomes verified, and
+                // the synced watermark advances to the authority's epoch.
+                // If the authority is unreachable (partitioned or crashed)
+                // and a replica group is configured, fall back to one
+                // gossip round against a peer replica — adopted entries
+                // stay Suspect and the watermark does not move.
+                let Some(d) = config.degraded.filter(|d| d.sync_peer.is_some()) else {
                     reply_code(ctx, rx, ReplyCode::NoServer);
                     continue;
                 };
-                let digest = table.digest();
-                let mut req = Message::request(RequestCode::SyncDigest);
-                req.set_word(fields::W_SYNC_COUNT, digest.len() as u16);
-                let sent = ctx.send(peer, req, Bytes::from(encode_digest(&digest)), 65536);
-                let applied = match sent {
-                    Ok(reply) if reply.msg.reply_code().is_ok() => decode_delta(&reply.data).ok(),
-                    _ => None,
-                };
+                let mut via_gossip = false;
+                let mut applied: Option<ApplyOutcome> = None;
+                if let Some(peer) = d.sync_peer {
+                    if let Some(out) =
+                        authority_round(ctx, &mut table, peer, &mut counters, &mut suspects)
+                    {
+                        applied = Some(out);
+                    }
+                }
+                if applied.is_none() {
+                    if let Some(group) = d.replica_group {
+                        if let Some(out) = gossip_round(ctx, &mut table, group, &mut counters) {
+                            via_gossip = true;
+                            applied = Some(out);
+                        }
+                    }
+                }
                 match applied {
-                    Some(delta) => {
-                        let out = table.apply(&delta);
-                        counters.rounds += 1;
-                        counters.adopted += out.adopted;
-                        counters.dropped += out.dropped_live;
-                        counters.promoted += out.promoted + table.mark_all_verified();
-                        suspects.clear();
+                    Some(out) => {
                         let mut m = Message::ok();
                         m.set_word(fields::W_SYNC_ADOPTED, out.adopted as u16)
                             .set_word(fields::W_SYNC_DROPPED, out.dropped_live as u16)
                             .set_word(fields::W_SYNC_PROMOTED, out.promoted as u16)
-                            .set_word32(fields::W_SYNC_EPOCH_LO, table.max_epoch() as u32);
+                            .set_word32(fields::W_SYNC_EPOCH_LO, table.max_epoch() as u32)
+                            .set_word(fields::W_SYNC_GOSSIP, u16::from(via_gossip));
                         reply_data(ctx, rx, m, Vec::new());
                     }
                     // Nothing was applied: the round is atomic, and the
                     // puller learns it must retry after the next heal.
+                    None => reply_code(ctx, rx, ReplyCode::NoServer),
+                }
+            }
+            Some(RequestCode::SyncGossip) => {
+                let phase = msg.word(fields::W_SYNC_PHASE);
+                if phase == 1 {
+                    // Probe (multicast on the replica group): group replies
+                    // carry no payload, so just volunteer this server's pid
+                    // — the prober runs the digest round unicast.
+                    let mut m = Message::ok();
+                    m.set_pid_at(fields::W_PID_LO, ctx.my_pid());
+                    let _ = ctx.reply(rx, m, Bytes::new());
+                    continue;
+                }
+                // Trigger (unicast): run one gossip round now.
+                let Some(group) = config.degraded.and_then(|d| d.replica_group) else {
+                    reply_code(ctx, rx, ReplyCode::NoServer);
+                    continue;
+                };
+                match gossip_round(ctx, &mut table, group, &mut counters) {
+                    Some(out) => {
+                        let mut m = Message::ok();
+                        m.set_word(fields::W_SYNC_ADOPTED, out.adopted as u16)
+                            .set_word(fields::W_SYNC_DROPPED, out.dropped_live as u16)
+                            .set_word(fields::W_SYNC_PROMOTED, out.promoted as u16)
+                            .set_word32(fields::W_SYNC_EPOCH_LO, table.max_epoch() as u32)
+                            .set_word(fields::W_SYNC_GOSSIP, 1);
+                        reply_data(ctx, rx, m, Vec::new());
+                    }
                     None => reply_code(ctx, rx, ReplyCode::NoServer),
                 }
             }
@@ -347,13 +398,36 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                     Ok(p) => p,
                     Err(_) => continue,
                 };
-                match decode_digest(&payload) {
+                match SyncDigestMsg::decode(&payload) {
                     Ok(digest) => {
                         let now_ns = ctx.now().as_nanos() as u64;
-                        let delta = table.delta_for(&digest, authoritative, now_ns);
+                        if authoritative {
+                            // The digest doubles as the sender's watermark
+                            // ack: record it, recompute the GC horizon
+                            // (min watermark across known replicas), and
+                            // collect what every replica has provably
+                            // adopted — before computing the delta, so the
+                            // fresh horizon governs the round.
+                            table.record_watermark(rx.from.raw(), digest.watermark);
+                            let horizon = table.horizon();
+                            counters.gc_dropped += table.gc_below(horizon);
+                        }
+                        let delta = SyncDeltaMsg {
+                            epoch: 0, // filled below, after stamping
+                            horizon: if authoritative { table.gc_horizon() } else { 0 },
+                            entries: table.delta_for(&digest.entries, authoritative, now_ns),
+                        };
+                        // The epoch header is stamped after `delta_for` so
+                        // it covers any tombstones freshly minted for the
+                        // digest's unknown prefixes: a replica that applies
+                        // this whole delta really has synced through it.
+                        let delta = SyncDeltaMsg {
+                            epoch: table.max_epoch(),
+                            ..delta
+                        };
                         let mut m = Message::ok();
-                        m.set_word(fields::W_SYNC_COUNT, delta.len() as u16);
-                        reply_data(ctx, rx, m, encode_delta(&delta));
+                        m.set_word(fields::W_SYNC_COUNT, count_word(delta.entries.len()));
+                        reply_data(ctx, rx, m, delta.encode());
                     }
                     Err(_) => reply_code(ctx, rx, ReplyCode::BadArgs),
                 }
@@ -371,12 +445,98 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                     promoted: counters.promoted,
                     suspects_expired: counters.suspects_expired,
                     binding_queries: counters.binding_queries,
+                    watermark: table.watermark(),
+                    gc_horizon: table.gc_horizon(),
+                    gossip_rounds: counters.gossip_rounds,
+                    gossip_adopted: counters.gossip_adopted,
+                    gc_dropped: counters.gc_dropped,
                 };
                 reply_data(ctx, rx, Message::ok(), rec.encode());
             }
             _ => reply_code(ctx, rx, ReplyCode::UnknownRequest),
         }
     }
+}
+
+/// One digest → delta → apply round against the configured authority.
+///
+/// On success the authority has vouched for the whole table: everything
+/// becomes verified, armed suspicions clear, the synced watermark advances
+/// to the authority's epoch header, and tombstones at or below the
+/// advertised GC horizon are collected. On any failure (unreachable peer,
+/// error reply, undecodable delta) nothing changes — the round is atomic.
+fn authority_round(
+    ctx: &dyn Ipc,
+    table: &mut SyncTable,
+    peer: Pid,
+    counters: &mut SyncCounters,
+    suspects: &mut BTreeMap<Vec<u8>, u64>,
+) -> Option<ApplyOutcome> {
+    let digest = SyncDigestMsg {
+        watermark: table.watermark(),
+        entries: table.digest(),
+    };
+    let mut req = Message::request(RequestCode::SyncDigest);
+    req.set_word(fields::W_SYNC_COUNT, count_word(digest.entries.len()));
+    let reply = ctx
+        .send(peer, req, Bytes::from(digest.encode()), 65536)
+        .ok()?;
+    if !reply.msg.reply_code().is_ok() {
+        return None;
+    }
+    let delta = SyncDeltaMsg::decode(&reply.data).ok()?;
+    let mut out = table.apply(&delta.entries, true);
+    table.note_synced(delta.epoch);
+    counters.gc_dropped += table.gc_below(delta.horizon);
+    out.promoted += table.mark_all_verified();
+    counters.rounds += 1;
+    counters.adopted += out.adopted;
+    counters.dropped += out.dropped_live;
+    counters.promoted += out.promoted;
+    suspects.clear();
+    Some(out)
+}
+
+/// One replica↔replica gossip round (Grapevine-style: peers reconcile
+/// without a live authority). Multicasts a phase-1 probe on the replica
+/// group, then runs a unicast digest → delta round against the first peer
+/// that answers. Adopted entries stay unverified — *Suspect*, served with
+/// the staleness flag — until an authority round vouches for them, and
+/// the synced watermark does not move: gossip spreads data, only the
+/// authority spreads certainty.
+fn gossip_round(
+    ctx: &dyn Ipc,
+    table: &mut SyncTable,
+    group: GroupId,
+    counters: &mut SyncCounters,
+) -> Option<ApplyOutcome> {
+    let mut probe = Message::request(RequestCode::SyncGossip);
+    probe.set_word(fields::W_SYNC_PHASE, 1);
+    let reply = ctx.send_group(group, probe, Bytes::new()).ok()?;
+    if !reply.msg.reply_code().is_ok() {
+        return None;
+    }
+    let peer = reply.msg.pid_at(fields::W_PID_LO);
+    if peer == Pid::NULL || peer == ctx.my_pid() {
+        return None;
+    }
+    let digest = SyncDigestMsg {
+        watermark: table.watermark(),
+        entries: table.digest(),
+    };
+    let mut req = Message::request(RequestCode::SyncDigest);
+    req.set_word(fields::W_SYNC_COUNT, count_word(digest.entries.len()));
+    let reply = ctx
+        .send(peer, req, Bytes::from(digest.encode()), 65536)
+        .ok()?;
+    if !reply.msg.reply_code().is_ok() {
+        return None;
+    }
+    let delta = SyncDeltaMsg::decode(&reply.data).ok()?;
+    let out = table.apply(&delta.entries, false);
+    counters.gossip_rounds += 1;
+    counters.gossip_adopted += out.adopted;
+    Some(out)
 }
 
 fn strip_brackets(name: &[u8]) -> &[u8] {
@@ -438,12 +598,14 @@ fn handle_csname(
         Some(RequestCode::DeleteContextName) => {
             // Deletion is a stamped tombstone, not a removal: sync rounds
             // must propagate the delete rather than resurrect the binding.
+            // A name this table never held is a no-op — nothing to
+            // propagate, and stamping anyway would grow the table without
+            // bound under delete-of-unknown churn.
             let name = strip_brackets(req.remaining()).to_vec();
             let now_ns = ctx.now().as_nanos() as u64;
-            let code = if table.tombstone(&name, now_ns) {
-                ReplyCode::Ok
-            } else {
-                ReplyCode::NotFound
+            let code = match table.tombstone(&name, now_ns) {
+                TombstoneOutcome::DroppedLive => ReplyCode::Ok,
+                TombstoneOutcome::AlreadyDead | TombstoneOutcome::Unknown => ReplyCode::NotFound,
             };
             reply_code(ctx, rx, code);
             return;

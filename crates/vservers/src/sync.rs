@@ -6,11 +6,11 @@
 //! versioning every entry with a per-entry **epoch** stamped at the
 //! authority and keeping deletes as **tombstones** instead of removals.
 //! A replica then converges in one pull round: it sends the authority its
-//! `(prefix, epoch)` [digest](SyncTable::digest), the authority answers
-//! with the [delta](SyncTable::delta_for) of everything newer (fresh
-//! tombstones included for prefixes it never defined), and the replica
-//! [applies](SyncTable::apply) entries that out-rank its own — after which
-//! the two tables hash identically ([`SyncTable::table_hash`]).
+//! `(prefix, epoch, tombstone?)` [digest](SyncTable::digest), the authority
+//! answers with the [delta](SyncTable::delta_for) of everything newer
+//! (fresh tombstones included for prefixes it never defined), and the
+//! replica [applies](SyncTable::apply) entries that out-rank its own —
+//! after which the two tables hash identically ([`SyncTable::table_hash`]).
 //!
 //! Epoch stamps are `max(previous + 1, virtual-now-ns)`: monotonic within
 //! one incarnation, and — because virtual time only moves forward — a
@@ -18,6 +18,30 @@
 //! handed out before the crash. Epoch 0 is reserved for preloaded,
 //! never-verified replica entries, so any authoritative entry wins over a
 //! preload.
+//!
+//! # Bounded tombstones: watermarks and the GC horizon
+//!
+//! Tombstones exist only to propagate deletes; once **every** replica has
+//! adopted one, retaining it buys nothing. Following the death-certificate
+//! discipline of Demers et al.'s epidemic algorithms, the table bounds
+//! them:
+//!
+//! * each replica tracks a **synced watermark** ([`SyncTable::watermark`])
+//!   — the highest authority epoch it has fully reconciled through, set
+//!   only by a complete, successful authority round
+//!   ([`SyncTable::note_synced`]), never by gossip;
+//! * the authority records the watermark each replica reports in its
+//!   digests ([`SyncTable::record_watermark`]) and computes the **GC
+//!   horizon** = the minimum watermark across known replicas
+//!   ([`SyncTable::horizon`]) — every tombstone at or below it is provably
+//!   adopted everywhere;
+//! * both sides drop tombstones at or below the horizon
+//!   ([`SyncTable::gc_below`]); replicas learn the horizon from the
+//!   authority's delta replies.
+//!
+//! The horizon is 0 (nothing collected) until every known replica has
+//! completed at least one full round — a replica that has never reported
+//! pins the horizon at 0 simply by being unknown.
 
 use vproto::{SyncBinding, SyncDigestEntry, SyncEntry};
 
@@ -27,6 +51,16 @@ use std::collections::BTreeMap;
 /// virtual-time kernel uses for its event hash.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// How far beyond virtual-now a digest epoch may claim to be before the
+/// authority rejects it as corrupt or hostile (60 virtual seconds).
+///
+/// Honest epochs are stamped at `max(prev + 1, now_ns)` on the authority
+/// itself, so a remote epoch materially ahead of the authority's own clock
+/// cannot have come from any legitimate stamp. Without this bound a single
+/// poisoned digest entry would be written into `next_epoch` and inflate
+/// every stamp the authority hands out for the rest of its life.
+pub const MAX_EPOCH_SKEW_NS: u64 = 60_000_000_000;
 
 /// One versioned prefix-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +73,20 @@ pub struct VersionedEntry {
     /// by the authority in a sync round. Unverified entries answer
     /// binding queries with the staleness flag set.
     pub verified: bool,
+}
+
+/// What [`SyncTable::tombstone`] found when asked to delete a prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TombstoneOutcome {
+    /// A live entry existed and was tombstoned.
+    DroppedLive,
+    /// The prefix was already a tombstone; it was re-stamped (the delete
+    /// still needs to out-rank whatever replicas hold).
+    AlreadyDead,
+    /// The prefix was never defined here: the delete is a no-op, the
+    /// table is untouched. Stamping a tombstone for a name nobody ever
+    /// bound would grow the table forever under delete-of-unknown churn.
+    Unknown,
 }
 
 /// What one [`SyncTable::apply`] round did.
@@ -57,6 +105,13 @@ pub struct ApplyOutcome {
 pub struct SyncTable {
     entries: BTreeMap<Vec<u8>, VersionedEntry>,
     next_epoch: u64,
+    /// Replica side: the highest authority epoch fully reconciled through.
+    synced: u64,
+    /// The highest GC horizon this table has collected at.
+    gc_horizon: u64,
+    /// Authority side: per-replica synced watermarks, keyed by the
+    /// replica's raw pid, learned from the digests replicas send.
+    watermarks: BTreeMap<u32, u64>,
 }
 
 impl SyncTable {
@@ -99,14 +154,19 @@ impl SyncTable {
         );
     }
 
-    /// Deletes a prefix by writing a freshly stamped tombstone. Returns
-    /// `true` if a live entry existed. The tombstone is retained so sync
-    /// rounds propagate the delete instead of resurrecting the binding.
-    pub fn tombstone(&mut self, prefix: &[u8], now_ns: u64) -> bool {
-        let was_live = self
-            .entries
-            .get(prefix)
-            .is_some_and(|e| e.binding.is_some());
+    /// Deletes a prefix by writing a freshly stamped tombstone — but only
+    /// if the table has ever heard of it. Deleting an unknown name is a
+    /// no-op ([`TombstoneOutcome::Unknown`]): there is no binding to
+    /// propagate a delete for, and stamping one anyway would let a stream
+    /// of bogus deletes grow the table without bound. Known names (live
+    /// or already dead) are (re-)stamped so the delete out-ranks every
+    /// replica's copy.
+    pub fn tombstone(&mut self, prefix: &[u8], now_ns: u64) -> TombstoneOutcome {
+        let outcome = match self.entries.get(prefix) {
+            None => return TombstoneOutcome::Unknown,
+            Some(e) if e.binding.is_some() => TombstoneOutcome::DroppedLive,
+            Some(_) => TombstoneOutcome::AlreadyDead,
+        };
         let epoch = self.stamp(now_ns);
         self.entries.insert(
             prefix.to_vec(),
@@ -116,7 +176,7 @@ impl SyncTable {
                 verified: true,
             },
         );
-        was_live
+        outcome
     }
 
     /// Looks up a live binding (tombstones answer `None`).
@@ -170,26 +230,91 @@ impl SyncTable {
             .max(self.next_epoch)
     }
 
-    /// The `(prefix, epoch)` digest of the whole table, tombstones
-    /// included — the `SyncDigest` request payload.
+    /// Replica side: the synced watermark — the highest authority epoch
+    /// this table has fully reconciled through. 0 until the first
+    /// complete, successful authority round. Gossip never moves it.
+    pub fn watermark(&self) -> u64 {
+        self.synced
+    }
+
+    /// Replica side: records a complete, successful authority round
+    /// through `epoch` (the authority's table epoch from the delta
+    /// header). Monotone.
+    pub fn note_synced(&mut self, epoch: u64) {
+        self.synced = self.synced.max(epoch);
+    }
+
+    /// Authority side: records the synced watermark a replica reported in
+    /// its digest. Monotone per replica — a delayed digest cannot pull a
+    /// watermark (and hence the horizon) backwards.
+    pub fn record_watermark(&mut self, replica: u32, watermark: u64) {
+        let slot = self.watermarks.entry(replica).or_insert(0);
+        *slot = (*slot).max(watermark);
+    }
+
+    /// Authority side: the tombstone-GC horizon — the minimum synced
+    /// watermark across every replica that has ever reported one. Every
+    /// tombstone at or below it is provably adopted everywhere, so it is
+    /// safe to drop. 0 (collect nothing) while no replica has reported.
+    pub fn horizon(&self) -> u64 {
+        self.watermarks.values().copied().min().unwrap_or(0)
+    }
+
+    /// The highest GC horizon this table has collected at.
+    pub fn gc_horizon(&self) -> u64 {
+        self.gc_horizon
+    }
+
+    /// Drops every tombstone stamped at or below `horizon`, returning how
+    /// many were collected. Safe exactly when `horizon` is a true GC
+    /// horizon (every replica's watermark has passed it): the delete is
+    /// already adopted everywhere, so nothing can resurrect it. A horizon
+    /// of 0 (or one below a previous GC) collects nothing.
+    pub fn gc_below(&mut self, horizon: u64) -> u32 {
+        self.gc_horizon = self.gc_horizon.max(horizon);
+        let mut dropped = 0u32;
+        self.entries.retain(|_, e| {
+            let dead = e.binding.is_none() && e.epoch <= horizon && e.epoch != 0;
+            if dead {
+                dropped += 1;
+            }
+            !dead
+        });
+        dropped
+    }
+
+    /// The `(prefix, epoch, tombstone?)` digest of the whole table — the
+    /// `SyncDigest` request payload.
     pub fn digest(&self) -> Vec<SyncDigestEntry> {
         self.entries
             .iter()
             .map(|(name, e)| SyncDigestEntry {
                 prefix: name.clone(),
                 epoch: e.epoch,
+                tombstone: e.binding.is_none(),
             })
             .collect()
     }
 
     /// Computes the delta that brings the sender of `digest` up to date:
     /// every local entry the digest is missing or holds at an older epoch.
+    /// Non-authoritative responders (gossip peers) never send epoch-0
+    /// entries — preloads are hearsay, and gossiping one after the
+    /// authority GC'd its tombstone would resurrect a delete.
     ///
     /// When `authoritative`, prefixes the digest knows but this table does
     /// not are answered with a *freshly stamped tombstone* (epoch at least
     /// `digest_epoch + 1`, so it out-ranks the replica's copy), which both
     /// sides then retain — that is what makes the two tables converge to
     /// bytewise-identical contents rather than merely compatible ones.
+    /// Two exceptions:
+    ///
+    /// * a digest entry that is already a **tombstone** at or below the GC
+    ///   horizon is one this authority collected — skipped; the replica
+    ///   drops its copy when it sees the horizon in the delta header;
+    /// * a digest epoch more than [`MAX_EPOCH_SKEW_NS`] beyond `now_ns`
+    ///   cannot have come from a legitimate stamp — the entry is rejected
+    ///   outright rather than allowed to poison the epoch clock.
     pub fn delta_for(
         &mut self,
         digest: &[SyncDigestEntry],
@@ -203,9 +328,12 @@ impl SyncTable {
         let mut out: Vec<SyncEntry> = self
             .entries
             .iter()
-            .filter(|(name, e)| match remote.get(name.as_slice()) {
-                Some(&remote_epoch) => e.epoch > remote_epoch,
-                None => true,
+            .filter(|(name, e)| {
+                (authoritative || e.epoch > 0)
+                    && match remote.get(name.as_slice()) {
+                        Some(&remote_epoch) => e.epoch > remote_epoch,
+                        None => true,
+                    }
             })
             .map(|(name, e)| SyncEntry {
                 prefix: name.clone(),
@@ -214,9 +342,14 @@ impl SyncTable {
             })
             .collect();
         if authoritative {
+            let max_credible = now_ns.saturating_add(MAX_EPOCH_SKEW_NS);
             let unknown: Vec<(Vec<u8>, u64)> = digest
                 .iter()
-                .filter(|d| !self.entries.contains_key(&d.prefix))
+                .filter(|d| {
+                    !self.entries.contains_key(&d.prefix)
+                        && d.epoch <= max_credible
+                        && !(d.tombstone && d.epoch <= self.gc_horizon)
+                })
                 .map(|d| (d.prefix.clone(), d.epoch))
                 .collect();
             for (prefix, remote_epoch) in unknown {
@@ -242,11 +375,26 @@ impl SyncTable {
     }
 
     /// Applies a delta: each entry that out-ranks (strictly newer epoch
-    /// than) the local version is adopted and marked verified. Equal or
-    /// older epochs change nothing — epochs never regress.
-    pub fn apply(&mut self, delta: &[SyncEntry]) -> ApplyOutcome {
+    /// than) the local version is adopted. Equal or older epochs change
+    /// nothing — epochs never regress.
+    ///
+    /// `verified` says who vouched for the delta: `true` for the
+    /// configured authority (entries become first-class), `false` for a
+    /// gossip peer (entries stay *Suspect* — served with the staleness
+    /// flag — until an authority round vouches for them).
+    pub fn apply(&mut self, delta: &[SyncEntry], verified: bool) -> ApplyOutcome {
         let mut outcome = ApplyOutcome::default();
         for d in delta {
+            // Epoch 0 is reserved for local preloads; no stamp ever
+            // produces it, so an epoch-0 delta entry is hearsay and never
+            // adopted. A gossip entry at or below the GC horizon is stale
+            // by definition — this table has synced through the horizon,
+            // so anything at those epochs it does not hold was tombstoned
+            // (and possibly collected); adopting it would resurrect a
+            // delete through a peer that never synced.
+            if d.epoch == 0 || (!verified && d.epoch <= self.gc_horizon) {
+                continue;
+            }
             let local = self.entries.get(&d.prefix);
             let local_epoch = local.map(|e| e.epoch);
             if local_epoch.is_some_and(|le| le >= d.epoch) {
@@ -257,7 +405,7 @@ impl SyncTable {
             if was_live && d.binding.is_none() {
                 outcome.dropped_live += 1;
             }
-            if was_unverified {
+            if was_unverified && verified {
                 outcome.promoted += 1;
             }
             self.entries.insert(
@@ -265,7 +413,7 @@ impl SyncTable {
                 VersionedEntry {
                     binding: d.binding,
                     epoch: d.epoch,
-                    verified: true,
+                    verified,
                 },
             );
             self.next_epoch = self.next_epoch.max(d.epoch);
@@ -278,7 +426,7 @@ impl SyncTable {
     /// table: prefixes, epochs, tombstone flags, and binding fields (the
     /// `verified` bit is local bookkeeping and excluded). Two tables hash
     /// equal iff their reconcilable contents are identical — the witness
-    /// EXP-13 uses for "bytewise identical within one round".
+    /// EXP-13 and EXP-14 use for "bytewise identical within one round".
     pub fn table_hash(&self) -> u64 {
         let mut h = FNV_OFFSET;
         let mut fold = |bytes: &[u8]| {
@@ -328,7 +476,7 @@ mod tests {
         replica.preload(b"stale".to_vec(), bind(9)); // authority never had it
 
         let delta = auth.delta_for(&replica.digest(), true, 400);
-        replica.apply(&delta);
+        replica.apply(&delta, true);
         assert_eq!(replica.table_hash(), auth.table_hash());
         assert!(replica.lookup(b"home").is_none(), "tombstone adopted");
         assert!(replica.lookup(b"stale").is_none(), "unknown prefix killed");
@@ -341,10 +489,10 @@ mod tests {
         auth.define(b"a".to_vec(), bind(1), 10);
         let mut replica = SyncTable::new();
         let d1 = auth.delta_for(&replica.digest(), true, 20);
-        replica.apply(&d1);
+        replica.apply(&d1, true);
         let d2 = auth.delta_for(&replica.digest(), true, 30);
         assert!(d2.is_empty());
-        assert_eq!(replica.apply(&d2), ApplyOutcome::default());
+        assert_eq!(replica.apply(&d2, true), ApplyOutcome::default());
     }
 
     #[test]
@@ -352,11 +500,14 @@ mod tests {
         let mut t = SyncTable::new();
         t.define(b"a".to_vec(), bind(1), 100);
         let e = t.lookup(b"a").map(|v| v.epoch).unwrap_or(0);
-        let out = t.apply(&[SyncEntry {
-            prefix: b"a".to_vec(),
-            epoch: e, // equal epoch: must not re-adopt
-            binding: None,
-        }]);
+        let out = t.apply(
+            &[SyncEntry {
+                prefix: b"a".to_vec(),
+                epoch: e, // equal epoch: must not re-adopt
+                binding: None,
+            }],
+            true,
+        );
         assert_eq!(out, ApplyOutcome::default());
         assert!(t.lookup(b"a").is_some());
     }
@@ -382,8 +533,181 @@ mod tests {
         replica.preload(b"a".to_vec(), bind(1));
         assert!(replica.lookup(b"a").is_some_and(|e| !e.verified));
         let delta = auth.delta_for(&replica.digest(), true, 20);
-        let out = replica.apply(&delta);
+        let out = replica.apply(&delta, true);
         assert_eq!(out.promoted, 1);
         assert!(replica.lookup(b"a").is_some_and(|e| e.verified));
+    }
+
+    /// Regression (ISSUE 5): deleting a name that was never defined must
+    /// not stamp a tombstone — otherwise delete-of-unknown churn grows
+    /// the table forever.
+    #[test]
+    fn deleting_an_unknown_prefix_is_a_no_op() {
+        let mut t = SyncTable::new();
+        t.define(b"a".to_vec(), bind(1), 10);
+        let hash = t.table_hash();
+        let epoch = t.max_epoch();
+        for i in 0..100u32 {
+            let name = format!("never-{i}").into_bytes();
+            assert_eq!(
+                t.tombstone(&name, 20 + u64::from(i)),
+                TombstoneOutcome::Unknown
+            );
+        }
+        assert_eq!(t.table_hash(), hash, "table changed by no-op deletes");
+        assert_eq!(t.tombstone_len(), 0);
+        assert_eq!(t.max_epoch(), epoch, "epoch clock moved by no-op deletes");
+        // Known names still tombstone normally, live or already dead.
+        assert_eq!(t.tombstone(b"a", 200), TombstoneOutcome::DroppedLive);
+        assert_eq!(t.tombstone(b"a", 300), TombstoneOutcome::AlreadyDead);
+        assert_eq!(t.tombstone_len(), 1);
+    }
+
+    /// Regression (ISSUE 5): a digest carrying an absurd epoch (corrupt or
+    /// hostile) must not be written into the authority's epoch clock —
+    /// one poisoned digest would inflate every stamp thereafter.
+    #[test]
+    fn hostile_digest_epoch_cannot_poison_the_clock() {
+        let mut auth = SyncTable::new();
+        auth.define(b"a".to_vec(), bind(1), 1_000);
+        let now_ns = 2_000;
+        let hostile = [SyncDigestEntry {
+            prefix: b"evil".to_vec(),
+            epoch: u64::MAX - 7,
+            tombstone: false,
+        }];
+        let delta = auth.delta_for(&hostile, true, now_ns);
+        // The hostile entry is rejected outright: no tombstone stamped
+        // for it, nothing keyed off its epoch.
+        assert!(delta.iter().all(|e| e.prefix != b"evil"));
+        assert!(auth.max_epoch() <= now_ns + MAX_EPOCH_SKEW_NS);
+        // The clock still stamps sanely afterwards.
+        auth.define(b"b".to_vec(), bind(2), 3_000);
+        assert!(auth.max_epoch() < 1_000_000);
+        // An epoch within the skew bound is still honoured (the normal
+        // unknown-prefix tombstone path).
+        let plausible = [SyncDigestEntry {
+            prefix: b"stale".to_vec(),
+            epoch: now_ns,
+            tombstone: false,
+        }];
+        let delta = auth.delta_for(&plausible, true, now_ns);
+        assert!(delta
+            .iter()
+            .any(|e| e.prefix == b"stale" && e.binding.is_none()));
+    }
+
+    #[test]
+    fn horizon_is_min_watermark_and_starts_at_zero() {
+        let mut auth = SyncTable::new();
+        assert_eq!(auth.horizon(), 0, "no replicas known: collect nothing");
+        auth.record_watermark(1, 500);
+        assert_eq!(auth.horizon(), 500);
+        auth.record_watermark(2, 300);
+        assert_eq!(auth.horizon(), 300, "slowest replica pins the horizon");
+        // Watermarks are monotone: a delayed, older report cannot regress.
+        auth.record_watermark(1, 100);
+        assert_eq!(auth.horizon(), 300);
+        auth.record_watermark(2, 900);
+        assert_eq!(auth.horizon(), 500);
+    }
+
+    #[test]
+    fn gc_drops_only_tombstones_at_or_below_horizon() {
+        let mut t = SyncTable::new();
+        t.define(b"live".to_vec(), bind(1), 100);
+        t.define(b"old".to_vec(), bind(2), 200);
+        t.define(b"new".to_vec(), bind(3), 300);
+        t.tombstone(b"old", 400);
+        t.tombstone(b"new", 500);
+        let old_epoch = 400; // stamps are >= now, monotone
+        assert_eq!(t.gc_below(old_epoch), 1, "only the old tombstone goes");
+        assert_eq!(t.tombstone_len(), 1);
+        assert!(t.lookup(b"live").is_some(), "live entries are never GC'd");
+        assert_eq!(t.gc_below(old_epoch), 0, "idempotent");
+        assert_eq!(t.gc_horizon(), old_epoch);
+        assert_eq!(t.gc_below(u64::MAX), 1, "rest goes when the horizon passes");
+        assert_eq!(t.tombstone_len(), 0);
+    }
+
+    #[test]
+    fn gcd_tombstone_in_digest_is_not_restamped() {
+        let mut auth = SyncTable::new();
+        auth.define(b"gone".to_vec(), bind(1), 100);
+        auth.tombstone(b"gone", 200);
+        let tomb_epoch = auth
+            .digest()
+            .iter()
+            .find(|d| d.prefix == b"gone")
+            .map(|d| d.epoch)
+            .unwrap_or(0);
+        auth.record_watermark(1, tomb_epoch);
+        let dropped = auth.gc_below(auth.horizon());
+        assert_eq!(dropped, 1);
+        // The replica still holds the tombstone and digests it; the
+        // authority must recognize it as collected, not stamp it afresh.
+        let replica_digest = [SyncDigestEntry {
+            prefix: b"gone".to_vec(),
+            epoch: tomb_epoch,
+            tombstone: true,
+        }];
+        let delta = auth.delta_for(&replica_digest, true, 300);
+        assert!(delta.is_empty(), "GC'd tombstone resurrected: {delta:?}");
+        assert_eq!(auth.tombstone_len(), 0);
+    }
+
+    #[test]
+    fn gossip_deltas_never_carry_preloads() {
+        let mut peer = SyncTable::new();
+        peer.preload(b"hearsay".to_vec(), bind(9));
+        peer.apply(
+            &[SyncEntry {
+                prefix: b"real".to_vec(),
+                epoch: 50,
+                binding: Some(bind(1)),
+            }],
+            true,
+        );
+        let empty_digest: [SyncDigestEntry; 0] = [];
+        let delta = peer.delta_for(&empty_digest, false, 1_000);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].prefix, b"real");
+    }
+
+    #[test]
+    fn gossip_adoption_stays_unverified_until_vouched() {
+        let mut replica = SyncTable::new();
+        let out = replica.apply(
+            &[SyncEntry {
+                prefix: b"p".to_vec(),
+                epoch: 10,
+                binding: Some(bind(1)),
+            }],
+            false,
+        );
+        assert_eq!(out.adopted, 1);
+        assert_eq!(out.promoted, 0);
+        assert!(replica.lookup(b"p").is_some_and(|e| !e.verified));
+        assert_eq!(replica.mark_all_verified(), 1);
+    }
+
+    #[test]
+    fn watermark_moves_only_on_note_synced() {
+        let mut replica = SyncTable::new();
+        assert_eq!(replica.watermark(), 0);
+        // Gossip adoption raises epochs but not the watermark.
+        replica.apply(
+            &[SyncEntry {
+                prefix: b"p".to_vec(),
+                epoch: 700,
+                binding: Some(bind(1)),
+            }],
+            false,
+        );
+        assert_eq!(replica.watermark(), 0);
+        replica.note_synced(500);
+        assert_eq!(replica.watermark(), 500);
+        replica.note_synced(400); // monotone
+        assert_eq!(replica.watermark(), 500);
     }
 }

@@ -1,19 +1,27 @@
 //! Property tests: anti-entropy convergence of the versioned prefix table.
 //!
-//! The convergence argument in DESIGN.md rests on three properties of
+//! The convergence argument in DESIGN.md rests on properties of
 //! [`vservers::SyncTable`] that must hold for *every* interleaving of
-//! authority churn and (possibly failing) sync rounds, not just the
-//! schedules the experiments happen to drive:
+//! authority churn, (possibly failing) sync rounds, replica↔replica
+//! gossip, and tombstone GC — not just the schedules the experiments
+//! happen to drive:
 //!
-//! 1. per-prefix epochs never regress, on any table, at any step;
+//! 1. per-prefix epochs never regress, on any table, at any step (a
+//!    prefix may *disappear*, but only a tombstone at or below that
+//!    table's GC horizon);
 //! 2. once connectivity returns, a bounded number of successful rounds
-//!    makes every replica hash identical to the authority; and
+//!    makes every replica hash identical to the authority — with all
+//!    mutually-adopted tombstones collected;
 //! 3. a failed round (digest lost, or reply lost) changes nothing at the
-//!    replica — partial application is impossible by construction.
+//!    replica — partial application is impossible by construction;
+//! 4. GC safety: a tombstone is collected only after every known
+//!    replica's watermark passed it, and a collected delete is never
+//!    resurrected — not by a sync round, not by gossip from a peer that
+//!    missed the delete.
 //!
 //! Replicas here drift under an arbitrary seeded schedule: defines and
-//! deletes land at the authority while sync rounds succeed or fail
-//! according to the generated fate of each round.
+//! deletes land at the authority while sync and gossip rounds succeed or
+//! fail according to the generated fate of each round.
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -41,13 +49,15 @@ fn bind(target: u32) -> SyncBinding {
 enum Op {
     /// The authority defines (or redefines) a prefix.
     Define(u8, u32),
-    /// The authority deletes a prefix (stamping a tombstone).
+    /// The authority deletes a prefix (stamping a tombstone if known).
     Delete(u8),
     /// A replica attempts a sync round; `fate` is the round's seeded
     /// outcome: 0 = success, 1 = digest lost in flight (nothing happens
     /// anywhere), 2 = reply lost (the authority saw the digest, the
     /// replica applies nothing).
     Sync { replica: u8, fate: u8 },
+    /// Replica `to` runs one gossip round against the other replica.
+    Gossip { to: u8 },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -58,21 +68,47 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             replica: r % 2,
             fate
         }),
+        any::<u8>().prop_map(|d| Op::Gossip { to: d % 2 }),
     ]
 }
 
 /// One pull round exactly as `prefix.rs` runs it, with the failure modes
-/// of the lossy plane modelled by `fate`.
-fn sync_round(auth: &mut SyncTable, replica: &mut SyncTable, fate: u8, now_ns: u64) {
+/// of the lossy plane modelled by `fate`. The authority records the
+/// replica's watermark and collects at the recomputed horizon; on a
+/// delivered reply the replica adopts the delta, advances its watermark
+/// to the authority's epoch header, and collects at the advertised
+/// horizon.
+fn sync_round(
+    auth: &mut SyncTable,
+    replica: &mut SyncTable,
+    replica_id: u32,
+    fate: u8,
+    now_ns: u64,
+) {
     if fate == 1 {
         return; // digest lost: the authority never hears from the replica
     }
+    auth.record_watermark(replica_id, replica.watermark());
+    let horizon = auth.horizon();
+    auth.gc_below(horizon);
     let delta = auth.delta_for(&replica.digest(), true, now_ns);
+    let epoch = auth.max_epoch();
+    let advertised = auth.gc_horizon();
     if fate == 2 {
         return; // reply lost: a failed round applies nothing at the replica
     }
-    replica.apply(&delta);
+    replica.apply(&delta, true);
+    replica.note_synced(epoch);
+    replica.gc_below(advertised);
     replica.mark_all_verified();
+}
+
+/// One gossip round exactly as `prefix.rs` runs it: a digest → delta
+/// round against a peer replica, applied unverified. Watermarks and
+/// horizons do not move — gossip spreads data, not certainty.
+fn gossip_round(peer: &mut SyncTable, replica: &mut SyncTable, now_ns: u64) {
+    let delta = peer.delta_for(&replica.digest(), false, now_ns);
+    replica.apply(&delta, false);
 }
 
 /// Snapshot of every `(prefix, epoch)` pair, tombstones included.
@@ -83,20 +119,30 @@ fn epochs(t: &SyncTable) -> BTreeMap<Vec<u8>, u64> {
         .collect()
 }
 
-/// Asserts no prefix lost its entry or moved to an older epoch.
+/// Asserts no prefix moved to an older epoch, and none disappeared except
+/// by tombstone GC (epoch at or below the table's current GC horizon).
 fn check_monotone(
     before: &BTreeMap<Vec<u8>, u64>,
     after: &BTreeMap<Vec<u8>, u64>,
+    gc_horizon: u64,
 ) -> Result<(), TestCaseError> {
     for (prefix, e_before) in before {
-        let e_after = after.get(prefix).copied().unwrap_or(0);
-        prop_assert!(
-            e_after >= *e_before,
-            "epoch regressed for {:?}: {} -> {}",
-            prefix,
-            e_before,
-            e_after
-        );
+        match after.get(prefix) {
+            Some(e_after) => prop_assert!(
+                e_after >= e_before,
+                "epoch regressed for {:?}: {} -> {}",
+                prefix,
+                e_before,
+                e_after
+            ),
+            None => prop_assert!(
+                *e_before <= gc_horizon,
+                "{:?} vanished at epoch {} above the GC horizon {}",
+                prefix,
+                e_before,
+                gc_horizon
+            ),
+        }
     }
     Ok(())
 }
@@ -105,9 +151,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// The headline property: replicas diverging under an arbitrary
-    /// schedule of authority churn and lossy sync rounds converge to the
-    /// authority's exact table hash once rounds stop failing — and epochs
-    /// never regress anywhere along the way.
+    /// schedule of authority churn, lossy sync rounds, and gossip
+    /// converge to the authority's exact table hash once rounds stop
+    /// failing — and epochs never regress anywhere along the way (prefix
+    /// disappearance is legal only through horizon GC).
     #[test]
     fn replicas_converge_after_heal_for_any_schedule(
         preload_a in proptest::collection::vec(any::<u8>(), 0..6),
@@ -133,26 +180,42 @@ proptest! {
                     auth.tombstone(&name(i), now_ns);
                 }
                 Op::Sync { replica, fate } => {
-                    sync_round(&mut auth, &mut reps[replica as usize], fate, now_ns);
+                    let r = replica as usize;
+                    sync_round(&mut auth, &mut reps[r], r as u32, fate, now_ns);
+                }
+                Op::Gossip { to } => {
+                    let (a, b) = reps.split_at_mut(1);
+                    match to {
+                        0 => gossip_round(&mut b[0], &mut a[0], now_ns),
+                        _ => gossip_round(&mut a[0], &mut b[0], now_ns),
+                    }
                 }
             }
             let next = [epochs(&auth), epochs(&reps[0]), epochs(&reps[1])];
-            for (before, after) in snaps.iter().zip(next.iter()) {
-                check_monotone(before, after)?;
+            let horizons = [auth.gc_horizon(), reps[0].gc_horizon(), reps[1].gc_horizon()];
+            for ((before, after), h) in snaps.iter().zip(next.iter()).zip(horizons) {
+                check_monotone(before, after, h)?;
             }
             snaps = next;
         }
 
-        // The heal: successful rounds only. The A, B, A order matters —
-        // syncing B may stamp fresh tombstones at the authority for B's
-        // replica-only preloads, which A then needs a second round to
-        // learn. Convergence within that bounded pass is the property.
-        for &r in &[0usize, 1, 0] {
+        // The heal: successful rounds only. Alternating rounds are needed
+        // because watermarks propagate with one round of lag (a replica
+        // reports its *pre-round* watermark), so the GC horizon takes a
+        // few rounds to catch every table up to the same cut. Convergence
+        // within this bounded pass is the property.
+        for &r in &[0usize, 1, 0, 1, 0, 1] {
             now_ns += 1_000;
-            sync_round(&mut auth, &mut reps[r], 0, now_ns);
+            sync_round(&mut auth, &mut reps[r], r as u32, 0, now_ns);
         }
         prop_assert_eq!(reps[0].table_hash(), auth.table_hash());
         prop_assert_eq!(reps[1].table_hash(), auth.table_hash());
+
+        // With both watermarks caught up to the authority's epoch, the
+        // horizon equals it and every tombstone is provably adopted:
+        // boundedness means they are all gone, not merely stable.
+        prop_assert_eq!(auth.tombstone_len(), 0);
+        prop_assert_eq!(reps[0].tombstone_len(), 0);
 
         // Converged means drained: one more round has nothing to move.
         for rep in reps.iter_mut() {
@@ -200,7 +263,142 @@ proptest! {
             auth.define(name(i), bind(t), now_ns);
         }
         let before = rep.table_hash();
-        sync_round(&mut auth, &mut rep, fate, now_ns + 1_000);
+        sync_round(&mut auth, &mut rep, 0, fate, now_ns + 1_000);
         prop_assert_eq!(rep.table_hash(), before);
+    }
+
+    /// GC safety under arbitrary churn/loss/gossip schedules: whenever the
+    /// authority collects a tombstone, every replica it knows about has
+    /// provably adopted the delete (nothing older is live there), and a
+    /// collected delete can never come back — at the authority or at any
+    /// replica whose watermark passed it — unless a genuinely newer
+    /// definition re-creates the name.
+    #[test]
+    fn tombstones_collect_only_behind_every_watermark_and_stay_dead(
+        preload_a in proptest::collection::vec(any::<u8>(), 0..6),
+        preload_b in proptest::collection::vec(any::<u8>(), 0..6),
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        let mut auth = SyncTable::new();
+        let mut reps = [SyncTable::new(), SyncTable::new()];
+        for i in preload_a {
+            reps[0].preload(name(i), bind(u32::from(i)));
+        }
+        for i in preload_b {
+            reps[1].preload(name(i), bind(u32::from(i)));
+        }
+
+        // Oracle state: which replicas the authority has heard from, and
+        // every tombstone it has collected (prefix → highest collected
+        // epoch).
+        let mut known = [false, false];
+        let mut collected: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+
+        let mut now_ns: u64 = 1_000;
+        for op in &ops {
+            now_ns += 1_000;
+            match *op {
+                Op::Define(i, t) => auth.define(name(i), bind(t), now_ns),
+                Op::Delete(i) => {
+                    auth.tombstone(&name(i), now_ns);
+                }
+                Op::Sync { replica, fate } => {
+                    let r = replica as usize;
+                    if fate != 1 {
+                        known[r] = true;
+                        // What the authority is about to collect this
+                        // round, given the watermark it is about to learn.
+                        auth.record_watermark(r as u32, reps[r].watermark());
+                        let horizon = auth.horizon();
+                        let about_to_collect: Vec<(Vec<u8>, u64)> = auth
+                            .digest()
+                            .into_iter()
+                            .filter(|d| d.tombstone && d.epoch <= horizon && d.epoch > 0)
+                            .map(|d| (d.prefix, d.epoch))
+                            .collect();
+                        // Safety at the moment of collection: every known
+                        // replica has adopted each collected delete —
+                        // nothing older than the tombstone is live there.
+                        for (prefix, epoch) in &about_to_collect {
+                            for (k, rep) in reps.iter().enumerate() {
+                                if !known[k] {
+                                    continue;
+                                }
+                                prop_assert!(
+                                    rep.watermark() >= *epoch,
+                                    "collected {:?}@{} ahead of replica {}'s watermark {}",
+                                    prefix, epoch, k, rep.watermark()
+                                );
+                                if let Some(e) = rep.lookup(prefix) {
+                                    prop_assert!(
+                                        e.epoch > *epoch,
+                                        "replica {} still lives {:?}@{} under collected tombstone @{}",
+                                        k, prefix, e.epoch, epoch
+                                    );
+                                }
+                            }
+                            let slot = collected.entry(prefix.clone()).or_insert(0);
+                            *slot = (*slot).max(*epoch);
+                        }
+                    }
+                    sync_round(&mut auth, &mut reps[r], r as u32, fate, now_ns);
+                }
+                Op::Gossip { to } => {
+                    let (a, b) = reps.split_at_mut(1);
+                    match to {
+                        0 => gossip_round(&mut b[0], &mut a[0], now_ns),
+                        _ => gossip_round(&mut a[0], &mut b[0], now_ns),
+                    }
+                }
+            }
+
+            // No resurrection, ever: once (prefix, epoch) is collected,
+            // any live entry for that prefix — at the authority, or at a
+            // replica whose watermark passed the delete — must be a
+            // strictly newer definition. Gossip from a lagging peer must
+            // not slip an older live copy back in.
+            for (prefix, epoch) in &collected {
+                if let Some(e) = auth.lookup(prefix) {
+                    prop_assert!(
+                        e.epoch > *epoch,
+                        "authority resurrected {:?}@{} under collected tombstone @{}",
+                        prefix, e.epoch, epoch
+                    );
+                }
+                for (k, rep) in reps.iter().enumerate() {
+                    if rep.watermark() < *epoch {
+                        continue; // never saw the delete; heals at its next round
+                    }
+                    if let Some(e) = rep.lookup(prefix) {
+                        prop_assert!(
+                            e.epoch > *epoch,
+                            "replica {} resurrected {:?}@{} under collected tombstone @{}",
+                            k, prefix, e.epoch, epoch
+                        );
+                    }
+                }
+            }
+        }
+
+        // The heal: after enough successful alternating rounds, collected
+        // deletes are gone *everywhere* (not live on any table) and the
+        // three tables agree exactly.
+        for &r in &[0usize, 1, 0, 1, 0, 1] {
+            now_ns += 1_000;
+            sync_round(&mut auth, &mut reps[r], r as u32, 0, now_ns);
+        }
+        prop_assert_eq!(reps[0].table_hash(), auth.table_hash());
+        prop_assert_eq!(reps[1].table_hash(), auth.table_hash());
+        for (prefix, epoch) in &collected {
+            for t in [&auth, &reps[0], &reps[1]] {
+                if let Some(e) = t.lookup(prefix) {
+                    prop_assert!(
+                        e.epoch > *epoch,
+                        "{:?} live@{} post-heal under collected tombstone @{}",
+                        prefix, e.epoch, epoch
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,4 @@
+//! Regenerates EXP-14 of the experiment index (see DESIGN.md).
+fn main() {
+    println!("{}", vsim::exp14::run());
+}

@@ -61,11 +61,10 @@ pub const PARTITION_WIDTHS: [Duration; 3] = [
 /// per run; they draw no randomness).
 fn degraded_world(seed: u64, replica: bool) -> SimWorld {
     boot_world_cfg(WorldConfig {
-        params: Params1984::ethernet_3mbit(),
         faults: Some(FaultConfig::lossless(seed)),
         degraded: Some(DegradedPrefixConfig::default()),
         replica,
-        sync_replica: false,
+        ..WorldConfig::new(Params1984::ethernet_3mbit())
     })
 }
 

@@ -58,11 +58,11 @@ pub const DIVERGENCES: [u32; 2] = [1, 8];
 /// its anti-entropy peer pointed at the authority.
 fn sync_world(seed: u64) -> SimWorld {
     boot_world_cfg(WorldConfig {
-        params: Params1984::ethernet_3mbit(),
         faults: Some(FaultConfig::lossless(seed)),
         degraded: Some(DegradedPrefixConfig::default()),
         replica: true,
         sync_replica: true,
+        ..WorldConfig::new(Params1984::ethernet_3mbit())
     })
 }
 

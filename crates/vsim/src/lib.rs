@@ -22,6 +22,7 @@ pub mod exp10;
 pub mod exp11;
 pub mod exp12;
 pub mod exp13;
+pub mod exp14;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;
@@ -53,5 +54,6 @@ pub fn run_all() -> Vec<ExpReport> {
         exp11::run(),
         exp12::run(),
         exp13::run(),
+        exp14::run(),
     ]
 }

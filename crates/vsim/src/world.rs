@@ -26,7 +26,11 @@ pub struct SimWorld {
     /// The non-authoritative prefix replica on the server machine, when
     /// the world was booted with one ([`WorldConfig::replica`]).
     pub replica: Option<Pid>,
-    /// The multicast group the replica answers on, for
+    /// Every prefix replica, preloaded first: `replica` followed by the
+    /// [`WorldConfig::extra_replicas`] cold ones, all members of
+    /// `replica_group`.
+    pub replicas: Vec<Pid>,
+    /// The multicast group the replicas answer on, for
     /// [`vruntime::NameClient::set_replica_group`].
     pub replica_group: Option<GroupId>,
 }
@@ -54,6 +58,12 @@ pub struct WorldConfig {
     /// digest → delta → apply round against it. Implies nothing unless
     /// `replica` is also set.
     pub sync_replica: bool,
+    /// Additional *cold* replicas on the server machine: same degraded
+    /// configuration as the preloaded one (group membership, `sync_peer`)
+    /// but an empty boot table — everything they know, they learned from
+    /// a sync or gossip round. Ignored unless `replica` is set (the cold
+    /// replicas join the group the preloaded replica created).
+    pub extra_replicas: usize,
 }
 
 impl WorldConfig {
@@ -65,6 +75,7 @@ impl WorldConfig {
             degraded: None,
             replica: false,
             sync_replica: false,
+            extra_replicas: 0,
         }
     }
 }
@@ -172,6 +183,29 @@ pub fn boot_world_cfg(cfg: WorldConfig) -> SimWorld {
             )
         })
     });
+    let mut replicas: Vec<Pid> = replica.into_iter().collect();
+    if let Some(group) = replica_group {
+        for i in 0..cfg.extra_replicas {
+            replicas.push(domain.spawn(
+                server_machine,
+                &format!("prefix-replica-{}", i + 2),
+                move |ctx| {
+                    prefix_server(
+                        ctx,
+                        PrefixConfig {
+                            degraded: Some(DegradedPrefixConfig {
+                                authoritative: false,
+                                replica_group: Some(group),
+                                sync_peer,
+                                ..DegradedPrefixConfig::default()
+                            }),
+                            ..PrefixConfig::default()
+                        },
+                    )
+                },
+            ));
+        }
+    }
     domain.run();
 
     // Define the user's standard prefixes from a setup process.
@@ -196,6 +230,7 @@ pub fn boot_world_cfg(cfg: WorldConfig) -> SimWorld {
         local_fs,
         remote_fs,
         replica,
+        replicas,
         replica_group,
     }
 }

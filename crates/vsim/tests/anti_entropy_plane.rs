@@ -98,11 +98,9 @@ fn periodic_sync_catches_silent_divergence_for_any_seed() {
 #[test]
 fn suspect_ttl_expires_without_another_binding_query() {
     let world = boot_world_cfg(WorldConfig {
-        params: Params1984::ethernet_3mbit(),
         faults: Some(FaultConfig::lossless(seed())),
         degraded: Some(DegradedPrefixConfig::default()),
-        replica: false,
-        sync_replica: false,
+        ..WorldConfig::new(Params1984::ethernet_3mbit())
     });
     let t0 = world.domain.run();
     let cut = t0 + Duration::from_millis(20);

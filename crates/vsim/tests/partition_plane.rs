@@ -35,11 +35,9 @@ fn seed() -> u64 {
 /// observable.
 fn partitioned_lossy_scenario(s: u64) -> (u64, FaultStats, Option<Staleness>, DegradedStats) {
     let world = boot_world_cfg(WorldConfig {
-        params: Params1984::ethernet_3mbit(),
         faults: Some(FaultConfig::lossless(s).with_loss(0.02)),
         degraded: Some(DegradedPrefixConfig::default()),
-        replica: false,
-        sync_replica: false,
+        ..WorldConfig::new(Params1984::ethernet_3mbit())
     });
     let t0 = world.domain.run();
     let cut = t0 + Duration::from_millis(20);

@@ -28,4 +28,8 @@ echo "==> anti-entropy seed matrix (two distinct seeds)"
 VSIM_FAULT_SEED=0x1984 cargo test -q -p vsim --test anti_entropy_plane
 VSIM_FAULT_SEED=271828 cargo test -q -p vsim --test anti_entropy_plane
 
+echo "==> gossip / tombstone-GC seed matrix (two distinct seeds)"
+VSIM_FAULT_SEED=0x1984 cargo test -q -p vsim --test gossip_plane
+VSIM_FAULT_SEED=271828 cargo test -q -p vsim --test gossip_plane
+
 echo "==> all checks passed"
