@@ -247,6 +247,7 @@ pub fn run() -> Vec<Violation> {
 pub fn compare(what: &str, first: u64, second: u64) -> Option<Violation> {
     (first != second).then(|| Violation {
         pass: "determinism",
+        rule: "determinism",
         file: String::new(),
         line: 0,
         message: format!(

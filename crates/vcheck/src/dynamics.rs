@@ -161,6 +161,7 @@ fn gate(name: &str, scenario: impl FnOnce()) -> Option<Violation> {
             .unwrap_or("non-string panic payload");
         Violation {
             pass: "invariant",
+            rule: "invariant",
             file: String::new(),
             line: 0,
             message: format!("{name}: {msg}"),
@@ -201,6 +202,7 @@ pub fn run() -> Vec<Violation> {
     if !cfg!(debug_assertions) {
         return vec![Violation {
             pass: "invariant",
+            rule: "invariant",
             file: String::new(),
             line: 0,
             message: "vcheck was built without debug_assertions; the invariant ledger is \

@@ -1,8 +1,13 @@
 //! Pass 1: protocol-aware source lints over `crates/*/src`.
 //!
-//! Three rules, each with an inline escape hatch — a line carrying
-//! `// vcheck: allow(<rule>)` is individually exempted, so every exception
-//! in the tree is visible and greppable:
+//! Token rules live here; the scope-aware protocol rules live in
+//! [`crate::protocol`] and are driven from [`analyze`]. Every rule shares an
+//! inline escape hatch — a line carrying `// vcheck: allow(<rule>)` is
+//! individually exempted, so every exception in the tree is visible and
+//! greppable — and the pass audits the markers themselves: a marker whose
+//! line no longer triggers its rule is reported as `stale-allow`.
+//!
+//! Token rules:
 //!
 //! * `wall-clock` — no `std::time::Instant`, `SystemTime`, or ambient
 //!   randomness outside the allowlisted wall-clock modules. Kernel-level
@@ -12,12 +17,13 @@
 //!   server and name-resolution hot paths; a server answers a bad request
 //!   with a reply code, it does not die (paper §2.2's availability
 //!   argument).
-//! * opcode coverage — every request/reply code declared in
+//! * `opcode-coverage` — every request/reply code declared in
 //!   `crates/vproto/src/codes.rs` must be named in a test under
 //!   `crates/vproto/tests/`, pinning the wire value of each.
 
-use crate::source::{strip_comments_and_strings, test_region_mask};
-use crate::Violation;
+use crate::source::{parse_allow_marker, strip_comments_and_strings, FileSource};
+use crate::{protocol, AllowMarker, Finding, Violation};
+use std::collections::HashSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -57,13 +63,6 @@ const PANIC_PATHS: &[&str] = &[
     "crates/vruntime/src/",
 ];
 
-fn has_allow_marker(raw_line: &str, rule: &str) -> bool {
-    raw_line
-        .find("vcheck: allow(")
-        .map(|pos| raw_line[pos + "vcheck: allow(".len()..].starts_with(rule))
-        .unwrap_or(false)
-}
-
 fn rel(path: &Path, root: &Path) -> String {
     path.strip_prefix(root)
         .unwrap_or(path)
@@ -86,47 +85,59 @@ fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Scans one file's contents; `rel_path` is its workspace-relative path.
-/// Exposed for vcheck's own tests, which feed synthetic sources.
-pub fn scan_file(rel_path: &str, contents: &str) -> Vec<Violation> {
-    let mut out = Vec::new();
-    let stripped = strip_comments_and_strings(contents);
-    let mask = test_region_mask(&stripped);
-    let raw_lines: Vec<&str> = contents.lines().collect();
+/// Loads every `crates/*/src/**/*.rs` file under `root` as a [`FileSource`].
+pub fn collect_files(root: &Path) -> Option<Vec<FileSource>> {
+    let crates = fs::read_dir(root.join("crates")).ok()?;
+    let mut crate_dirs: Vec<_> = crates.flatten().map(|e| e.path()).collect();
+    crate_dirs.sort();
+    let mut paths = Vec::new();
+    for dir in crate_dirs {
+        rust_files_under(&dir.join("src"), &mut paths);
+    }
+    let mut files = Vec::new();
+    for path in paths {
+        if let Ok(contents) = fs::read_to_string(&path) {
+            files.push(FileSource::new(rel(&path, root), &contents));
+        }
+    }
+    Some(files)
+}
 
-    let wall_clock_applies = !WALL_CLOCK_ALLOWED.iter().any(|p| rel_path.starts_with(p));
-    let panic_applies = PANIC_PATHS.iter().any(|p| rel_path.starts_with(p));
+/// The token rules (`wall-clock`, `panic-path`) over one file.
+pub fn token_findings(fs: &FileSource) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let wall_clock_applies = !WALL_CLOCK_ALLOWED.iter().any(|p| fs.rel.starts_with(p));
+    let panic_applies = PANIC_PATHS.iter().any(|p| fs.rel.starts_with(p));
     if !wall_clock_applies && !panic_applies {
         return out;
     }
-
-    for (n, line) in stripped.lines().enumerate() {
-        if mask.get(n).copied().unwrap_or(false) {
+    for (n, line) in fs.stripped.lines().enumerate() {
+        if fs.in_test_region(n) {
             continue;
         }
-        let raw = raw_lines.get(n).copied().unwrap_or("");
         if wall_clock_applies {
             for token in WALL_CLOCK_TOKENS {
-                if line.contains(token) && !has_allow_marker(raw, "wall-clock") {
-                    out.push(Violation {
-                        pass: "lint",
-                        file: rel_path.to_string(),
+                if line.contains(token) {
+                    out.push(Finding {
+                        rule: "wall-clock",
+                        file: fs.rel.clone(),
                         line: n + 1,
                         message: format!(
                             "wall-clock/randomness source `{token}` outside the allowlisted \
                              modules (use Ipc::now/charge, or mark \
                              `// vcheck: allow(wall-clock)` with a justification)"
                         ),
+                        allowed: fs.has_allow(n, "wall-clock"),
                     });
                 }
             }
         }
         if panic_applies {
             for token in PANIC_TOKENS {
-                if line.contains(token) && !has_allow_marker(raw, "panic-path") {
-                    out.push(Violation {
-                        pass: "lint",
-                        file: rel_path.to_string(),
+                if line.contains(token) {
+                    out.push(Finding {
+                        rule: "panic-path",
+                        file: fs.rel.clone(),
                         line: n + 1,
                         message: format!(
                             "`{token}` in a server/resolution hot path (answer with a reply \
@@ -134,12 +145,38 @@ pub fn scan_file(rel_path: &str, contents: &str) -> Vec<Violation> {
                              justification)",
                             token = token.trim_start_matches('.')
                         ),
+                        allowed: fs.has_allow(n, "panic-path"),
                     });
                 }
             }
         }
     }
     out
+}
+
+/// Scans one file's contents with the token rules; `rel_path` is its
+/// workspace-relative path. Exposed for vcheck's own tests, which feed
+/// synthetic sources. Allowed findings are filtered out, matching the
+/// behaviour of the full pass.
+pub fn scan_file(rel_path: &str, contents: &str) -> Vec<Violation> {
+    token_findings(&FileSource::new(rel_path, contents))
+        .into_iter()
+        .filter(|f| !f.allowed)
+        .map(Finding::into_violation)
+        .collect()
+}
+
+impl Finding {
+    /// Converts a (non-allowed) finding into a lint-pass violation.
+    pub fn into_violation(self) -> Violation {
+        Violation {
+            pass: "lint",
+            rule: self.rule,
+            file: self.file,
+            line: self.line,
+            message: self.message,
+        }
+    }
 }
 
 /// Extracts every enum variant declared as `Name = 0x…,` from the stripped
@@ -172,6 +209,7 @@ pub fn check_opcode_coverage(root: &Path) -> Vec<Violation> {
     let Ok(codes_src) = fs::read_to_string(&codes_path) else {
         return vec![Violation {
             pass: "lint",
+            rule: "opcode-coverage",
             file: "crates/vproto/src/codes.rs".into(),
             line: 0,
             message: "cannot read op-code declarations".into(),
@@ -190,6 +228,7 @@ pub fn check_opcode_coverage(root: &Path) -> Vec<Violation> {
         .filter(|code| !tests.contains(code.as_str()))
         .map(|code| Violation {
             pass: "lint",
+            rule: "opcode-coverage",
             file: "crates/vproto/src/codes.rs".into(),
             line: 0,
             message: format!(
@@ -200,31 +239,104 @@ pub fn check_opcode_coverage(root: &Path) -> Vec<Violation> {
         .collect()
 }
 
-/// Runs the whole lint pass over the workspace rooted at `root`.
-pub fn run(root: &Path) -> Vec<Violation> {
-    let mut files = Vec::new();
-    let Ok(crates) = fs::read_dir(root.join("crates")) else {
-        return vec![Violation {
-            pass: "lint",
-            file: String::new(),
-            line: 0,
-            message: format!("workspace root {} has no crates/ directory", root.display()),
-        }];
-    };
-    let mut crate_dirs: Vec<_> = crates.flatten().map(|e| e.path()).collect();
-    crate_dirs.sort();
-    for dir in crate_dirs {
-        rust_files_under(&dir.join("src"), &mut files);
-    }
-
+/// Every `vcheck: allow(<rule>)` marker in the non-test regions of `fs`.
+/// Markers inside string literals don't count (the marker inventory runs on
+/// string-stripped text), and markers inside comments do.
+pub fn allow_markers(fs: &FileSource) -> Vec<AllowMarker> {
     let mut out = Vec::new();
-    for path in files {
-        if let Ok(contents) = fs::read_to_string(&path) {
-            out.extend(scan_file(&rel(&path, root), &contents));
+    for (n, line) in fs.marker_text.lines().enumerate() {
+        if fs.in_test_region(n) {
+            continue;
+        }
+        if let Some(rule) = parse_allow_marker(line) {
+            out.push(AllowMarker {
+                rule: rule.to_string(),
+                file: fs.rel.clone(),
+                line: n + 1,
+            });
         }
     }
-    out.extend(check_opcode_coverage(root));
     out
+}
+
+/// The complete result of the lint pass: raw findings (allowed or not), the
+/// allow-marker inventory, and the derived violations.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Every rule hit, including allowed ones.
+    pub findings: Vec<Finding>,
+    /// Every `vcheck: allow(<rule>)` marker in non-test source.
+    pub markers: Vec<AllowMarker>,
+    /// Non-allowed findings, opcode coverage misses, and stale allows.
+    pub violations: Vec<Violation>,
+}
+
+/// Runs the whole lint pass (token rules, protocol rules, opcode coverage,
+/// allow-marker audit) over the workspace rooted at `root`.
+pub fn analyze(root: &Path) -> Analysis {
+    let Some(files) = collect_files(root) else {
+        return Analysis {
+            violations: vec![Violation {
+                pass: "lint",
+                rule: "lint",
+                file: String::new(),
+                line: 0,
+                message: format!("workspace root {} has no crates/ directory", root.display()),
+            }],
+            ..Analysis::default()
+        };
+    };
+
+    let mut findings = Vec::new();
+    let mut markers = Vec::new();
+    for fs in &files {
+        findings.extend(token_findings(fs));
+        findings.extend(protocol::scan(fs));
+        markers.extend(allow_markers(fs));
+    }
+    findings.extend(protocol::dispatch_coverage(&files));
+
+    let mut violations: Vec<Violation> = findings
+        .iter()
+        .filter(|f| !f.allowed)
+        .cloned()
+        .map(Finding::into_violation)
+        .collect();
+    violations.extend(check_opcode_coverage(root));
+
+    // Stale-allow audit: a marker whose line fires no finding of its rule
+    // is dead weight that would silently mask a future regression.
+    let fired: HashSet<(&str, usize, &str)> = findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.line, f.rule))
+        .collect();
+    for m in &markers {
+        if !fired.contains(&(m.file.as_str(), m.line, m.rule.as_str())) {
+            violations.push(Violation {
+                pass: "lint",
+                rule: "stale-allow",
+                file: m.file.clone(),
+                line: m.line,
+                message: format!(
+                    "stale `vcheck: allow({})` — the line no longer triggers the rule; \
+                     delete the marker (a dead allow would silently mask the next \
+                     regression here)",
+                    m.rule
+                ),
+            });
+        }
+    }
+
+    Analysis {
+        findings,
+        markers,
+        violations,
+    }
+}
+
+/// Runs the whole lint pass over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Vec<Violation> {
+    analyze(root).violations
 }
 
 #[cfg(test)]
@@ -235,6 +347,7 @@ mod tests {
     fn wall_clock_flagged_outside_allowlist() {
         let v = scan_file("crates/vnaming/src/lib.rs", "let t = Instant::now();\n");
         assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "wall-clock");
         assert!(v[0].message.contains("Instant::now"));
     }
 
@@ -248,6 +361,16 @@ mod tests {
     fn allow_marker_exempts_a_line() {
         let src = "let t = Instant::now(); // vcheck: allow(wall-clock) calibration\n";
         assert!(scan_file("crates/vnaming/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_must_match_rule_exactly() {
+        // A marker for the wrong rule does not exempt, and the old
+        // prefix-match loophole (`allow(wall-clockXYZ)`) is closed.
+        let wrong = "let t = Instant::now(); // vcheck: allow(panic-path)\n";
+        assert_eq!(scan_file("crates/vnaming/src/lib.rs", wrong).len(), 1);
+        let prefix = "let t = Instant::now(); // vcheck: allow(wall-clock-ish)\n";
+        assert_eq!(scan_file("crates/vnaming/src/lib.rs", prefix).len(), 1);
     }
 
     #[test]
@@ -276,5 +399,33 @@ mod tests {
         let src =
             "pub enum X {\n    Echo = 0x0001,\n    QueryName = 0x8001,\n}\nconst Y: u16 = 3;\n";
         assert_eq!(declared_codes(src), vec!["Echo", "QueryName"]);
+    }
+
+    #[test]
+    fn allowed_finding_still_recorded_for_the_audit() {
+        let fs = FileSource::new(
+            "crates/vservers/src/file.rs",
+            "fn f() { x.unwrap(); } // vcheck: allow(panic-path) why\n",
+        );
+        let f = token_findings(&fs);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].allowed);
+        let m = allow_markers(&fs);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].rule, "panic-path");
+        assert_eq!(m[0].line, 1);
+    }
+
+    #[test]
+    fn marker_inventory_ignores_strings_and_test_regions() {
+        let fs = FileSource::new(
+            "crates/vservers/src/file.rs",
+            "const HELP: &str = \"vcheck: allow(panic-path)\";\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 // vcheck: allow(panic-path) in a test region\n\
+             }\n",
+        );
+        assert!(allow_markers(&fs).is_empty());
     }
 }

@@ -1,0 +1,524 @@
+//! Pass-1b infrastructure: a brace/scope-aware layer over the stripped
+//! source produced by [`crate::source`].
+//!
+//! [`ScopeMap::build`] walks comment/string-stripped text once and records
+//! the item structure the protocol rules need:
+//!
+//! * every `fn` item — name, signature text, body text, line span, and the
+//!   `impl` block (if any) it lives in;
+//! * every `impl` block — the implemented type's name and line span;
+//! * every `struct` with named fields — field names and the line each is
+//!   declared on;
+//! * every `enum` — variant names declared as `Name = <expr>,` and their
+//!   lines (the shape `codes.rs` uses for wire codes).
+//!
+//! This is still not a parser: it brace-matches and word-scans. That is
+//! enough for the conformance rules because the workspace's own style is
+//! the input domain — and the lexer has already removed every source of
+//! fake braces (comments, strings, char literals).
+
+use crate::source::strip_comments_and_strings;
+
+/// One `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Signature text: everything from `fn` up to (not including) the body
+    /// `{`, whitespace-normalized.
+    pub sig: String,
+    /// 0-based line of the `fn` keyword.
+    pub start_line: usize,
+    /// 0-based line of the closing `}` (equals `start_line` for one-liners;
+    /// for body-less trait-method declarations, the line of the `;`).
+    pub end_line: usize,
+    /// The body text, braces included; empty for body-less declarations.
+    pub body: String,
+    /// 0-based line the body's `{` sits on.
+    pub body_line: usize,
+    /// Name of the `impl` type enclosing this fn, if any.
+    pub impl_type: Option<String>,
+}
+
+/// One named field of a struct.
+#[derive(Debug, Clone)]
+pub struct FieldSpan {
+    /// The field name.
+    pub name: String,
+    /// 0-based line it is declared on.
+    pub line: usize,
+}
+
+/// One `struct` item with named fields.
+#[derive(Debug, Clone)]
+pub struct StructSpan {
+    /// The struct's name.
+    pub name: String,
+    /// 0-based line of the `struct` keyword.
+    pub line: usize,
+    /// The named fields, in declaration order. Empty for unit/tuple structs.
+    pub fields: Vec<FieldSpan>,
+}
+
+/// One `enum` item, with the `Name = <value>,` discriminant variants only.
+#[derive(Debug, Clone)]
+pub struct EnumSpan {
+    /// The enum's name.
+    pub name: String,
+    /// `(variant name, 0-based line)` for each `Name = <value>,` variant.
+    pub variants: Vec<(String, usize)>,
+}
+
+/// The scope structure of one file.
+#[derive(Debug, Clone, Default)]
+pub struct ScopeMap {
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnSpan>,
+    /// Every named-field `struct`, in source order.
+    pub structs: Vec<StructSpan>,
+    /// Every `enum` with discriminant variants, in source order.
+    pub enums: Vec<EnumSpan>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Returns `true` if `text[pos..pos + word.len()] == word` with non-ident
+/// bytes (or text edges) on both sides.
+fn word_at(bytes: &[u8], pos: usize, word: &str) -> bool {
+    let w = word.as_bytes();
+    if pos + w.len() > bytes.len() || &bytes[pos..pos + w.len()] != w {
+        return false;
+    }
+    let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+    let after_ok = pos + w.len() == bytes.len() || !is_ident_byte(bytes[pos + w.len()]);
+    before_ok && after_ok
+}
+
+/// Returns `true` if `needle` occurs in `text` as a whole word.
+pub fn mentions_word(text: &str, needle: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(p) = text[from..].find(needle).map(|p| p + from) {
+        if word_at(bytes, p, needle) {
+            return true;
+        }
+        from = p + 1;
+    }
+    false
+}
+
+/// Byte offset → 0-based line number table.
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+fn line_of(starts: &[usize], offset: usize) -> usize {
+    match starts.binary_search(&offset) {
+        Ok(n) => n,
+        Err(n) => n.saturating_sub(1),
+    }
+}
+
+/// Finds the offset of the `{`..`}` block starting at the first `{` at or
+/// after `from`, stopping early at a top-level `;`. Returns
+/// `(open, close)` offsets, or `None` if no block starts (item ends at a
+/// `;`, offset returned as both values).
+fn match_block(bytes: &[u8], from: usize) -> Option<(usize, usize)> {
+    let mut i = from;
+    let mut angle = 0i32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => {
+                let open = i;
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some((open, i));
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return Some((open, bytes.len().saturating_sub(1)));
+            }
+            // A `;` ends the item only at top level: `[u8; 4]` array types
+            // and `<const N: usize>` generics both carry semicolon-adjacent
+            // nesting that must not terminate the scan. (`Foo<{N}>` const
+            // generics carry braces; the early-open above accepts that —
+            // rare enough to live with.)
+            b'<' | b'(' | b'[' => angle += 1,
+            b'>' | b')' | b']' => angle = (angle - 1).max(0),
+            b';' if angle == 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Reads the identifier starting at the first ident byte at or after `from`.
+fn next_ident(bytes: &[u8], mut from: usize) -> (String, usize) {
+    while from < bytes.len() && !is_ident_byte(bytes[from]) {
+        from += 1;
+    }
+    let start = from;
+    while from < bytes.len() && is_ident_byte(bytes[from]) {
+        from += 1;
+    }
+    (
+        String::from_utf8_lossy(&bytes[start..from]).into_owned(),
+        from,
+    )
+}
+
+/// Extracts the implemented type name from the text between `impl` and the
+/// block `{`: the last path segment of the type after `for` (trait impls)
+/// or of the first type (inherent impls), generics stripped.
+fn impl_type_name(header: &str) -> String {
+    let target = match header.find(" for ") {
+        Some(p) => &header[p + 5..],
+        None => {
+            // Skip `impl<...>` generics.
+            let h = header.trim_start();
+            match h.strip_prefix('<') {
+                Some(rest) => {
+                    let mut depth = 1;
+                    let mut idx = 0;
+                    for (i, c) in rest.char_indices() {
+                        match c {
+                            '<' => depth += 1,
+                            '>' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    idx = i + 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    &rest[idx..]
+                }
+                None => h,
+            }
+        }
+    };
+    // First path expression: take idents joined by `::`, keep the last.
+    let mut last = String::new();
+    let bytes = target.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if is_ident_byte(bytes[i]) {
+            let (ident, next) = next_ident(bytes, i);
+            last = ident;
+            i = next;
+            // A `::` continues the path; anything else ends it.
+            if target[i..].starts_with("::") {
+                i += 2;
+                continue;
+            }
+            break;
+        }
+        if bytes[i] == b'&' || bytes[i].is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        break;
+    }
+    last
+}
+
+impl ScopeMap {
+    /// Builds the scope map of `source` (raw text; stripping happens here).
+    pub fn build(source: &str) -> ScopeMap {
+        let stripped = strip_comments_and_strings(source);
+        Self::build_stripped(&stripped)
+    }
+
+    /// Builds the scope map from already-stripped text.
+    pub fn build_stripped(stripped: &str) -> ScopeMap {
+        let bytes = stripped.as_bytes();
+        let starts = line_starts(stripped);
+        let mut map = ScopeMap::default();
+
+        // impl spans first, so fns can be attributed to them.
+        let mut impls: Vec<(String, usize, usize)> = Vec::new(); // (type, open, close)
+        let mut i = 0;
+        while i < bytes.len() {
+            if word_at(bytes, i, "impl") {
+                let after = i + 4;
+                if let Some((open, close)) = match_block(bytes, after) {
+                    let header = &stripped[after..open];
+                    impls.push((impl_type_name(header), open, close));
+                }
+                i = after;
+                continue;
+            }
+            i += 1;
+        }
+
+        let mut i = 0;
+        while i < bytes.len() {
+            if word_at(bytes, i, "fn") {
+                let (name, after_name) = next_ident(bytes, i + 2);
+                if name.is_empty() {
+                    i += 2;
+                    continue;
+                }
+                match match_block(bytes, after_name) {
+                    Some((open, close)) => {
+                        let impl_type = impls
+                            .iter()
+                            .rfind(|(_, o, c)| *o < i && i < *c)
+                            .map(|(t, _, _)| t.clone());
+                        map.fns.push(FnSpan {
+                            name,
+                            sig: stripped[i..open]
+                                .split_whitespace()
+                                .collect::<Vec<_>>()
+                                .join(" "),
+                            start_line: line_of(&starts, i),
+                            end_line: line_of(&starts, close),
+                            body: stripped[open..=close].to_string(),
+                            body_line: line_of(&starts, open),
+                            impl_type,
+                        });
+                        i = open + 1;
+                        continue;
+                    }
+                    None => {
+                        // Body-less declaration (trait method): span to `;`.
+                        let semi = stripped[after_name..]
+                            .find(';')
+                            .map(|p| p + after_name)
+                            .unwrap_or(after_name);
+                        map.fns.push(FnSpan {
+                            name,
+                            sig: stripped[i..semi]
+                                .split_whitespace()
+                                .collect::<Vec<_>>()
+                                .join(" "),
+                            start_line: line_of(&starts, i),
+                            end_line: line_of(&starts, semi),
+                            body: String::new(),
+                            body_line: line_of(&starts, semi),
+                            impl_type: None,
+                        });
+                        i = semi + 1;
+                        continue;
+                    }
+                }
+            } else if word_at(bytes, i, "struct") {
+                let (name, after_name) = next_ident(bytes, i + 6);
+                let line = line_of(&starts, i);
+                if let Some((open, close)) = match_block(bytes, after_name) {
+                    // Named fields: scan depth-1 lines for `ident :` where
+                    // the ident is the first word of its declaration.
+                    let mut fields = Vec::new();
+                    let mut j = open + 1;
+                    let mut depth = 1usize;
+                    let mut expect_field = true;
+                    while j < close {
+                        match bytes[j] {
+                            b'{' | b'(' | b'<' => depth += 1,
+                            b'}' | b')' | b'>' => depth = depth.saturating_sub(1),
+                            b',' if depth == 1 => expect_field = true,
+                            // Skip `#[...]` attributes on fields.
+                            b'#' if depth == 1 && j + 1 < close && bytes[j + 1] == b'[' => {
+                                let mut d = 0;
+                                while j < close {
+                                    match bytes[j] {
+                                        b'[' => d += 1,
+                                        b']' => {
+                                            d -= 1;
+                                            if d == 0 {
+                                                break;
+                                            }
+                                        }
+                                        _ => {}
+                                    }
+                                    j += 1;
+                                }
+                            }
+                            b if depth == 1 && expect_field && is_ident_byte(b) => {
+                                let (word, next) = next_ident(bytes, j);
+                                if word == "pub" {
+                                    // Skip a `pub(crate)`-style visibility group.
+                                    let mut k = next;
+                                    while k < close && bytes[k].is_ascii_whitespace() {
+                                        k += 1;
+                                    }
+                                    if k < close && bytes[k] == b'(' {
+                                        while k < close && bytes[k] != b')' {
+                                            k += 1;
+                                        }
+                                        k += 1;
+                                    }
+                                    j = k;
+                                    continue;
+                                }
+                                // A field is `name :` (not `::`).
+                                let rest = stripped[next..close.min(stripped.len())].trim_start();
+                                if rest.starts_with(':') && !rest.starts_with("::") {
+                                    fields.push(FieldSpan {
+                                        name: word,
+                                        line: line_of(&starts, j),
+                                    });
+                                }
+                                expect_field = false;
+                                j = next;
+                                continue;
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    map.structs.push(StructSpan { name, line, fields });
+                    i = close + 1;
+                    continue;
+                }
+                // Tuple/unit struct: record with no fields.
+                map.structs.push(StructSpan {
+                    name,
+                    line,
+                    fields: Vec::new(),
+                });
+                i = after_name;
+                continue;
+            } else if word_at(bytes, i, "enum") {
+                let (name, after_name) = next_ident(bytes, i + 4);
+                if let Some((open, close)) = match_block(bytes, after_name) {
+                    let mut variants = Vec::new();
+                    let body = &stripped[open + 1..close];
+                    let body_off = open + 1;
+                    let mut from = 0;
+                    // `Name = <value>,` at variant depth only.
+                    for part in body.split(',') {
+                        let part_off = body_off + from;
+                        from += part.len() + 1;
+                        let t = part.trim();
+                        if let Some((vname, rest)) = t.split_once('=') {
+                            let vname = vname.trim();
+                            if !vname.is_empty()
+                                && vname.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                                && vname.chars().all(|c| c.is_ascii_alphanumeric())
+                                && !rest.trim().is_empty()
+                            {
+                                let at = part_off + part.find(vname).unwrap_or(0);
+                                variants.push((vname.to_string(), line_of(&starts, at)));
+                            }
+                        }
+                    }
+                    map.enums.push(EnumSpan { name, variants });
+                    i = close + 1;
+                    continue;
+                }
+                i = after_name;
+                continue;
+            }
+            i += 1;
+        }
+        map
+    }
+
+    /// All fns belonging to `impl ty` blocks, by implemented-type name.
+    pub fn fns_of_impl(&self, ty: &str) -> Vec<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.impl_type.as_deref() == Some(ty))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_fns_and_their_impls() {
+        let src = "impl Foo {\n    pub fn encode(&self) -> Vec<u8> { self.x }\n}\nfn free(a: u8) {\n    a;\n}\n";
+        let map = ScopeMap::build(src);
+        assert_eq!(map.fns.len(), 2);
+        assert_eq!(map.fns[0].name, "encode");
+        assert_eq!(map.fns[0].impl_type.as_deref(), Some("Foo"));
+        assert_eq!(map.fns[0].start_line, 1);
+        assert!(map.fns[0].body.contains("self.x"));
+        assert_eq!(map.fns[1].name, "free");
+        assert_eq!(map.fns[1].impl_type, None);
+        assert_eq!(map.fns[1].end_line, 5);
+    }
+
+    #[test]
+    fn trait_impls_attribute_to_the_type_after_for() {
+        let src = "impl<'a> fmt::Display for CsName {\n    fn fmt(&self) { }\n}";
+        let map = ScopeMap::build(src);
+        assert_eq!(map.fns[0].impl_type.as_deref(), Some("CsName"));
+    }
+
+    #[test]
+    fn struct_fields_with_attrs_and_pub() {
+        let src = "pub struct Rec {\n    pub a: u16,\n    #[allow(dead_code)]\n    b: Vec<u8>,\n    pub(crate) c: Option<Inner>,\n}\n";
+        let map = ScopeMap::build(src);
+        assert_eq!(map.structs.len(), 1);
+        let names: Vec<&str> = map.structs[0]
+            .fields
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(map.structs[0].fields[0].line, 1);
+        assert_eq!(map.structs[0].fields[2].line, 4);
+    }
+
+    #[test]
+    fn tuple_structs_have_no_fields() {
+        let map = ScopeMap::build("pub struct Wrapper(pub u32);\npub struct Unit;\n");
+        assert_eq!(map.structs.len(), 2);
+        assert!(map.structs[0].fields.is_empty());
+        assert!(map.structs[1].fields.is_empty());
+    }
+
+    #[test]
+    fn enums_collect_discriminant_variants() {
+        let src = "pub enum Code {\n    Ok = 0x0000,\n    NotFound = 0x0001,\n    Plain,\n}\n";
+        let map = ScopeMap::build(src);
+        assert_eq!(map.enums.len(), 1);
+        assert_eq!(map.enums[0].name, "Code");
+        let v: Vec<&str> = map.enums[0]
+            .variants
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(v, vec!["Ok", "NotFound"]);
+        assert_eq!(map.enums[0].variants[1].1, 2);
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(mentions_word("self.epoch + 1", "epoch"));
+        assert!(!mentions_word("table.max_epoch()", "epoch"));
+        assert!(!mentions_word("epochs", "epoch"));
+        assert!(mentions_word("SyncEntry {", "SyncEntry"));
+    }
+
+    #[test]
+    fn generic_fn_signatures_do_not_break_on_semicolons_in_angles() {
+        let src = "fn f<const N: usize>(x: [u8; 4]) -> [u8; N] { x }\n";
+        let map = ScopeMap::build(src);
+        assert_eq!(map.fns.len(), 1);
+        assert!(map.fns[0].body.contains('x'));
+    }
+}

@@ -11,6 +11,21 @@
 /// blanked out (replaced by spaces), preserving every line break so line
 /// numbers survive.
 pub fn strip_comments_and_strings(source: &str) -> String {
+    strip(source, true)
+}
+
+/// Returns `source` with string/char literal *contents* blanked out but
+/// comments left intact.
+///
+/// The allow-marker inventory runs on this form: real escape-hatch markers
+/// live in `//` comments (which survive), while a string literal that
+/// merely *mentions* marker syntax (e.g. a lint's own diagnostic text)
+/// cannot spoof or shadow one.
+pub fn strip_strings_only(source: &str) -> String {
+    strip(source, false)
+}
+
+fn strip(source: &str, strip_comments: bool) -> String {
     let bytes = source.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -29,28 +44,33 @@ pub fn strip_comments_and_strings(source: &str) -> String {
         match b {
             b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
                 while i < bytes.len() && bytes[i] != b'\n' {
-                    out.push(blank(bytes[i]));
+                    if strip_comments {
+                        out.push(blank(bytes[i]));
+                    } else {
+                        out.push(bytes[i]);
+                    }
                     i += 1;
                 }
             }
             b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
                 let mut depth = 1;
-                out.push(b' ');
-                out.push(b' ');
+                let keep = |b: u8| if strip_comments { blank(b) } else { b };
+                out.push(keep(b'/'));
+                out.push(keep(b'*'));
                 i += 2;
                 while i < bytes.len() && depth > 0 {
                     if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
                         depth += 1;
-                        out.push(b' ');
-                        out.push(b' ');
+                        out.push(keep(b'/'));
+                        out.push(keep(b'*'));
                         i += 2;
                     } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
                         depth -= 1;
-                        out.push(b' ');
-                        out.push(b' ');
+                        out.push(keep(b'*'));
+                        out.push(keep(b'/'));
                         i += 2;
                     } else {
-                        out.push(blank(bytes[i]));
+                        out.push(keep(bytes[i]));
                         i += 1;
                     }
                 }
@@ -162,6 +182,67 @@ pub fn strip_comments_and_strings(source: &str) -> String {
     String::from_utf8(out).unwrap_or_default()
 }
 
+/// One workspace source file, preprocessed once for every pass-1 rule.
+#[derive(Debug, Clone)]
+pub struct FileSource {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Comment- and string-stripped text (what rules scan).
+    pub stripped: String,
+    /// String-stripped text with comments kept (where allow markers live).
+    pub marker_text: String,
+    /// Per-line `#[cfg(test)]`-region mask over the stripped text.
+    pub mask: Vec<bool>,
+}
+
+impl FileSource {
+    /// Preprocesses one file.
+    pub fn new(rel: impl Into<String>, contents: &str) -> FileSource {
+        let stripped = strip_comments_and_strings(contents);
+        let mask = test_region_mask(&stripped);
+        FileSource {
+            rel: rel.into(),
+            stripped,
+            marker_text: strip_strings_only(contents),
+            mask,
+        }
+    }
+
+    /// Returns `true` if 0-based `line` lies in a `#[cfg(test)]` region.
+    pub fn in_test_region(&self, line: usize) -> bool {
+        self.mask.get(line).copied().unwrap_or(false)
+    }
+
+    /// Returns `true` if 0-based `line` carries an
+    /// `vcheck: allow(<rule>)` escape-hatch marker for exactly `rule`.
+    pub fn has_allow(&self, line: usize, rule: &str) -> bool {
+        self.marker_text
+            .lines()
+            .nth(line)
+            .and_then(parse_allow_marker)
+            .is_some_and(|r| r == rule)
+    }
+}
+
+/// Parses the rule name out of a `vcheck: allow(<rule>)` marker on `line`,
+/// if one is present and syntactically well-formed (lowercase idents and
+/// dashes, closed paren). Malformed or meta mentions (e.g. docs writing
+/// `allow(<rule>)`) return `None`.
+pub fn parse_allow_marker(line: &str) -> Option<&str> {
+    let pos = line.find("vcheck: allow(")?;
+    let rest = &line[pos + "vcheck: allow(".len()..];
+    let end = rest.find(')')?;
+    let rule = &rest[..end];
+    if rule.is_empty()
+        || !rule
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+    {
+        return None;
+    }
+    Some(rule)
+}
+
 /// Returns, for each line of `stripped` (0-based), whether it lies inside a
 /// `#[cfg(test)]`-gated item (the attribute line itself included).
 ///
@@ -270,6 +351,78 @@ mod tests {
         assert!(s.contains("<'a>"));
         assert!(s.contains(".expect("));
         assert!(!s.contains("msg"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = strip_comments_and_strings("a /* one /* two */ still-comment */ b\nc");
+        assert!(!s.contains("two"));
+        assert!(!s.contains("still-comment"));
+        assert!(s.contains('a') && s.contains('b') && s.contains('c'));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes() {
+        let s = strip_comments_and_strings("let x = r##\"a \"# panic!(b) \"## ; y.unwrap()");
+        assert!(!s.contains("panic!"));
+        assert!(s.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_literals() {
+        let s =
+            strip_comments_and_strings("let b = b\"unwrap()\"; let r = br#\"expect(\"#; f(b'x')");
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("expect"));
+        // The byte-literal payload is blanked; the call around it survives.
+        assert!(s.contains("f(b'"));
+        assert!(!s.contains("b'x'"));
+    }
+
+    #[test]
+    fn char_escapes_do_not_derail_the_lexer() {
+        let s = strip_comments_and_strings(
+            r"let q = '\''; let n = '\n'; let u = '\u{1F600}'; z.unwrap()",
+        );
+        assert!(s.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn lifetimes_in_impls_and_bounds() {
+        let s = strip_comments_and_strings(
+            "impl<'a, 'b: 'a> Foo<'a> for Bar<'b> where 'b: 'static { fn f(&'a self) {} }",
+        );
+        // Nothing after a lifetime may be swallowed as a char literal.
+        assert!(s.contains("'static"));
+        assert!(s.contains("fn f(&'a self)"));
+    }
+
+    #[test]
+    fn strings_spanning_escaped_quotes() {
+        let s = strip_comments_and_strings(r#"let a = "x\"y.unwrap()\"z"; b.expect("")"#);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains(".expect("));
+    }
+
+    #[test]
+    fn strip_strings_only_keeps_comments() {
+        let src = "let x = \"vcheck: allow(panic-path)\"; // vcheck: allow(wall-clock) why\n";
+        let s = strip_strings_only(src);
+        assert!(!s.contains("allow(panic-path)"), "string contents blanked");
+        assert!(
+            s.contains("// vcheck: allow(wall-clock) why"),
+            "comment kept"
+        );
+        assert_eq!(s.len(), src.len(), "line-preserving and length-preserving");
+    }
+
+    #[test]
+    fn strip_strings_only_quote_in_comment_is_inert() {
+        let s = strip_strings_only("// a \" stray quote\nlet x = \"gone\"; // vcheck: allow(x)\n");
+        assert!(s.contains("stray quote"));
+        assert!(!s.contains("gone"));
+        assert!(s.contains("vcheck: allow(x)"));
     }
 
     #[test]

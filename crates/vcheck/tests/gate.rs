@@ -3,7 +3,7 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
-use vcheck::{determinism, dynamics, lints};
+use vcheck::{determinism, dynamics, lints, report};
 use vkernel::invariants::{InvariantLedger, TxnKind};
 
 fn workspace_root() -> PathBuf {
@@ -99,6 +99,203 @@ fn lint_pass_rejects_an_untested_op_code() {
     let violations = lints::run(&root);
     assert_eq!(violations.len(), 1, "{violations:?}");
     assert!(violations[0].message.contains("`Vanish`"));
+}
+
+#[test]
+fn lint_pass_rejects_a_planted_len_narrowing() {
+    // The acceptance case: adding `len() as u16` in a vproto encode path
+    // must fail with a file:line diagnostic.
+    let root = synthetic_workspace(
+        "wire-narrowing",
+        &[
+            (
+                "crates/vproto/src/wire.rs",
+                "pub fn encode_str(w: &mut Vec<u8>, b: &[u8]) {\n    \
+                     w.extend((b.len() as u16).to_le_bytes());\n\
+                 }\n",
+            ),
+            ("crates/vproto/src/codes.rs", ""),
+        ],
+    );
+    let violations = lints::run(&root);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule, "wire-narrowing");
+    assert_eq!(violations[0].file, "crates/vproto/src/wire.rs");
+    assert_eq!(violations[0].line, 2);
+}
+
+#[test]
+fn lint_pass_rejects_a_dropped_decode_field() {
+    // The other acceptance case: deleting a field's decode line in a wire
+    // record must fail, pointing at the field declaration.
+    let root = synthetic_workspace(
+        "wire-symmetry",
+        &[
+            (
+                "crates/vproto/src/sync.rs",
+                "pub struct SyncRec {\n    \
+                     pub epoch: u64,\n    \
+                     pub horizon: u64,\n\
+                 }\n\
+                 impl SyncRec {\n    \
+                     pub fn encode(&self, w: &mut W) { w.u64(self.epoch); w.u64(self.horizon); }\n    \
+                     pub fn decode(r: &mut R) -> SyncRec {\n        \
+                         SyncRec { epoch: r.u64(), ..Default::default() }\n    \
+                     }\n\
+                 }\n",
+            ),
+            ("crates/vproto/src/codes.rs", ""),
+        ],
+    );
+    let violations = lints::run(&root);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule, "wire-symmetry");
+    assert_eq!(violations[0].file, "crates/vproto/src/sync.rs");
+    assert_eq!(violations[0].line, 3, "points at the `horizon` declaration");
+    assert!(violations[0].message.contains("`horizon`"));
+}
+
+#[test]
+fn lint_pass_rejects_a_guard_held_across_send() {
+    let root = synthetic_workspace(
+        "guard-across-send",
+        &[
+            (
+                "crates/vservers/src/prefix.rs",
+                "pub fn serve(ctx: &dyn Ipc, table: &Mutex<u8>) {\n    \
+                     let t = table.lock();\n    \
+                     ctx.send(peer, msg, Bytes::new(), 0);\n\
+                 }\n",
+            ),
+            ("crates/vproto/src/codes.rs", ""),
+        ],
+    );
+    let violations = lints::run(&root);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule, "guard-across-send");
+    assert_eq!(violations[0].line, 3);
+}
+
+#[test]
+fn lint_pass_rejects_an_undispatched_request_code() {
+    let root = synthetic_workspace(
+        "opcode-dispatch",
+        &[
+            (
+                "crates/vproto/src/codes.rs",
+                "pub enum RequestCode {\n    Echo = 0x0001,\n    Vanish = 0x0002,\n}\n",
+            ),
+            (
+                "crates/vproto/tests/wire.rs",
+                "fn t() { let _ = (Echo, Vanish); }\n",
+            ),
+            (
+                "crates/vservers/src/file.rs",
+                "pub fn d(c: RequestCode) {\n    match c {\n        \
+                     RequestCode::Echo => {}\n        _ => {}\n    }\n}\n",
+            ),
+        ],
+    );
+    let violations = lints::run(&root);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule, "opcode-dispatch");
+    assert!(violations[0].message.contains("`Vanish`"));
+}
+
+#[test]
+fn lint_pass_rejects_a_stale_allow_marker() {
+    // A marker on a line that triggers nothing is itself an error.
+    let root = synthetic_workspace(
+        "stale-allow",
+        &[
+            (
+                "crates/vservers/src/file.rs",
+                "pub fn f() -> u8 { 1 } // vcheck: allow(panic-path) obsolete\n",
+            ),
+            ("crates/vproto/src/codes.rs", ""),
+        ],
+    );
+    let violations = lints::run(&root);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule, "stale-allow");
+    assert_eq!(violations[0].file, "crates/vservers/src/file.rs");
+    assert_eq!(violations[0].line, 1);
+}
+
+#[test]
+fn allowed_finding_is_suppressed_but_audited() {
+    let root = synthetic_workspace(
+        "allow-live",
+        &[
+            (
+                "crates/vservers/src/file.rs",
+                "pub fn f(x: Option<u8>) -> u8 { x.unwrap() } // vcheck: allow(panic-path) boot only\n",
+            ),
+            ("crates/vproto/src/codes.rs", ""),
+        ],
+    );
+    let analysis = lints::analyze(&root);
+    assert!(analysis.violations.is_empty(), "{:?}", analysis.violations);
+    assert_eq!(analysis.findings.len(), 1);
+    assert!(analysis.findings[0].allowed);
+    assert_eq!(analysis.markers.len(), 1);
+}
+
+// ---- ratchet ----
+
+#[test]
+fn ratchet_requires_a_baseline_then_pins_allow_counts() {
+    let root = synthetic_workspace(
+        "ratchet",
+        &[
+            (
+                "crates/vservers/src/file.rs",
+                "pub fn f(x: Option<u8>) -> u8 { x.unwrap() } // vcheck: allow(panic-path) boot only\n",
+            ),
+            ("crates/vproto/src/codes.rs", ""),
+        ],
+    );
+    let analysis = lints::analyze(&root);
+
+    // No baseline yet: the ratchet itself fails.
+    let v = report::ratchet(&root, &analysis);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "ratchet");
+    assert!(v[0].message.contains("--bless"));
+
+    // Bless, and the same analysis passes.
+    report::bless(&root, &analysis).expect("write baseline");
+    assert!(report::ratchet(&root, &analysis).is_empty());
+
+    // A second allow slips in: the ratchet catches the rise.
+    fs::write(
+        root.join("crates/vservers/src/file.rs"),
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() } // vcheck: allow(panic-path) boot only\n\
+         pub fn g(x: Option<u8>) -> u8 { x.unwrap() } // vcheck: allow(panic-path) me too\n",
+    )
+    .expect("grow fixture");
+    let grown = lints::analyze(&root);
+    assert!(grown.violations.is_empty());
+    let v = report::ratchet(&root, &grown);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].message.contains("rose 1 -> 2"), "{}", v[0].message);
+}
+
+#[test]
+fn committed_baseline_matches_the_workspace() {
+    // The baseline in git must stay in sync with the tree; if this fails,
+    // run `cargo run -p vcheck -- --bless` and commit the result.
+    let root = workspace_root();
+    let analysis = lints::analyze(&root);
+    let v = report::ratchet(&root, &analysis);
+    assert!(
+        v.is_empty(),
+        "ratchet baseline out of date:\n{}",
+        v.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }
 
 // ---- pass 2: determinism gate ----

@@ -27,6 +27,29 @@ impl IoError {
     pub fn is_eof(&self) -> bool {
         matches!(self, IoError::Server(ReplyCode::EndOfFile))
     }
+
+    /// Flattens the error into the reply code a server relaying it onward
+    /// would put on the wire (paper §2.2: a failed request is *answered*,
+    /// with the reason, not dropped). Transport failures map onto the
+    /// protocol's vocabulary: an exhausted retransmission ladder is
+    /// [`ReplyCode::Timeout`], an unreachable or dead service is
+    /// [`ReplyCode::NoServer`], an overfull buffer is
+    /// [`ReplyCode::NoServerResources`], and anything else is the catch-all
+    /// [`ReplyCode::Unknown`].
+    pub fn to_reply_code(&self) -> ReplyCode {
+        match self {
+            IoError::Server(code) => *code,
+            IoError::Ipc(IpcError::Timeout) => ReplyCode::Timeout,
+            IoError::Ipc(
+                IpcError::NoProcess
+                | IpcError::ProcessDied
+                | IpcError::NoReply
+                | IpcError::NoSuchGroup,
+            ) => ReplyCode::NoServer,
+            IoError::Ipc(IpcError::BufferOverflow) => ReplyCode::NoServerResources,
+            IoError::Ipc(_) => ReplyCode::Unknown,
+        }
+    }
 }
 
 impl fmt::Display for IoError {
@@ -79,6 +102,30 @@ mod tests {
             Some(ReplyCode::NoPermission)
         );
         assert_eq!(IoError::Ipc(IpcError::Shutdown).reply_code(), None);
+    }
+
+    #[test]
+    fn transport_failures_map_onto_the_reply_vocabulary() {
+        assert_eq!(
+            IoError::Ipc(IpcError::Timeout).to_reply_code(),
+            ReplyCode::Timeout
+        );
+        assert_eq!(
+            IoError::Ipc(IpcError::NoProcess).to_reply_code(),
+            ReplyCode::NoServer
+        );
+        assert_eq!(
+            IoError::Ipc(IpcError::BufferOverflow).to_reply_code(),
+            ReplyCode::NoServerResources
+        );
+        assert_eq!(
+            IoError::Ipc(IpcError::Shutdown).to_reply_code(),
+            ReplyCode::Unknown
+        );
+        assert_eq!(
+            IoError::Server(ReplyCode::NotFound).to_reply_code(),
+            ReplyCode::NotFound
+        );
     }
 
     #[test]

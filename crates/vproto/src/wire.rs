@@ -8,6 +8,10 @@
 
 use crate::descriptor::DecodeError;
 
+/// `u16` length-prefix value marking an escaped long byte string: the real
+/// length follows as a `u32`. See [`WireWriter::bytes`].
+pub const LONG_LEN_ESCAPE: u16 = 0xFFFF;
+
 /// Append-only little-endian encoder.
 ///
 /// # Examples
@@ -52,14 +56,27 @@ impl WireWriter {
         self
     }
 
-    /// Appends a length-prefixed byte string (u16 length).
+    /// Appends a length-prefixed byte string.
+    ///
+    /// Strings shorter than [`LONG_LEN_ESCAPE`] carry a plain `u16` length,
+    /// unchanged from the original encoding. Longer strings (and the length
+    /// value `0xFFFF` itself, which now serves as the marker) are prefixed
+    /// by the escape marker followed by the real length as a `u32`, so a
+    /// directory transfer past 64 KiB round-trips instead of truncating or
+    /// aborting the server.
     ///
     /// # Panics
     ///
-    /// Panics if `b.len() > u16::MAX as usize`.
+    /// Panics if `b.len() > u32::MAX as usize` (a single wire string of
+    /// over 4 GiB).
     pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
-        assert!(b.len() <= u16::MAX as usize, "wire byte string too long");
-        self.u16(b.len() as u16);
+        match u16::try_from(b.len()) {
+            Ok(short) if short != LONG_LEN_ESCAPE => self.u16(short),
+            _ => {
+                let long = u32::try_from(b.len()).expect("wire byte string exceeds u32::MAX");
+                self.u16(LONG_LEN_ESCAPE).u32(long)
+            }
+        };
         self.buf.extend_from_slice(b);
         self
     }
@@ -156,13 +173,17 @@ impl<'a> WireReader<'a> {
         Ok(u64::from_le_bytes(b.try_into().expect("len 8")))
     }
 
-    /// Reads a length-prefixed byte string.
+    /// Reads a length-prefixed byte string, honouring the
+    /// [`LONG_LEN_ESCAPE`] long-string encoding of [`WireWriter::bytes`].
     ///
     /// # Errors
     ///
     /// Returns [`DecodeError::Truncated`] if the buffer ends early.
     pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
-        let len = self.u16()? as usize;
+        let len = match self.u16()? {
+            LONG_LEN_ESCAPE => self.u32()? as usize,
+            short => short as usize,
+        };
         self.take(len)
     }
 
@@ -200,6 +221,34 @@ mod tests {
         let mut r = WireReader::new(&v);
         assert_eq!(r.bytes().unwrap(), b"");
         assert_eq!(r.bytes().unwrap(), b"name.txt");
+    }
+
+    #[test]
+    fn long_byte_string_roundtrip() {
+        // 0xFFFF exactly, and one past it, both take the escaped encoding;
+        // one short of it stays on the plain u16 prefix.
+        for len in [0xFFFE_usize, 0xFFFF, 0x1_0000, 0x2_0001] {
+            let payload = vec![0xAB_u8; len];
+            let mut w = WireWriter::new();
+            w.bytes(&payload).u16(0x1234);
+            let v = w.into_vec();
+            let mut r = WireReader::new(&v);
+            assert_eq!(r.bytes().unwrap(), &payload[..], "len {len:#x}");
+            assert_eq!(
+                r.u16().unwrap(),
+                0x1234,
+                "stream stays aligned after len {len:#x}"
+            );
+            assert!(r.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn short_byte_string_prefix_is_wire_compatible() {
+        // The escape must not change the encoding of ordinary strings.
+        let mut w = WireWriter::new();
+        w.bytes(b"hi");
+        assert_eq!(w.into_vec(), vec![2, 0, b'h', b'i']);
     }
 
     #[test]

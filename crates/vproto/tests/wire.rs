@@ -165,3 +165,22 @@ fn unknown_codes_keep_their_structural_meaning() {
     assert!(back.is_csname_request());
     assert_eq!(ReplyCode::from_u16(0x7654), ReplyCode::Unknown);
 }
+
+#[test]
+fn oversized_payload_survives_the_wire() {
+    // A directory transfer past 64 KiB used to abort the encoder (and,
+    // before that, silently truncate the length). The escaped long-length
+    // prefix must round-trip it exactly, with the stream still aligned for
+    // whatever follows.
+    let payload: Vec<u8> = (0..(u16::MAX as usize + 4093))
+        .map(|i| (i % 251) as u8)
+        .collect();
+    assert!(payload.len() > 64 * 1024);
+    let mut w = WireWriter::new();
+    w.bytes(&payload).u16(0xBEEF);
+    let buf = w.into_vec();
+    let mut r = WireReader::new(&buf);
+    assert_eq!(r.bytes().unwrap(), &payload[..]);
+    assert_eq!(r.u16().unwrap(), 0xBEEF);
+    assert!(r.is_exhausted());
+}

@@ -20,13 +20,15 @@ fn check(code: ReplyCode) -> Result<(), IoError> {
 
 /// Whether a failed name transaction is worth retrying: transport-level
 /// failures (loss timeouts, a crashed server, an unanswered multicast) and
-/// the transient "no server for this service" are; definitive server
-/// answers (not found, access, ...) and domain teardown are not.
+/// the transient server answers — "no server for this service" and the
+/// explicit `Retry` a sync round answers when its peer was unreachable —
+/// are; definitive server answers (not found, access, ...) and domain
+/// teardown are not.
 fn retryable(err: &IoError) -> bool {
     match err {
         IoError::Ipc(IpcError::Shutdown) | IoError::Ipc(IpcError::Killed) => false,
         IoError::Ipc(_) => true,
-        IoError::Server(code) => *code == ReplyCode::NoServer,
+        IoError::Server(code) => matches!(code, ReplyCode::NoServer | ReplyCode::Retry),
     }
 }
 

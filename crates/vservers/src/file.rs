@@ -667,6 +667,42 @@ fn dispatch(
                 _ => reply_code(ctx, rx, ReplyCode::InvalidInstance),
             }
         }
+        Some(RequestCode::SetInstanceOwner) => {
+            // The new owner CSname travels as the payload; the instance
+            // names the object whose ownership changes (paper §5.5's
+            // modify-descriptor path, scoped to one field).
+            let id = InstanceId(msg.word(fields::W_IO_INSTANCE));
+            let owner = match ctx.move_from(&rx) {
+                Ok(d) => d,
+                Err(_) => return,
+            };
+            let result: Result<(), ReplyCode> = (|| {
+                if owner.is_empty() {
+                    return Err(ReplyCode::BadArgs);
+                }
+                let inst = instances.check(id, false)?;
+                match &inst.state {
+                    InstState::File(node_id) => {
+                        let node_id = *node_id;
+                        let t = fs.clock.tick();
+                        let node = fs
+                            .nodes
+                            .get_mut(&node_id)
+                            .ok_or(ReplyCode::InvalidInstance)?;
+                        node.owner = CsName::from_bytes(owner.to_vec());
+                        node.modified = t;
+                        Ok(())
+                    }
+                    // A directory snapshot instance has no single object
+                    // to re-own.
+                    InstState::Directory { .. } => Err(ReplyCode::BadMode),
+                }
+            })();
+            match result {
+                Ok(()) => reply_code(ctx, rx, ReplyCode::Ok),
+                Err(code) => reply_code(ctx, rx, code),
+            }
+        }
         Some(RequestCode::Echo) => {
             let _ = ctx.reply(rx, msg, Bytes::new());
         }

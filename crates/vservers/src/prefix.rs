@@ -359,9 +359,11 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                             .set_word(fields::W_SYNC_GOSSIP, u16::from(via_gossip));
                         reply_data(ctx, rx, m, Vec::new());
                     }
-                    // Nothing was applied: the round is atomic, and the
-                    // puller learns it must retry after the next heal.
-                    None => reply_code(ctx, rx, ReplyCode::NoServer),
+                    // Nothing was applied: the round is atomic, the peer
+                    // just wasn't reachable this time. That is a transient
+                    // condition, so answer `Retry` — `NoServer` is reserved
+                    // for anti-entropy not being configured at all.
+                    None => reply_code(ctx, rx, ReplyCode::Retry),
                 }
             }
             Some(RequestCode::SyncGossip) => {
@@ -390,7 +392,8 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                             .set_word(fields::W_SYNC_GOSSIP, 1);
                         reply_data(ctx, rx, m, Vec::new());
                     }
-                    None => reply_code(ctx, rx, ReplyCode::NoServer),
+                    // Transient: no peer answered this round's probe.
+                    None => reply_code(ctx, rx, ReplyCode::Retry),
                 }
             }
             Some(RequestCode::SyncDigest) => {

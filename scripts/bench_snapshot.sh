@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Produce BENCH_<PR>.json: a committed snapshot of the pinned vbench set,
+# so per-PR perf numbers accumulate in-repo and the trajectory is diffable
+# instead of living in CI logs.
+#
+# Usage: scripts/bench_snapshot.sh <pr-number>
+#
+# The vendored criterion shim (vendor/criterion) prints one
+# `bench <group>/<name> <mean> ns/iter` line per benchmark and keeps no
+# on-disk estimates, so the snapshot is parsed from bench stdout. These
+# are short offline runs for trend-watching, not publication-grade
+# measurements; treat single-digit-percent moves as noise.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PR="${1:?usage: scripts/bench_snapshot.sh <pr-number>}"
+BENCHES=(resolve_engine ipc open_paths lookup_models)
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+for b in "${BENCHES[@]}"; do
+    echo "==> cargo bench -p vbench --bench $b"
+    cargo bench -p vbench --bench "$b" | tee "$OUT_DIR/$b.txt"
+done
+
+python3 - "$PR" "$OUT_DIR" "${BENCHES[@]}" <<'PY'
+import json, pathlib, re, sys
+
+pr, out_dir, benches = sys.argv[1], pathlib.Path(sys.argv[2]), sys.argv[3:]
+line_re = re.compile(r"^bench\s+(\S+)\s+(\d+)\s+ns/iter\s*$")
+
+results = {}
+for b in benches:
+    for line in (out_dir / f"{b}.txt").read_text().splitlines():
+        m = line_re.match(line)
+        if m:
+            results[m.group(1)] = {"bench": b, "mean_ns": int(m.group(2))}
+
+if not results:
+    sys.exit("no `bench ... ns/iter` lines found in bench output")
+
+out = pathlib.Path(f"BENCH_{pr}.json")
+with out.open("w") as f:
+    json.dump({"pr": int(pr), "bench_set": benches, "results": results}, f,
+              indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out} ({len(results)} benchmarks)")
+PY

@@ -10,8 +10,8 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo run -p vcheck   (lints + determinism gate + invariant gate)"
-cargo run -p vcheck
+echo "==> cargo run -p vcheck -- --json vcheck-report.json   (lints + ratchet + determinism gate + invariant gate)"
+cargo run -p vcheck -- --json vcheck-report.json
 
 echo "==> cargo test -q"
 cargo test -q
