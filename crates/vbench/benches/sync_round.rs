@@ -1,0 +1,109 @@
+//! Wall-clock cost of one anti-entropy round at a fixed, small divergence
+//! as the table grows — the CPU-side companion to EXP-13's wire-byte
+//! sweep. The Merkle walk's per-round cost should stay roughly flat from
+//! 10³ to 10⁶ names (it touches only the diverging subtree), while the
+//! legacy flat digest re-walks the whole table every round and grows
+//! linearly (benched only up to 10⁵ — the trend is the point, not the
+//! wait).
+//!
+//! Transport-free: `merkle_round`/`flat_round` encode every payload
+//! through the real wire records, so each iteration measures digest
+//! hashing, walk bookkeeping, and record codecs — no simulated IPC.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vproto::SyncBinding;
+use vservers::{flat_round, merkle_round, RoundFate, RoundKind, SyncTable};
+
+fn name(i: u32) -> Vec<u8> {
+    format!("n{i:07}").into_bytes()
+}
+
+fn bind(i: u32) -> SyncBinding {
+    SyncBinding {
+        logical: i.is_multiple_of(2),
+        target: i,
+        context: i ^ 0x5a,
+    }
+}
+
+/// Authority + converged replica at `names` entries, warm hash caches,
+/// watermark recorded. Returns the pair and the clock.
+fn converged_pair(names: u32) -> (SyncTable, SyncTable, u64) {
+    let mut auth = SyncTable::new();
+    let mut now: u64 = 1_000;
+    for i in 0..names {
+        now += 17;
+        auth.define(name(i), bind(i), now);
+    }
+    // One O(table) Merkle build before the clone, so both sides start
+    // with warm caches, as long-running servers would.
+    let _ = auth.table_hash();
+    let mut replica = auth.clone();
+    now += 17;
+    merkle_round(
+        &mut auth,
+        &mut replica,
+        RoundKind::Authority { replica_id: 0 },
+        now,
+        RoundFate::DELIVERED,
+    );
+    (auth, replica, now)
+}
+
+/// Per iteration: one redefinition at the authority (steady-state
+/// divergence of one entry) followed by one delivered round, so every
+/// iteration reconciles and re-converges.
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_round");
+    for names in [1_000u32, 100_000, 1_000_000] {
+        let (mut auth, mut replica, mut now) = converged_pair(names);
+        let mut i = 0u32;
+        group.bench_with_input(BenchmarkId::new("merkle", names), &names, |b, &n| {
+            b.iter(|| {
+                now += 17;
+                auth.define(name(i % n), bind(i ^ 0x00be_ef00), now);
+                i = i.wrapping_add(1);
+                now += 17;
+                let (applied, stats) = merkle_round(
+                    &mut auth,
+                    &mut replica,
+                    RoundKind::Authority { replica_id: 0 },
+                    now,
+                    RoundFate::DELIVERED,
+                );
+                assert!(applied.is_some());
+                stats.bytes()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_flat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_round");
+    for names in [1_000u32, 100_000] {
+        let (mut auth, mut replica, mut now) = converged_pair(names);
+        let mut i = 0u32;
+        group.bench_with_input(BenchmarkId::new("flat", names), &names, |b, &n| {
+            b.iter(|| {
+                now += 17;
+                auth.define(name(i % n), bind(i ^ 0x00be_ef00), now);
+                i = i.wrapping_add(1);
+                now += 17;
+                let (applied, stats) = flat_round(
+                    &mut auth,
+                    &mut replica,
+                    RoundKind::Authority { replica_id: 0 },
+                    now,
+                    RoundFate::DELIVERED,
+                );
+                assert!(applied.is_some());
+                stats.bytes()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merkle, bench_flat);
+criterion_main!(benches);

@@ -104,6 +104,13 @@ request_codes! {
         /// Phase 1 (probe, multicast) merely solicits a peer pid — group
         /// replies carry no payload, so the digest round itself is unicast.
         SyncGossip = 0x000F,
+        /// Anti-entropy: one step of a Merkle subtree walk. The request
+        /// payload carries the puller's watermark, interior node ids to
+        /// expand, and leaf-bucket digests to diff; the reply carries the
+        /// responder's child hashes for those nodes plus the delta entries
+        /// for the diffed leaves. Equal-hash subtrees are never walked, so
+        /// a round costs O(divergence), not O(table).
+        SyncProbe = 0x0010,
 
         // ---- CSname requests (standard fields present) ----
         /// Map a CSname that names a context into a (server-pid, context-id)

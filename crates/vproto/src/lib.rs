@@ -55,6 +55,7 @@ pub use message::{fields, ContextId, Message, OpenMode, MSG_WORDS};
 pub use pid::{LogicalHost, Pid};
 pub use service::{Scope, ServiceId};
 pub use sync::{
-    SyncBinding, SyncDeltaMsg, SyncDigestEntry, SyncDigestMsg, SyncEntry, SyncStatusRec,
+    SyncBinding, SyncDeltaMsg, SyncDigestEntry, SyncDigestMsg, SyncEntry, SyncLeafDigest,
+    SyncNodeRec, SyncProbeMsg, SyncProbeReply, SyncStatusRec,
 };
 pub use wire::{WireReader, WireWriter};

@@ -163,6 +163,12 @@ pub mod fields {
     /// Advisory — saturates at `u16::MAX`; the 32-bit count inside the
     /// payload is authoritative.
     pub const W_SYNC_COUNT: usize = 5;
+    /// `SyncProbe` request and reply: number of Merkle node records in the
+    /// payload (interior ids + leaf digests in the request, expanded node
+    /// records in the reply). Advisory — saturates at `u16::MAX`; the
+    /// 32-bit counts inside the payload are authoritative. The reply
+    /// reuses `W_SYNC_COUNT` for its delta-entry count.
+    pub const W_SYNC_NODES: usize = 6;
     /// `SyncGossip` request: phase. 0 = trigger (unicast: run one gossip
     /// round now), 1 = probe (multicast: reply with your pid if willing to
     /// answer a gossip digest).

@@ -1,10 +1,10 @@
 //! Anti-entropy wire structures for prefix-replica reconciliation.
 //!
 //! The paper's §5 multi-manager model assumes context servers can re-learn
-//! bindings from their peers. This module defines the payloads of the four
+//! bindings from their peers. This module defines the payloads of the five
 //! anti-entropy operations ([`crate::RequestCode::SyncPull`],
-//! [`crate::RequestCode::SyncDigest`], [`crate::RequestCode::SyncGossip`],
-//! [`crate::RequestCode::SyncStatus`]):
+//! [`crate::RequestCode::SyncDigest`], [`crate::RequestCode::SyncProbe`],
+//! [`crate::RequestCode::SyncGossip`], [`crate::RequestCode::SyncStatus`]):
 //!
 //! * a **digest** — the compact `(prefix, epoch, tombstone?)` summary a
 //!   replica sends to a peer, headed by the replica's **synced watermark**,
@@ -18,6 +18,13 @@
 //!   current **GC horizon** = the minimum watermark across known replicas,
 //!   below which tombstones are provably adopted everywhere and may be
 //!   dropped ([`SyncDeltaMsg`]);
+//! * a **subtree probe** — one step of a Merkle walk over the versioned
+//!   table. The puller sends interior node ids it wants expanded plus
+//!   per-leaf digests for the diverging leaf buckets it has reached
+//!   ([`SyncProbeMsg`]); the responder answers with the child hashes of
+//!   those nodes and the delta entries for the diffed leaves
+//!   ([`SyncProbeReply`]). Equal-hash subtrees are never descended, so a
+//!   round's wire cost is proportional to divergence, not table size;
 //! * a **status record** — the introspection summary a server replies to
 //!   `SyncStatus` with ([`SyncStatusRec`]).
 //!
@@ -110,6 +117,77 @@ pub struct SyncDeltaMsg {
     pub entries: Vec<SyncEntry>,
 }
 
+/// The digest of one Merkle **leaf bucket**, as carried in a probe.
+///
+/// `node` is the packed leaf id (see `vservers::merkle_node_id`); the
+/// entries are the `(prefix, epoch, tombstone?)` digest of every table
+/// entry hashing into that bucket — the same shape as a flat
+/// [`SyncDigestMsg`] restricted to one bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SyncLeafDigest {
+    /// Packed Merkle node id of the leaf bucket.
+    pub node: u32,
+    /// The sender's digest of that bucket (sorted by prefix).
+    pub entries: Vec<SyncDigestEntry>,
+}
+
+/// The child hashes of one interior Merkle node, as carried in a probe
+/// reply.
+///
+/// Children are in deterministic bucket order (child `k` covers prefixes
+/// whose next hash nibble is `k`); a hash of 0 means the child subtree is
+/// empty. The child count is 32-bit on the wire for the same reason entry
+/// counts are: the advisory message word saturates, the payload count is
+/// authoritative.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SyncNodeRec {
+    /// Packed Merkle node id of the expanded interior node.
+    pub node: u32,
+    /// Its child subtree hashes, in child-index order (0 = empty subtree).
+    pub children: Vec<u64>,
+}
+
+/// The `SyncProbe` request payload: one step of a Merkle subtree walk.
+///
+/// Carries the puller's synced watermark (same acknowledgement semantics
+/// as [`SyncDigestMsg::watermark`] — recorded by an authoritative
+/// responder on every probe; recording is idempotent, so a multi-probe
+/// round moves the GC horizon exactly as one flat digest would), the
+/// interior nodes whose children the puller wants, and the leaf digests
+/// for diverging buckets the walk has bottomed out in.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SyncProbeMsg {
+    /// The sender's synced watermark (see [`SyncDigestMsg::watermark`]).
+    pub watermark: u64,
+    /// Interior node ids to expand.
+    pub nodes: Vec<u32>,
+    /// Leaf-bucket digests to diff.
+    pub leaves: Vec<SyncLeafDigest>,
+}
+
+/// The `SyncProbe` reply payload: the responder's side of one walk step.
+///
+/// The epoch/horizon header repeats on every probe of a round and carries
+/// the same meaning as [`SyncDeltaMsg`]'s: the puller honours the values
+/// from the **last** reply of a completed walk (the one computed after
+/// any tombstone minting), and ignores all of them if the round dies.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SyncProbeReply {
+    /// The responder's highest stamped/adopted epoch (see
+    /// [`SyncDeltaMsg::epoch`]).
+    pub epoch: u64,
+    /// The responder's GC horizon; 0 from non-authoritative responders
+    /// (see [`SyncDeltaMsg::horizon`]).
+    pub horizon: u64,
+    /// The responder's Merkle root (= its `table_hash`), so a one-probe
+    /// round doubles as a cheap equality check.
+    pub root: u64,
+    /// Child hashes for each interior node the probe asked to expand.
+    pub nodes: Vec<SyncNodeRec>,
+    /// Delta entries for the leaf buckets the probe diffed.
+    pub entries: Vec<SyncEntry>,
+}
+
 /// The `SyncStatus` reply payload: a server's versioned-table summary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct SyncStatusRec {
@@ -151,6 +229,10 @@ pub struct SyncStatusRec {
     pub gossip_adopted: u32,
     /// Tombstones dropped by horizon GC, cumulative.
     pub gc_dropped: u32,
+    /// Merkle subtree probes this server has **initiated** as a round
+    /// puller (authority rounds and gossip rounds both count), cumulative.
+    /// Stays 0 when the flat-digest oracle path drives the rounds.
+    pub probe_rounds: u32,
 }
 
 fn write_entry(w: &mut WireWriter, e: &SyncEntry) {
@@ -202,9 +284,7 @@ impl SyncDigestMsg {
         w.u64(self.watermark);
         w.u32(self.entries.len() as u32);
         for e in &self.entries {
-            w.bytes(&e.prefix);
-            w.u64(e.epoch);
-            w.u16(u16::from(e.tombstone));
+            write_digest_entry(&mut w, e);
         }
         w.into_vec()
     }
@@ -221,18 +301,7 @@ impl SyncDigestMsg {
         let count = r.u32()? as usize;
         let mut entries = Vec::with_capacity(count.min(1024));
         for _ in 0..count {
-            let prefix = r.bytes()?.to_vec();
-            let epoch = r.u64()?;
-            let tombstone = match r.u16()? {
-                0 => false,
-                1 => true,
-                _ => return Err(DecodeError::BadValue { field: "tombstone" }),
-            };
-            entries.push(SyncDigestEntry {
-                prefix,
-                epoch,
-                tombstone,
-            });
+            entries.push(read_digest_entry(&mut r)?);
         }
         if !r.is_exhausted() {
             return Err(DecodeError::TrailingBytes {
@@ -284,6 +353,149 @@ impl SyncDeltaMsg {
     }
 }
 
+fn write_digest_entry(w: &mut WireWriter, e: &SyncDigestEntry) {
+    w.bytes(&e.prefix);
+    w.u64(e.epoch);
+    w.u16(u16::from(e.tombstone));
+}
+
+fn read_digest_entry(r: &mut WireReader<'_>) -> Result<SyncDigestEntry, DecodeError> {
+    let prefix = r.bytes()?.to_vec();
+    let epoch = r.u64()?;
+    let tombstone = match r.u16()? {
+        0 => false,
+        1 => true,
+        _ => return Err(DecodeError::BadValue { field: "tombstone" }),
+    };
+    Ok(SyncDigestEntry {
+        prefix,
+        epoch,
+        tombstone,
+    })
+}
+
+impl SyncProbeMsg {
+    /// Encodes the probe message (`SyncProbe` request payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.watermark);
+        w.u32(self.nodes.len() as u32);
+        for &n in &self.nodes {
+            w.u32(n);
+        }
+        w.u32(self.leaves.len() as u32);
+        for leaf in &self.leaves {
+            w.u32(leaf.node);
+            w.u32(leaf.entries.len() as u32);
+            for e in &leaf.entries {
+                write_digest_entry(&mut w, e);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decodes a probe message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation, trailing bytes, or invalid
+    /// flags.
+    pub fn decode(buf: &[u8]) -> Result<SyncProbeMsg, DecodeError> {
+        let mut r = WireReader::new(buf);
+        let watermark = r.u64()?;
+        let node_count = r.u32()? as usize;
+        let mut nodes = Vec::with_capacity(node_count.min(1024));
+        for _ in 0..node_count {
+            nodes.push(r.u32()?);
+        }
+        let leaf_count = r.u32()? as usize;
+        let mut leaves = Vec::with_capacity(leaf_count.min(1024));
+        for _ in 0..leaf_count {
+            let node = r.u32()?;
+            let entry_count = r.u32()? as usize;
+            let mut entries = Vec::with_capacity(entry_count.min(1024));
+            for _ in 0..entry_count {
+                entries.push(read_digest_entry(&mut r)?);
+            }
+            leaves.push(SyncLeafDigest { node, entries });
+        }
+        if !r.is_exhausted() {
+            return Err(DecodeError::TrailingBytes {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(SyncProbeMsg {
+            watermark,
+            nodes,
+            leaves,
+        })
+    }
+}
+
+impl SyncProbeReply {
+    /// Encodes the probe reply (`SyncProbe` reply payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.epoch);
+        w.u64(self.horizon);
+        w.u64(self.root);
+        w.u32(self.nodes.len() as u32);
+        for rec in &self.nodes {
+            w.u32(rec.node);
+            w.u32(rec.children.len() as u32);
+            for &h in &rec.children {
+                w.u64(h);
+            }
+        }
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            write_entry(&mut w, e);
+        }
+        w.into_vec()
+    }
+
+    /// Decodes a probe reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation, trailing bytes, or invalid
+    /// flags.
+    pub fn decode(buf: &[u8]) -> Result<SyncProbeReply, DecodeError> {
+        let mut r = WireReader::new(buf);
+        let epoch = r.u64()?;
+        let horizon = r.u64()?;
+        let root = r.u64()?;
+        let node_count = r.u32()? as usize;
+        let mut nodes = Vec::with_capacity(node_count.min(1024));
+        for _ in 0..node_count {
+            let node = r.u32()?;
+            let child_count = r.u32()? as usize;
+            let mut children = Vec::with_capacity(child_count.min(1024));
+            for _ in 0..child_count {
+                children.push(r.u64()?);
+            }
+            nodes.push(SyncNodeRec { node, children });
+        }
+        let entry_count = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(entry_count.min(1024));
+        for _ in 0..entry_count {
+            entries.push(read_entry(&mut r)?);
+        }
+        if !r.is_exhausted() {
+            return Err(DecodeError::TrailingBytes {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(SyncProbeReply {
+            epoch,
+            horizon,
+            root,
+            nodes,
+            entries,
+        })
+    }
+}
+
 impl SyncStatusRec {
     /// Encodes the record as a `SyncStatus` reply payload.
     pub fn encode(&self) -> Vec<u8> {
@@ -303,7 +515,8 @@ impl SyncStatusRec {
             .u64(self.gc_horizon)
             .u32(self.gossip_rounds)
             .u32(self.gossip_adopted)
-            .u32(self.gc_dropped);
+            .u32(self.gc_dropped)
+            .u32(self.probe_rounds);
         w.into_vec()
     }
 
@@ -331,6 +544,7 @@ impl SyncStatusRec {
             gossip_rounds: r.u32()?,
             gossip_adopted: r.u32()?,
             gc_dropped: r.u32()?,
+            probe_rounds: r.u32()?,
         };
         if !r.is_exhausted() {
             return Err(DecodeError::TrailingBytes {
@@ -447,8 +661,61 @@ mod tests {
             gossip_rounds: 10,
             gossip_adopted: 11,
             gc_dropped: 12,
+            probe_rounds: 13,
         };
         assert_eq!(SyncStatusRec::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn probe_roundtrip() {
+        let msg = SyncProbeMsg {
+            watermark: 0x42,
+            nodes: vec![0x0100_0003, 0x0100_000A],
+            leaves: vec![SyncLeafDigest {
+                node: 0x0500_1234,
+                entries: vec![SyncDigestEntry {
+                    prefix: b"local".to_vec(),
+                    epoch: 7,
+                    tombstone: false,
+                }],
+            }],
+        };
+        assert_eq!(SyncProbeMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn probe_reply_roundtrip_with_tombstone() {
+        let msg = SyncProbeReply {
+            epoch: 9,
+            horizon: 6,
+            root: 0xFEED_FACE_CAFE_BABE,
+            nodes: vec![SyncNodeRec {
+                node: 0,
+                children: vec![0, 3, 0, 0, 0xAB, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1],
+            }],
+            entries: vec![SyncEntry {
+                prefix: b"gone".to_vec(),
+                epoch: 8,
+                binding: None,
+            }],
+        };
+        assert_eq!(SyncProbeReply::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_probe_reply_is_an_error() {
+        let msg = SyncProbeReply {
+            epoch: 1,
+            horizon: 0,
+            root: 2,
+            nodes: vec![SyncNodeRec {
+                node: 5,
+                children: vec![1, 2],
+            }],
+            entries: Vec::new(),
+        };
+        let buf = msg.encode();
+        assert!(SyncProbeReply::decode(&buf[..buf.len() - 1]).is_err());
     }
 
     #[test]

@@ -126,6 +126,19 @@ fn sync_digest_layout() {
 }
 
 #[test]
+fn sync_probe_layout() {
+    // The request carries the node/leaf-digest count; the reply reuses
+    // W_SYNC_COUNT for its delta entries next to the node-record count.
+    assert_disjoint(
+        "SyncProbe request/reply",
+        &[
+            ("entry_count", W_SYNC_COUNT..W_SYNC_COUNT + 1),
+            ("node_count", W_SYNC_NODES..W_SYNC_NODES + 1),
+        ],
+    );
+}
+
+#[test]
 fn sync_gossip_request_layout() {
     // The probe reply reuses the pid words; the request carries the phase.
     assert_disjoint(

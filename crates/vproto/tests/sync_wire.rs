@@ -2,7 +2,10 @@
 //! `SyncPull` / `SyncDigest` / `SyncGossip` / `SyncStatus` operations.
 
 use proptest::prelude::*;
-use vproto::{SyncBinding, SyncDeltaMsg, SyncDigestEntry, SyncDigestMsg, SyncEntry, SyncStatusRec};
+use vproto::{
+    SyncBinding, SyncDeltaMsg, SyncDigestEntry, SyncDigestMsg, SyncEntry, SyncLeafDigest,
+    SyncNodeRec, SyncProbeMsg, SyncProbeReply, SyncStatusRec,
+};
 
 fn arb_prefix() -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(any::<u8>(), 0..24)
@@ -70,7 +73,7 @@ proptest! {
         table_hash in any::<u64>(),
         watermark in any::<u64>(),
         gc_horizon in any::<u64>(),
-        counters in proptest::collection::vec(any::<u32>(), 12),
+        counters in proptest::collection::vec(any::<u32>(), 13),
     ) {
         let rec = SyncStatusRec {
             epoch,
@@ -89,8 +92,71 @@ proptest! {
             gossip_rounds: counters[9],
             gossip_adopted: counters[10],
             gc_dropped: counters[11],
+            probe_rounds: counters[12],
         };
         prop_assert_eq!(SyncStatusRec::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    /// Any Merkle probe — any watermark, any node-id set, any leaf digests
+    /// — survives the wire intact (the `SyncProbe` request payload).
+    #[test]
+    fn any_probe_round_trips(
+        watermark in any::<u64>(),
+        nodes in proptest::collection::vec(any::<u32>(), 0..16),
+        leaves in proptest::collection::vec(
+            (any::<u32>(), proptest::collection::vec(
+                (arb_prefix(), any::<u64>(), any::<bool>())
+                    .prop_map(|(prefix, epoch, tombstone)| SyncDigestEntry {
+                        prefix,
+                        epoch,
+                        tombstone,
+                    }),
+                0..8,
+            ))
+                .prop_map(|(node, entries)| SyncLeafDigest { node, entries }),
+            0..8,
+        ),
+    ) {
+        let msg = SyncProbeMsg { watermark, nodes, leaves };
+        prop_assert_eq!(SyncProbeMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    /// Any Merkle probe reply — any header, any child-hash records, any
+    /// delta entries — survives the wire intact (the `SyncProbe` reply
+    /// payload).
+    #[test]
+    fn any_probe_reply_round_trips(
+        epoch in any::<u64>(),
+        horizon in any::<u64>(),
+        root in any::<u64>(),
+        nodes in proptest::collection::vec(
+            (any::<u32>(), proptest::collection::vec(any::<u64>(), 0..20))
+                .prop_map(|(node, children)| SyncNodeRec { node, children }),
+            0..8,
+        ),
+        entries in proptest::collection::vec(arb_entry(), 0..16),
+    ) {
+        let msg = SyncProbeReply { epoch, horizon, root, nodes, entries };
+        prop_assert_eq!(SyncProbeReply::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    /// Truncating an encoded probe reply at any interior byte is a decode
+    /// error, never a silent partial subtree (a Merkle round is atomic).
+    #[test]
+    fn truncated_probe_reply_never_decodes(
+        entries in proptest::collection::vec(arb_entry(), 1..8),
+        frac in 0.0f64..1.0,
+    ) {
+        let msg = SyncProbeReply {
+            epoch: 1,
+            horizon: 0,
+            root: 7,
+            nodes: vec![SyncNodeRec { node: 3, children: vec![1, 0, 2] }],
+            entries,
+        };
+        let buf = msg.encode();
+        let cut = ((buf.len() - 1) as f64 * frac) as usize;
+        prop_assert!(SyncProbeReply::decode(&buf[..cut]).is_err());
     }
 
     /// Truncating an encoded delta at any interior byte is a decode error,
@@ -168,4 +234,87 @@ fn tables_past_u16_max_survive_the_wire() {
     let decoded = SyncDeltaMsg::decode(&delta.encode()).unwrap();
     assert_eq!(decoded.entries.len(), n);
     assert_eq!(decoded, delta);
+}
+
+/// A subtree probe whose leaf digests alone exceed 64 KiB — past the
+/// message segment sizes the fixed header was designed around — must ride
+/// the `LONG_LEN_ESCAPE` path and survive intact. (Payload byte strings
+/// longer than `u16::MAX - 1` take a u16 escape marker + u32 length.)
+#[test]
+fn oversized_subtree_probe_survives_the_wire() {
+    // One leaf with a single huge prefix (> 64 KiB by itself, forcing the
+    // per-string escape) plus one with enough small entries that the leaf
+    // digest as a whole crosses 64 KiB.
+    let huge = vec![0x5A_u8; 70_000];
+    let msg = SyncProbeMsg {
+        watermark: 3,
+        nodes: vec![0x0100_0001],
+        leaves: vec![
+            SyncLeafDigest {
+                node: 0x0500_0001,
+                entries: vec![SyncDigestEntry {
+                    prefix: huge,
+                    epoch: 1,
+                    tombstone: false,
+                }],
+            },
+            SyncLeafDigest {
+                node: 0x0500_0002,
+                entries: (0..4096_u32)
+                    .map(|i| SyncDigestEntry {
+                        prefix: i.to_le_bytes().repeat(5),
+                        epoch: u64::from(i) + 1,
+                        tombstone: i % 5 == 0,
+                    })
+                    .collect(),
+            },
+        ],
+    };
+    let buf = msg.encode();
+    assert!(buf.len() > 64 * 1024, "payload must exceed 64 KiB");
+    assert_eq!(SyncProbeMsg::decode(&buf).unwrap(), msg);
+
+    let reply = SyncProbeReply {
+        epoch: 5,
+        horizon: 2,
+        root: 0xABCD,
+        nodes: vec![SyncNodeRec {
+            node: 0,
+            children: (0..16).collect(),
+        }],
+        entries: vec![SyncEntry {
+            prefix: vec![0xA5; 70_000],
+            epoch: 4,
+            binding: Some(SyncBinding {
+                logical: false,
+                target: 1,
+                context: 2,
+            }),
+        }],
+    };
+    let rbuf = reply.encode();
+    assert!(rbuf.len() > 64 * 1024, "reply must exceed 64 KiB");
+    assert_eq!(SyncProbeReply::decode(&rbuf).unwrap(), reply);
+}
+
+/// The child-hash count is 32-bit on the wire: a node record one child
+/// past `u16::MAX` survives intact. (No honest tree fans out that wide —
+/// this pins the count width so the advisory `W_SYNC_NODES` word can
+/// keep saturating without corrupting the payload.)
+#[test]
+fn node_records_past_u16_max_children_survive_the_wire() {
+    let n = usize::from(u16::MAX) + 1;
+    let reply = SyncProbeReply {
+        epoch: 1,
+        horizon: 0,
+        root: 9,
+        nodes: vec![SyncNodeRec {
+            node: 0x0100_0007,
+            children: (0..n as u64).collect(),
+        }],
+        entries: Vec::new(),
+    };
+    let decoded = SyncProbeReply::decode(&reply.encode()).unwrap();
+    assert_eq!(decoded.nodes[0].children.len(), n);
+    assert_eq!(decoded, reply);
 }

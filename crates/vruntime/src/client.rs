@@ -131,6 +131,24 @@ pub struct RetryStats {
     pub gave_up: u64,
 }
 
+/// The summary a prefix replica answers after one `SyncPull` anti-entropy
+/// round: what the atomic delta application did, the epoch the replica
+/// converged to, and whether a gossip peer (rather than the authority)
+/// served the round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SyncPullSummary {
+    /// Entries adopted from the peer's delta.
+    pub adopted: u32,
+    /// Live entries dropped by remote tombstones.
+    pub dropped: u32,
+    /// Suspect entries promoted back to fresh.
+    pub promoted: u32,
+    /// The replica's maximum entry epoch after the round (low 32 bits).
+    pub epoch: u32,
+    /// True when a gossip peer served the round instead of the authority.
+    pub via_gossip: bool,
+}
+
 /// Cache statistics for the ablation experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -320,6 +338,32 @@ impl<'a> NameClient<'a> {
             return None;
         }
         SyncStatusRec::decode(&reply.data).ok()
+    }
+
+    /// Drives one anti-entropy round on a prefix replica. The server walks
+    /// its authority's Merkle digest tree (subtree probes, §5.8 degraded
+    /// operation) — or exchanges the legacy flat digest under the test-only
+    /// oracle flag — and applies the resulting delta atomically before
+    /// answering. `Retry` (mapped to `Err`) means no peer was reachable
+    /// this round; nothing was applied.
+    pub fn sync_pull(&self, server: Pid) -> Result<SyncPullSummary, IoError> {
+        let reply = self
+            .ipc
+            .send(
+                server,
+                Message::request(RequestCode::SyncPull),
+                Bytes::new(),
+                4096,
+            )
+            .map_err(IoError::Ipc)?;
+        check(reply.msg.reply_code())?;
+        Ok(SyncPullSummary {
+            adopted: u32::from(reply.msg.word(fields::W_SYNC_ADOPTED)),
+            dropped: u32::from(reply.msg.word(fields::W_SYNC_DROPPED)),
+            promoted: u32::from(reply.msg.word(fields::W_SYNC_PROMOTED)),
+            epoch: reply.msg.word32(fields::W_SYNC_EPOCH_LO),
+            via_gossip: reply.msg.word(fields::W_SYNC_GOSSIP) != 0,
+        })
     }
 
     /// The single common routine that checks for `[` (paper §6): decides

@@ -20,6 +20,8 @@
 
 mod client;
 
-pub use client::{Binding, CacheStats, DegradedStats, NameClient, RetryStats, Staleness};
+pub use client::{
+    Binding, CacheStats, DegradedStats, NameClient, RetryStats, Staleness, SyncPullSummary,
+};
 pub use vio::IoError;
 pub use vnaming::{BackoffPolicy, RetryPolicy};

@@ -23,7 +23,7 @@
 //! multicast replica group, which is the client's last-resort fallback.
 
 use crate::common::{forward_csname, reply_code, reply_data, reply_descriptor};
-use crate::sync::{ApplyOutcome, SyncTable, TombstoneOutcome};
+use crate::sync::{ApplyOutcome, MerkleWalk, SyncTable, TombstoneOutcome};
 use bytes::Bytes;
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -33,7 +33,7 @@ use vnaming::{CsRequest, DirectoryBuilder};
 use vproto::{
     fields, ContextId, ContextPair, CsName, DescriptorExt, DescriptorTag, InstanceId, Message,
     ObjectDescriptor, OpenMode, Pid, ReplyCode, RequestCode, Scope, ServiceId, SyncBinding,
-    SyncDeltaMsg, SyncDigestMsg, SyncStatusRec,
+    SyncDeltaMsg, SyncDigestMsg, SyncEntry, SyncProbeMsg, SyncProbeReply, SyncStatusRec,
 };
 
 /// One prefix table entry.
@@ -102,6 +102,8 @@ struct SyncCounters {
     gossip_adopted: u32,
     /// Tombstones dropped by horizon GC.
     gc_dropped: u32,
+    /// Merkle subtree probes initiated as a round puller.
+    probe_rounds: u32,
 }
 
 /// The advisory entry-count message word for sync payloads: saturates at
@@ -133,6 +135,12 @@ pub struct DegradedPrefixConfig {
     /// `None` (the default) disables anti-entropy — a `SyncPull` answers
     /// `NoServer`.
     pub sync_peer: Option<Pid>,
+    /// **Test-only differential oracle.** `true` drives this server's
+    /// `SyncPull`/`SyncGossip` rounds over the legacy whole-table
+    /// flat-digest path instead of the Merkle walk; responders always
+    /// serve both. The harnesses flip this to prove the two paths leave
+    /// byte-identical tables — production configs leave it `false`.
+    pub flat_sync: bool,
 }
 
 impl Default for DegradedPrefixConfig {
@@ -142,6 +150,7 @@ impl Default for DegradedPrefixConfig {
             authoritative: true,
             replica_group: None,
             sync_peer: None,
+            flat_sync: false,
         }
     }
 }
@@ -335,15 +344,23 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                 let mut via_gossip = false;
                 let mut applied: Option<ApplyOutcome> = None;
                 if let Some(peer) = d.sync_peer {
-                    if let Some(out) =
+                    let out = if d.flat_sync {
                         authority_round(ctx, &mut table, peer, &mut counters, &mut suspects)
-                    {
+                    } else {
+                        merkle_authority_round(ctx, &mut table, peer, &mut counters, &mut suspects)
+                    };
+                    if let Some(out) = out {
                         applied = Some(out);
                     }
                 }
                 if applied.is_none() {
                     if let Some(group) = d.replica_group {
-                        if let Some(out) = gossip_round(ctx, &mut table, group, &mut counters) {
+                        let out = if d.flat_sync {
+                            gossip_round(ctx, &mut table, group, &mut counters)
+                        } else {
+                            merkle_gossip_round(ctx, &mut table, group, &mut counters)
+                        };
+                        if let Some(out) = out {
                             via_gossip = true;
                             applied = Some(out);
                         }
@@ -382,7 +399,13 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                     reply_code(ctx, rx, ReplyCode::NoServer);
                     continue;
                 };
-                match gossip_round(ctx, &mut table, group, &mut counters) {
+                let flat = config.degraded.is_some_and(|d| d.flat_sync);
+                let out = if flat {
+                    gossip_round(ctx, &mut table, group, &mut counters)
+                } else {
+                    merkle_gossip_round(ctx, &mut table, group, &mut counters)
+                };
+                match out {
                     Some(out) => {
                         let mut m = Message::ok();
                         m.set_word(fields::W_SYNC_ADOPTED, out.adopted as u16)
@@ -435,6 +458,33 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                     Err(_) => reply_code(ctx, rx, ReplyCode::BadArgs),
                 }
             }
+            Some(RequestCode::SyncProbe) => {
+                // One step of a puller's Merkle walk. The responder's role
+                // mirrors the flat `SyncDigest` handler: an authoritative
+                // server records the probe's watermark and GCs behind the
+                // fresh horizon on *every* probe (both operations are
+                // idempotent and monotone, so a multi-probe round leaves
+                // the same state one digest would), then answers child
+                // hashes for the probed interior nodes and the delta for
+                // the probed leaf buckets.
+                let payload = match ctx.move_from(&rx) {
+                    Ok(p) => p,
+                    Err(_) => continue,
+                };
+                match SyncProbeMsg::decode(&payload) {
+                    Ok(probe) => {
+                        let now_ns = ctx.now().as_nanos() as u64;
+                        let (reply, gc_dropped) =
+                            table.answer_probe(&probe, authoritative, Some(rx.from.raw()), now_ns);
+                        counters.gc_dropped += gc_dropped;
+                        let mut m = Message::ok();
+                        m.set_word(fields::W_SYNC_COUNT, count_word(reply.entries.len()))
+                            .set_word(fields::W_SYNC_NODES, count_word(reply.nodes.len()));
+                        reply_data(ctx, rx, m, reply.encode());
+                    }
+                    Err(_) => reply_code(ctx, rx, ReplyCode::BadArgs),
+                }
+            }
             Some(RequestCode::SyncStatus) => {
                 let rec = SyncStatusRec {
                     epoch: table.max_epoch(),
@@ -453,6 +503,7 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                     gossip_rounds: counters.gossip_rounds,
                     gossip_adopted: counters.gossip_adopted,
                     gc_dropped: counters.gc_dropped,
+                    probe_rounds: counters.probe_rounds,
                 };
                 reply_data(ctx, rx, Message::ok(), rec.encode());
             }
@@ -513,16 +564,7 @@ fn gossip_round(
     group: GroupId,
     counters: &mut SyncCounters,
 ) -> Option<ApplyOutcome> {
-    let mut probe = Message::request(RequestCode::SyncGossip);
-    probe.set_word(fields::W_SYNC_PHASE, 1);
-    let reply = ctx.send_group(group, probe, Bytes::new()).ok()?;
-    if !reply.msg.reply_code().is_ok() {
-        return None;
-    }
-    let peer = reply.msg.pid_at(fields::W_PID_LO);
-    if peer == Pid::NULL || peer == ctx.my_pid() {
-        return None;
-    }
+    let peer = gossip_peer(ctx, group)?;
     let digest = SyncDigestMsg {
         watermark: table.watermark(),
         entries: table.digest(),
@@ -537,6 +579,96 @@ fn gossip_round(
     }
     let delta = SyncDeltaMsg::decode(&reply.data).ok()?;
     let out = table.apply(&delta.entries, false);
+    counters.gossip_rounds += 1;
+    counters.gossip_adopted += out.adopted;
+    Some(out)
+}
+
+/// Solicits a gossip peer: multicasts a phase-1 `SyncGossip` probe on the
+/// replica group and returns the first pid that volunteers (rejecting a
+/// null pid and this server itself).
+fn gossip_peer(ctx: &dyn Ipc, group: GroupId) -> Option<Pid> {
+    let mut probe = Message::request(RequestCode::SyncGossip);
+    probe.set_word(fields::W_SYNC_PHASE, 1);
+    let reply = ctx.send_group(group, probe, Bytes::new()).ok()?;
+    if !reply.msg.reply_code().is_ok() {
+        return None;
+    }
+    let peer = reply.msg.pid_at(fields::W_PID_LO);
+    if peer == Pid::NULL || peer == ctx.my_pid() {
+        return None;
+    }
+    Some(peer)
+}
+
+/// Drives one Merkle walk over IPC against `peer`: sends `SyncProbe`
+/// requests until the diverging frontier drains, and returns the
+/// accumulated delta plus the final reply's epoch/horizon header. Any
+/// unreachable peer, error reply, or undecodable payload kills the whole
+/// round — the caller applies nothing (atomicity matches the flat round).
+fn merkle_walk_ipc(
+    ctx: &dyn Ipc,
+    table: &mut SyncTable,
+    peer: Pid,
+    counters: &mut SyncCounters,
+) -> Option<(Vec<SyncEntry>, u64, u64)> {
+    let mut walk = MerkleWalk::start();
+    while let Some(probe) = walk.next_probe(table) {
+        let mut req = Message::request(RequestCode::SyncProbe);
+        req.set_word(
+            fields::W_SYNC_NODES,
+            count_word(probe.nodes.len() + probe.leaves.len()),
+        );
+        let reply = ctx
+            .send(peer, req, Bytes::from(probe.encode()), 65536)
+            .ok()?;
+        if !reply.msg.reply_code().is_ok() {
+            return None;
+        }
+        let reply = SyncProbeReply::decode(&reply.data).ok()?;
+        counters.probe_rounds += 1;
+        walk.absorb(table, &reply);
+    }
+    let (delta, epoch, horizon, _probes) = walk.finish();
+    Some((delta, epoch, horizon))
+}
+
+/// The Merkle-walk counterpart of [`authority_round`]: identical contract
+/// (atomic; on success the authority has vouched for the whole table),
+/// but the wire cost is proportional to divergence — an in-sync round is
+/// a single root-hash probe.
+fn merkle_authority_round(
+    ctx: &dyn Ipc,
+    table: &mut SyncTable,
+    peer: Pid,
+    counters: &mut SyncCounters,
+    suspects: &mut BTreeMap<Vec<u8>, u64>,
+) -> Option<ApplyOutcome> {
+    let (delta, epoch, horizon) = merkle_walk_ipc(ctx, table, peer, counters)?;
+    let mut out = table.apply(&delta, true);
+    table.note_synced(epoch);
+    counters.gc_dropped += table.gc_below(horizon);
+    out.promoted += table.mark_all_verified();
+    counters.rounds += 1;
+    counters.adopted += out.adopted;
+    counters.dropped += out.dropped_live;
+    counters.promoted += out.promoted;
+    suspects.clear();
+    Some(out)
+}
+
+/// The Merkle-walk counterpart of [`gossip_round`]: same peer discovery,
+/// same hearsay rules (adopted entries stay Suspect, the watermark and
+/// horizon never move), with the digest exchange replaced by a walk.
+fn merkle_gossip_round(
+    ctx: &dyn Ipc,
+    table: &mut SyncTable,
+    group: GroupId,
+    counters: &mut SyncCounters,
+) -> Option<ApplyOutcome> {
+    let peer = gossip_peer(ctx, group)?;
+    let (delta, _epoch, _horizon) = merkle_walk_ipc(ctx, table, peer, counters)?;
+    let out = table.apply(&delta, false);
     counters.gossip_rounds += 1;
     counters.gossip_adopted += out.adopted;
     Some(out)

@@ -42,10 +42,44 @@
 //! The horizon is 0 (nothing collected) until every known replica has
 //! completed at least one full round — a replica that has never reported
 //! pins the horizon at 0 simply by being unknown.
+//!
+//! # The Merkle digest: round cost proportional to divergence
+//!
+//! A flat digest ships the whole `(prefix, epoch)` list every round, so a
+//! steady-state round costs O(table) even when nothing diverged — a dead
+//! end at millions of names. The table therefore maintains a **Merkle
+//! tree** over its contents:
+//!
+//! * every entry hashes into one of [`MERKLE_LEAVES`] leaf buckets by the
+//!   top bits of the FNV-1a hash of its prefix ([`SyncTable::bucket_of`])
+//!   — a *deterministic* child ordering both sides compute independently;
+//! * a leaf's hash folds its bucket's entries exactly as the old flat
+//!   `table_hash` folded the whole table; an interior node's hash folds
+//!   its [`MERKLE_FANOUT`] child hashes. Empty subtrees hash to 0 at
+//!   every level, so a table that shrinks to nothing hashes like one that
+//!   was never touched;
+//! * node ids are **stable** (packed `level << 24 | index`,
+//!   [`merkle_node_id`]) and dirtiness propagates upward lazily: editing
+//!   one entry invalidates its leaf and that leaf's ancestors only —
+//!   [`SyncTable::table_hash`] *is* the Merkle root.
+//!
+//! A reconciliation round is then a **walk** ([`MerkleWalk`]): starting at
+//! the root, the puller probes the responder for child hashes of diverging
+//! interior nodes ([`vproto::SyncProbeMsg`]) and descends only where the
+//! hashes differ, bottoming out in per-bucket digests whose deltas the
+//! responder computes with the same filter/minting/skew rules as the flat
+//! path ([`SyncTable::delta_for_leaves`]). Equal subtrees are never
+//! walked, so bandwidth and CPU scale with divergence, not table size.
+//! The flat path ([`SyncTable::delta_for`]) is retained as the
+//! differential-testing oracle: a Merkle round and a flat round must leave
+//! byte-identical tables (see `tests/anti_entropy_props.rs`).
 
-use vproto::{SyncBinding, SyncDigestEntry, SyncEntry};
+use vproto::{
+    SyncBinding, SyncDigestEntry, SyncDigestMsg, SyncEntry, SyncLeafDigest, SyncNodeRec,
+    SyncProbeMsg, SyncProbeReply,
+};
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// FNV-1a offset basis / prime (64-bit) — the same constants the
 /// virtual-time kernel uses for its event hash.
@@ -61,6 +95,60 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// poisoned digest entry would be written into `next_epoch` and inflate
 /// every stamp the authority hands out for the rest of its life.
 pub const MAX_EPOCH_SKEW_NS: u64 = 60_000_000_000;
+
+/// Merkle tree fan-out: each interior node has this many children, and
+/// each level of the walk consumes four bits of the prefix hash.
+pub const MERKLE_FANOUT: u32 = 16;
+
+/// Leaf depth: the root is level 0, leaves are level `MERKLE_LEVELS`.
+/// A complete walk is at most `MERKLE_LEVELS + 1` probe round-trips.
+pub const MERKLE_LEVELS: u32 = 5;
+
+/// Number of leaf buckets (`MERKLE_FANOUT ^ MERKLE_LEVELS`). Chosen so a
+/// million-name table still averages ~1 entry per bucket: the leaf digests
+/// a diverging walk bottoms out in stay O(divergence).
+pub const MERKLE_LEAVES: u32 = MERKLE_FANOUT.pow(MERKLE_LEVELS);
+
+/// The packed node id of the Merkle root (level 0, index 0).
+pub const MERKLE_ROOT: u32 = 0;
+
+/// Packs a `(level, index)` pair into a stable 32-bit Merkle node id:
+/// `level` in the top byte, `index` in the low 24 bits. Both replicas
+/// derive the same id for the same subtree with no negotiation.
+pub const fn merkle_node_id(level: u32, index: u32) -> u32 {
+    (level << 24) | (index & 0x00FF_FFFF)
+}
+
+/// The tree level encoded in a packed node id (0 = root).
+pub const fn merkle_level(node: u32) -> u32 {
+    node >> 24
+}
+
+/// The within-level index encoded in a packed node id.
+pub const fn merkle_index(node: u32) -> u32 {
+    node & 0x00FF_FFFF
+}
+
+/// The packed id of child `k` of interior node `node`.
+pub const fn merkle_child(node: u32, k: u32) -> u32 {
+    merkle_node_id(
+        merkle_level(node) + 1,
+        merkle_index(node) * MERKLE_FANOUT + k,
+    )
+}
+
+/// `true` if the packed id names a leaf bucket.
+pub const fn merkle_is_leaf(node: u32) -> bool {
+    merkle_level(node) == MERKLE_LEVELS
+}
+
+/// `true` if the packed id names a node that exists in the tree shape
+/// (level in range, index within that level's width). Hostile ids fail
+/// here and are ignored rather than walked.
+pub const fn merkle_node_valid(node: u32) -> bool {
+    let level = merkle_level(node);
+    level <= MERKLE_LEVELS && merkle_index(node) < MERKLE_FANOUT.pow(level)
+}
 
 /// One versioned prefix-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +188,27 @@ pub struct ApplyOutcome {
     pub promoted: u32,
 }
 
+/// The incrementally maintained Merkle tree over a [`SyncTable`].
+///
+/// Only nonzero hashes are stored: an absent leaf or interior node *is*
+/// the empty-subtree hash 0, which keeps an emptied table bit-identical
+/// to a never-touched one. Mutations mark the touched leaf dirty; hashes
+/// are recomputed lazily, ancestors-of-dirty-leaves only, on the next
+/// read ([`SyncTable::merkle_flush`] via `table_hash`/`merkle_children`).
+#[derive(Debug, Clone, Default)]
+struct MerkleIndex {
+    /// Leaf bucket → the prefixes currently hashing into it (live and
+    /// tombstoned alike). Sets are pruned when their last member is
+    /// removed, so iteration cost tracks table content.
+    members: BTreeMap<u32, BTreeSet<Vec<u8>>>,
+    /// Leaf bucket → its current hash (nonzero entries only).
+    leaf: BTreeMap<u32, u64>,
+    /// Packed interior node id → its current hash (nonzero entries only).
+    node: BTreeMap<u32, u64>,
+    /// Leaf buckets whose entries changed since the last flush.
+    dirty: BTreeSet<u32>,
+}
+
 /// A versioned, tombstone-retaining prefix table.
 #[derive(Debug, Clone, Default)]
 pub struct SyncTable {
@@ -112,6 +221,59 @@ pub struct SyncTable {
     /// Authority side: per-replica synced watermarks, keyed by the
     /// replica's raw pid, learned from the digests replicas send.
     watermarks: BTreeMap<u32, u64>,
+    /// The Merkle tree over `entries`, maintained on every mutation.
+    merkle: MerkleIndex,
+    /// Tombstone epoch → the names dead at that epoch. Keeps
+    /// [`SyncTable::gc_below`] proportional to what it collects — the
+    /// Merkle walk GCs on every probe, so an O(table) scan there would
+    /// silently re-introduce the table-bound cost the walk exists to
+    /// avoid.
+    tombs: BTreeMap<u64, BTreeSet<Vec<u8>>>,
+    /// Names whose entry is currently unverified, so a vouching round
+    /// promotes in O(promoted) instead of rescanning the table.
+    unverified: BTreeSet<Vec<u8>>,
+}
+
+/// Folds one table entry into an FNV-1a accumulator — the per-entry
+/// encoding both the Merkle leaf hashes and (transitively) the table root
+/// commit to: name length + name + epoch + tombstone/binding fields. The
+/// `verified` bit is local bookkeeping and excluded.
+fn fold_entry(h: &mut u64, name: &[u8], e: &VersionedEntry) {
+    let mut fold = |bytes: &[u8]| {
+        for &b in bytes {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    fold(&(name.len() as u64).to_le_bytes());
+    fold(name);
+    fold(&e.epoch.to_le_bytes());
+    match &e.binding {
+        None => fold(&[1]),
+        Some(b) => {
+            fold(&[0, u8::from(b.logical)]);
+            fold(&b.target.to_le_bytes());
+            fold(&b.context.to_le_bytes());
+        }
+    }
+}
+
+/// Combines child hashes into an interior-node hash. All-empty children
+/// combine to the empty hash 0 (the sentinel that makes empty subtrees
+/// indistinguishable from never-populated ones); otherwise an FNV-1a fold
+/// of the child hashes in child order.
+fn combine_children(children: &[u64; MERKLE_FANOUT as usize]) -> u64 {
+    if children.iter().all(|&c| c == 0) {
+        return 0;
+    }
+    let mut h = FNV_OFFSET;
+    for c in children {
+        for b in c.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
 }
 
 impl SyncTable {
@@ -128,10 +290,63 @@ impl SyncTable {
         self.next_epoch
     }
 
+    /// The leaf bucket a prefix hashes into: the top bits of its FNV-1a
+    /// hash, so both sides of a sync round bucket identically with no
+    /// negotiation, and buckets stay balanced under any naming scheme.
+    pub fn bucket_of(prefix: &[u8]) -> u32 {
+        let mut h = FNV_OFFSET;
+        for &b in prefix {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        // 16^MERKLE_LEVELS buckets ⇒ 4·MERKLE_LEVELS index bits.
+        (h >> (64 - 4 * MERKLE_LEVELS)) as u32
+    }
+
+    /// Inserts (or overwrites) an entry, keeping the Merkle member index
+    /// coherent and marking the touched leaf dirty. *Every* content
+    /// mutation funnels through here (or the removal path in
+    /// [`SyncTable::gc_below`]) — that discipline is what makes a
+    /// single-entry edit invalidate its leaf's ancestors only.
+    fn put(&mut self, prefix: Vec<u8>, entry: VersionedEntry) {
+        let bucket = Self::bucket_of(&prefix);
+        self.merkle.dirty.insert(bucket);
+        self.merkle
+            .members
+            .entry(bucket)
+            .or_default()
+            .insert(prefix.clone());
+        if entry.verified {
+            self.unverified.remove(&prefix);
+        } else {
+            self.unverified.insert(prefix.clone());
+        }
+        let (dead, epoch) = (entry.binding.is_none(), entry.epoch);
+        if let Some(old) = self.entries.insert(prefix.clone(), entry) {
+            if old.binding.is_none() {
+                Self::untomb(&mut self.tombs, old.epoch, &prefix);
+            }
+        }
+        if dead {
+            self.tombs.entry(epoch).or_default().insert(prefix);
+        }
+    }
+
+    /// Drops `name` from the tombstone index slot at `epoch`, pruning the
+    /// slot when it empties.
+    fn untomb(tombs: &mut BTreeMap<u64, BTreeSet<Vec<u8>>>, epoch: u64, name: &[u8]) {
+        if let Some(set) = tombs.get_mut(&epoch) {
+            set.remove(name);
+            if set.is_empty() {
+                tombs.remove(&epoch);
+            }
+        }
+    }
+
     /// Defines (or redefines) a prefix first-hand: stamped and verified.
     pub fn define(&mut self, prefix: Vec<u8>, binding: SyncBinding, now_ns: u64) {
         let epoch = self.stamp(now_ns);
-        self.entries.insert(
+        self.put(
             prefix,
             VersionedEntry {
                 binding: Some(binding),
@@ -144,7 +359,7 @@ impl SyncTable {
     /// Preloads a prefix at epoch 0, unverified — a replica's boot-time
     /// copy, out-ranked by any authoritative stamp.
     pub fn preload(&mut self, prefix: Vec<u8>, binding: SyncBinding) {
-        self.entries.insert(
+        self.put(
             prefix,
             VersionedEntry {
                 binding: Some(binding),
@@ -168,7 +383,7 @@ impl SyncTable {
             Some(_) => TombstoneOutcome::AlreadyDead,
         };
         let epoch = self.stamp(now_ns);
-        self.entries.insert(
+        self.put(
             prefix.to_vec(),
             VersionedEntry {
                 binding: None,
@@ -192,11 +407,14 @@ impl SyncTable {
     }
 
     /// Marks every entry verified — used when the authority has just
-    /// vouched for the whole table (a successful sync round).
+    /// vouched for the whole table (a successful sync round). Walks the
+    /// unverified index, not the table, so a steady-state round (nothing
+    /// to promote) costs nothing.
     pub fn mark_all_verified(&mut self) -> u32 {
+        let names = std::mem::take(&mut self.unverified);
         let mut promoted = 0;
-        for e in self.entries.values_mut() {
-            if !e.verified {
+        for name in names {
+            if let Some(e) = self.entries.get_mut(&name) {
                 e.verified = true;
                 promoted += 1;
             }
@@ -206,28 +424,20 @@ impl SyncTable {
 
     /// The number of live entries.
     pub fn live_len(&self) -> usize {
-        self.entries
-            .values()
-            .filter(|e| e.binding.is_some())
-            .count()
+        self.entries.len() - self.tombstone_len()
     }
 
     /// The number of retained tombstones.
     pub fn tombstone_len(&self) -> usize {
-        self.entries
-            .values()
-            .filter(|e| e.binding.is_none())
-            .count()
+        self.tombs.values().map(BTreeSet::len).sum()
     }
 
-    /// The highest epoch stamped or adopted so far.
+    /// The highest epoch stamped or adopted so far. O(1): every write
+    /// path keeps `next_epoch` at least as high as every entry's epoch
+    /// (stamps set it, adoption and minting max into it, preloads are
+    /// epoch 0), and the walk reads this on every probe.
     pub fn max_epoch(&self) -> u64 {
-        self.entries
-            .values()
-            .map(|e| e.epoch)
-            .max()
-            .unwrap_or(0)
-            .max(self.next_epoch)
+        self.next_epoch
     }
 
     /// Replica side: the synced watermark — the highest authority epoch
@@ -272,14 +482,30 @@ impl SyncTable {
     /// of 0 (or one below a previous GC) collects nothing.
     pub fn gc_below(&mut self, horizon: u64) -> u32 {
         self.gc_horizon = self.gc_horizon.max(horizon);
+        if horizon == 0 {
+            return 0;
+        }
+        // The tombstone index hands over exactly the doomed epochs —
+        // O(collected), not O(table), which matters because the Merkle
+        // walk runs this on every probe. Epoch 0 (preloads) never enters
+        // the range.
+        let doomed: Vec<u64> = self.tombs.range(1..=horizon).map(|(&e, _)| e).collect();
         let mut dropped = 0u32;
-        self.entries.retain(|_, e| {
-            let dead = e.binding.is_none() && e.epoch <= horizon && e.epoch != 0;
-            if dead {
+        for epoch in doomed {
+            for name in self.tombs.remove(&epoch).unwrap_or_default() {
+                self.entries.remove(&name);
+                self.unverified.remove(&name);
+                let bucket = Self::bucket_of(&name);
+                self.merkle.dirty.insert(bucket);
+                if let Some(set) = self.merkle.members.get_mut(&bucket) {
+                    set.remove(&name);
+                    if set.is_empty() {
+                        self.merkle.members.remove(&bucket);
+                    }
+                }
                 dropped += 1;
             }
-            !dead
-        });
+        }
         dropped
     }
 
@@ -321,41 +547,115 @@ impl SyncTable {
         authoritative: bool,
         now_ns: u64,
     ) -> Vec<SyncEntry> {
+        self.delta_scoped(digest, None, authoritative, now_ns)
+    }
+
+    /// The Merkle-walk variant of [`SyncTable::delta_for`]: computes the
+    /// delta for the leaf buckets a probe diffed. `leaves` carries the
+    /// puller's per-bucket digests; only entries hashing into those
+    /// buckets are considered on either side. Invalid or non-leaf node
+    /// ids (hostile or stale senders) are ignored.
+    ///
+    /// Because equal-hash buckets hold identical content, restricting the
+    /// filter/minting rules of `delta_for` to the diverging buckets
+    /// produces *the same delta* a whole-table digest would — the
+    /// equivalence the differential proptests pin.
+    pub fn delta_for_leaves(
+        &mut self,
+        leaves: &[SyncLeafDigest],
+        authoritative: bool,
+        now_ns: u64,
+    ) -> Vec<SyncEntry> {
+        let mut scope = BTreeSet::new();
+        let mut digest = Vec::new();
+        for leaf in leaves {
+            if !merkle_node_valid(leaf.node) || !merkle_is_leaf(leaf.node) {
+                continue;
+            }
+            scope.insert(merkle_index(leaf.node));
+            digest.extend(leaf.entries.iter().cloned());
+        }
+        self.delta_scoped(&digest, Some(&scope), authoritative, now_ns)
+    }
+
+    /// Shared core of the flat and Merkle delta paths. `scope` restricts
+    /// both sides to the given leaf buckets (`None` = whole table): local
+    /// candidates come from the Merkle member index instead of a full
+    /// table scan, and digest entries outside the scope are disregarded.
+    /// Filter, tombstone-minting, GC-horizon and epoch-skew rules are
+    /// identical in both modes; minting processes unknown prefixes in
+    /// prefix order so the two paths stamp identical epochs.
+    fn delta_scoped(
+        &mut self,
+        digest: &[SyncDigestEntry],
+        scope: Option<&BTreeSet<u32>>,
+        authoritative: bool,
+        now_ns: u64,
+    ) -> Vec<SyncEntry> {
+        let in_scope =
+            |prefix: &[u8]| scope.is_none_or(|buckets| buckets.contains(&Self::bucket_of(prefix)));
         let remote: BTreeMap<&[u8], u64> = digest
             .iter()
+            .filter(|d| in_scope(&d.prefix))
             .map(|d| (d.prefix.as_slice(), d.epoch))
             .collect();
-        let mut out: Vec<SyncEntry> = self
-            .entries
-            .iter()
-            .filter(|(name, e)| {
-                (authoritative || e.epoch > 0)
-                    && match remote.get(name.as_slice()) {
-                        Some(&remote_epoch) => e.epoch > remote_epoch,
-                        None => true,
+        let newer = |name: &[u8], e: &VersionedEntry| {
+            (authoritative || e.epoch > 0)
+                && match remote.get(name) {
+                    Some(&remote_epoch) => e.epoch > remote_epoch,
+                    None => true,
+                }
+        };
+        let to_entry = |name: &[u8], e: &VersionedEntry| SyncEntry {
+            prefix: name.to_vec(),
+            epoch: e.epoch,
+            binding: e.binding,
+        };
+        let mut out: Vec<SyncEntry> = match scope {
+            None => self
+                .entries
+                .iter()
+                .filter(|(name, e)| newer(name.as_slice(), e))
+                .map(|(name, e)| to_entry(name.as_slice(), e))
+                .collect(),
+            Some(buckets) => {
+                let mut v = Vec::new();
+                for bucket in buckets {
+                    let Some(members) = self.merkle.members.get(bucket) else {
+                        continue;
+                    };
+                    for name in members {
+                        let Some(e) = self.entries.get(name) else {
+                            continue;
+                        };
+                        if newer(name.as_slice(), e) {
+                            v.push(to_entry(name.as_slice(), e));
+                        }
                     }
-            })
-            .map(|(name, e)| SyncEntry {
-                prefix: name.clone(),
-                epoch: e.epoch,
-                binding: e.binding,
-            })
-            .collect();
+                }
+                v
+            }
+        };
         if authoritative {
             let max_credible = now_ns.saturating_add(MAX_EPOCH_SKEW_NS);
-            let unknown: Vec<(Vec<u8>, u64)> = digest
+            let mut unknown: Vec<(Vec<u8>, u64)> = digest
                 .iter()
                 .filter(|d| {
-                    !self.entries.contains_key(&d.prefix)
+                    in_scope(&d.prefix)
+                        && !self.entries.contains_key(&d.prefix)
                         && d.epoch <= max_credible
                         && !(d.tombstone && d.epoch <= self.gc_horizon)
                 })
                 .map(|d| (d.prefix.clone(), d.epoch))
                 .collect();
+            // Prefix order, so the flat path (sorted whole-table digest)
+            // and the Merkle path (bucket-ordered leaf digests) stamp the
+            // same epochs for the same unknowns.
+            unknown.sort_by(|a, b| a.0.cmp(&b.0));
             for (prefix, remote_epoch) in unknown {
                 let epoch = self.stamp(now_ns).max(remote_epoch.saturating_add(1));
                 self.next_epoch = epoch;
-                self.entries.insert(
+                self.put(
                     prefix.clone(),
                     VersionedEntry {
                         binding: None,
@@ -369,8 +669,8 @@ impl SyncTable {
                     binding: None,
                 });
             }
-            out.sort_by(|a, b| a.prefix.cmp(&b.prefix));
         }
+        out.sort_by(|a, b| a.prefix.cmp(&b.prefix));
         out
     }
 
@@ -408,7 +708,7 @@ impl SyncTable {
             if was_unverified && verified {
                 outcome.promoted += 1;
             }
-            self.entries.insert(
+            self.put(
                 d.prefix.clone(),
                 VersionedEntry {
                     binding: d.binding,
@@ -422,34 +722,465 @@ impl SyncTable {
         outcome
     }
 
-    /// An order-independent-input, content-complete FNV-1a hash of the
-    /// table: prefixes, epochs, tombstone flags, and binding fields (the
-    /// `verified` bit is local bookkeeping and excluded). Two tables hash
-    /// equal iff their reconcilable contents are identical — the witness
-    /// EXP-13 and EXP-14 use for "bytewise identical within one round".
-    pub fn table_hash(&self) -> u64 {
-        let mut h = FNV_OFFSET;
-        let mut fold = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(FNV_PRIME);
+    /// A content-complete hash of the table: prefixes, epochs, tombstone
+    /// flags, and binding fields (the `verified` bit is local bookkeeping
+    /// and excluded). Two tables hash equal iff their reconcilable
+    /// contents are identical — the witness EXP-13 and EXP-14 use for
+    /// "bytewise identical within one round". Since the Merkle rebuild
+    /// this *is* the tree root ([`SyncTable::merkle_root`]); `&mut self`
+    /// because dirty leaves flush lazily on read.
+    pub fn table_hash(&mut self) -> u64 {
+        self.merkle_root()
+    }
+
+    /// Recomputes the hashes of dirty leaves and exactly their ancestors,
+    /// level by level up to the root. A single-entry edit re-hashes one
+    /// leaf and [`MERKLE_LEVELS`] interior nodes; untouched subtrees are
+    /// never revisited.
+    fn merkle_flush(&mut self) {
+        if self.merkle.dirty.is_empty() {
+            return;
+        }
+        let dirty = std::mem::take(&mut self.merkle.dirty);
+        let mut parents = BTreeSet::new();
+        for bucket in dirty {
+            let h = match self.merkle.members.get(&bucket) {
+                None => 0,
+                Some(members) => {
+                    let mut h = FNV_OFFSET;
+                    let mut any = false;
+                    for name in members {
+                        if let Some(e) = self.entries.get(name) {
+                            fold_entry(&mut h, name, e);
+                            any = true;
+                        }
+                    }
+                    if any {
+                        h
+                    } else {
+                        0
+                    }
+                }
+            };
+            if h == 0 {
+                self.merkle.leaf.remove(&bucket);
+            } else {
+                self.merkle.leaf.insert(bucket, h);
             }
+            parents.insert(bucket / MERKLE_FANOUT);
+        }
+        // Walk the dirty ancestors upward: level MERKLE_LEVELS-1 … 0.
+        for level in (0..MERKLE_LEVELS).rev() {
+            let mut next = BTreeSet::new();
+            for index in parents {
+                let children = self.children_of(level, index);
+                let id = merkle_node_id(level, index);
+                match combine_children(&children) {
+                    0 => {
+                        self.merkle.node.remove(&id);
+                    }
+                    h => {
+                        self.merkle.node.insert(id, h);
+                    }
+                }
+                if level > 0 {
+                    next.insert(index / MERKLE_FANOUT);
+                }
+            }
+            parents = next;
+        }
+    }
+
+    /// The child hashes of interior node `(level, index)`, read from the
+    /// flushed caches (0 = empty subtree).
+    fn children_of(&self, level: u32, index: u32) -> [u64; MERKLE_FANOUT as usize] {
+        let mut children = [0u64; MERKLE_FANOUT as usize];
+        for (k, slot) in children.iter_mut().enumerate() {
+            let child_index = index * MERKLE_FANOUT + k as u32;
+            *slot = if level + 1 == MERKLE_LEVELS {
+                self.merkle.leaf.get(&child_index).copied().unwrap_or(0)
+            } else {
+                self.merkle
+                    .node
+                    .get(&merkle_node_id(level + 1, child_index))
+                    .copied()
+                    .unwrap_or(0)
+            };
+        }
+        children
+    }
+
+    /// The Merkle root over the whole table (0 for an empty table).
+    pub fn merkle_root(&mut self) -> u64 {
+        self.merkle_flush();
+        self.merkle.node.get(&MERKLE_ROOT).copied().unwrap_or(0)
+    }
+
+    /// The child hashes of an interior node, or `None` if the id is not a
+    /// valid interior node of the tree shape.
+    pub fn merkle_children(&mut self, node: u32) -> Option<[u64; MERKLE_FANOUT as usize]> {
+        if !merkle_node_valid(node) || merkle_is_leaf(node) {
+            return None;
+        }
+        self.merkle_flush();
+        Some(self.children_of(merkle_level(node), merkle_index(node)))
+    }
+
+    /// The `(prefix, epoch, tombstone?)` digest of one leaf bucket — the
+    /// per-bucket restriction of [`SyncTable::digest`], in prefix order.
+    /// Empty (and for invalid ids) when nothing hashes into the bucket.
+    pub fn leaf_digest(&self, node: u32) -> Vec<SyncDigestEntry> {
+        if !merkle_node_valid(node) || !merkle_is_leaf(node) {
+            return Vec::new();
+        }
+        let Some(members) = self.merkle.members.get(&merkle_index(node)) else {
+            return Vec::new();
         };
-        for (name, e) in &self.entries {
-            fold(&(name.len() as u64).to_le_bytes());
-            fold(name);
-            fold(&e.epoch.to_le_bytes());
-            match &e.binding {
-                None => fold(&[1]),
-                Some(b) => {
-                    fold(&[0, u8::from(b.logical)]);
-                    fold(&b.target.to_le_bytes());
-                    fold(&b.context.to_le_bytes());
+        members
+            .iter()
+            .filter_map(|name| {
+                self.entries.get(name).map(|e| SyncDigestEntry {
+                    prefix: name.clone(),
+                    epoch: e.epoch,
+                    tombstone: e.binding.is_none(),
+                })
+            })
+            .collect()
+    }
+
+    /// Answers one Merkle probe — the responder half of a walk step.
+    ///
+    /// When `authoritative`, the responder first records the puller's
+    /// watermark (if `from_replica` identifies it) and collects tombstones
+    /// behind the resulting horizon, exactly as the flat `SyncDigest`
+    /// handler does. Both operations are monotone and idempotent, so
+    /// repeating them on every probe of a multi-probe round leaves the
+    /// same state one flat round would. The reply's returned alongside the
+    /// number of tombstones GC'd (for the server's counters).
+    pub fn answer_probe(
+        &mut self,
+        probe: &SyncProbeMsg,
+        authoritative: bool,
+        from_replica: Option<u32>,
+        now_ns: u64,
+    ) -> (SyncProbeReply, u32) {
+        let mut gc_dropped = 0;
+        if authoritative {
+            if let Some(replica) = from_replica {
+                self.record_watermark(replica, probe.watermark);
+            }
+            let horizon = self.horizon();
+            gc_dropped = self.gc_below(horizon);
+        }
+        let entries = if probe.leaves.is_empty() {
+            Vec::new()
+        } else {
+            self.delta_for_leaves(&probe.leaves, authoritative, now_ns)
+        };
+        let nodes = probe
+            .nodes
+            .iter()
+            .filter_map(|&id| {
+                self.merkle_children(id).map(|children| SyncNodeRec {
+                    node: id,
+                    children: children.to_vec(),
+                })
+            })
+            .collect();
+        let reply = SyncProbeReply {
+            epoch: self.max_epoch(),
+            horizon: if authoritative { self.gc_horizon() } else { 0 },
+            root: self.merkle_root(),
+            nodes,
+            entries,
+        };
+        (reply, gc_dropped)
+    }
+}
+
+/// The puller half of a Merkle reconciliation round: a frontier of
+/// diverging node ids, narrowed one probe at a time.
+///
+/// The walk touches the puller's table **read-only** until
+/// [`MerkleWalk::finish`]; the accumulated delta is applied in one shot
+/// only after the last probe answers, so a round that dies mid-walk
+/// leaves the puller bit-identical to before (same atomicity contract as
+/// the flat digest → delta round).
+#[derive(Debug, Clone, Default)]
+pub struct MerkleWalk {
+    /// Node ids whose hashes disagreed at the previous level (starts at
+    /// the root; every element is one level deeper each step).
+    frontier: Vec<u32>,
+    /// Delta entries accumulated from leaf probes.
+    delta: Vec<SyncEntry>,
+    /// Epoch/horizon headers from the most recent reply — the puller
+    /// honours the last one, which the responder computed after any
+    /// tombstone minting (the flat path's post-mint `delta.epoch`).
+    epoch: u64,
+    horizon: u64,
+    /// Probes absorbed so far.
+    probes: u32,
+}
+
+impl MerkleWalk {
+    /// A fresh walk, frontier at the root.
+    pub fn start() -> Self {
+        MerkleWalk {
+            frontier: vec![MERKLE_ROOT],
+            ..MerkleWalk::default()
+        }
+    }
+
+    /// The next probe to send, or `None` when the walk is complete. Leaf
+    /// ids on the frontier turn into leaf digests, interior ids into
+    /// expansion requests.
+    pub fn next_probe(&self, table: &SyncTable) -> Option<SyncProbeMsg> {
+        if self.frontier.is_empty() {
+            return None;
+        }
+        let mut nodes = Vec::new();
+        let mut leaves = Vec::new();
+        for &id in &self.frontier {
+            if merkle_is_leaf(id) {
+                leaves.push(SyncLeafDigest {
+                    node: id,
+                    entries: table.leaf_digest(id),
+                });
+            } else {
+                nodes.push(id);
+            }
+        }
+        Some(SyncProbeMsg {
+            watermark: table.watermark(),
+            nodes,
+            leaves,
+        })
+    }
+
+    /// Absorbs a probe reply: descends into children whose hashes differ
+    /// from the puller's own, and accumulates delta entries. Node records
+    /// the probe never asked for are ignored (a hostile responder cannot
+    /// keep the walk alive forever: honoured records descend one level per
+    /// probe, so a walk is bounded by the tree depth).
+    pub fn absorb(&mut self, table: &mut SyncTable, reply: &SyncProbeReply) {
+        self.probes += 1;
+        self.epoch = reply.epoch;
+        self.horizon = reply.horizon;
+        let mut next = Vec::new();
+        for rec in &reply.nodes {
+            if !self.frontier.contains(&rec.node) {
+                continue;
+            }
+            let Some(local) = table.merkle_children(rec.node) else {
+                continue;
+            };
+            for (k, &remote_hash) in rec.children.iter().take(local.len()).enumerate() {
+                if remote_hash != local[k] {
+                    next.push(merkle_child(rec.node, k as u32));
                 }
             }
         }
-        h
+        self.delta.extend(reply.entries.iter().cloned());
+        self.frontier = next;
     }
+
+    /// `true` once the frontier is exhausted (every divergence resolved).
+    pub fn is_done(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// Consumes the walk: the accumulated delta plus the epoch/horizon
+    /// header of the final reply, and the probe count.
+    pub fn finish(self) -> (Vec<SyncEntry>, u64, u64, u32) {
+        (self.delta, self.epoch, self.horizon, self.probes)
+    }
+}
+
+/// Who is pulling in a transport-free reconciliation round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundKind {
+    /// A replica pulling from its authority: the responder records the
+    /// watermark, GCs, and mints; the puller applies verified, moves its
+    /// watermark, collects on the advertised horizon, and promotes.
+    Authority {
+        /// The puller's raw pid as the authority tracks watermarks.
+        replica_id: u32,
+    },
+    /// Replica↔replica gossip: no minting, no watermark movement, no GC
+    /// instruction; adopted entries stay Suspect.
+    Gossip,
+}
+
+/// Failure injection for a transport-free round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundFate {
+    /// Lose the n-th probe request in flight (0-based): the responder has
+    /// processed exactly n probes when the round dies, the puller applies
+    /// nothing. `Some(0)` models the flat path's "digest lost" fate.
+    /// `None` delivers every request.
+    pub drop_request_at: Option<u32>,
+    /// Deliver every request but lose the final reply: responder side
+    /// effects complete (as in the flat "reply lost" fate — the authority
+    /// processed the digest), the puller still applies nothing.
+    pub lose_final_reply: bool,
+}
+
+impl RoundFate {
+    /// Everything arrives.
+    pub const DELIVERED: RoundFate = RoundFate {
+        drop_request_at: None,
+        lose_final_reply: false,
+    };
+}
+
+/// Wire-cost accounting for one transport-free round — what the table-size
+/// sweep in EXP-13 measures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Probe (or digest) request/reply exchanges.
+    pub probes: u32,
+    /// Encoded request payload bytes.
+    pub request_bytes: u64,
+    /// Encoded reply payload bytes.
+    pub reply_bytes: u64,
+    /// Digest entries shipped (whole-table for flat, per-leaf for Merkle).
+    pub digest_entries: u64,
+    /// Merkle child hashes shipped (0 on the flat path).
+    pub node_hashes: u64,
+    /// Delta entries shipped.
+    pub delta_entries: u64,
+}
+
+impl RoundStats {
+    /// Total bytes on the wire, both directions.
+    pub fn bytes(&self) -> u64 {
+        self.request_bytes + self.reply_bytes
+    }
+
+    /// CPU-work proxy: units hashed/compared/shipped by the round
+    /// (digest entries + child hashes + delta entries).
+    pub fn work(&self) -> u64 {
+        self.digest_entries + self.node_hashes + self.delta_entries
+    }
+}
+
+/// Runs one complete Merkle reconciliation round between two in-memory
+/// tables, encoding every payload through the real wire records so the
+/// stats mean what they would on the network. Returns `None` (puller
+/// untouched) when `fate` kills the round.
+pub fn merkle_round(
+    responder: &mut SyncTable,
+    puller: &mut SyncTable,
+    kind: RoundKind,
+    now_ns: u64,
+    fate: RoundFate,
+) -> (Option<ApplyOutcome>, RoundStats) {
+    let authoritative = matches!(kind, RoundKind::Authority { .. });
+    let from_replica = match kind {
+        RoundKind::Authority { replica_id } => Some(replica_id),
+        RoundKind::Gossip => None,
+    };
+    let mut walk = MerkleWalk::start();
+    let mut stats = RoundStats::default();
+    let mut in_flight = 0u32;
+    while let Some(probe) = walk.next_probe(puller) {
+        if fate.drop_request_at == Some(in_flight) {
+            return (None, stats);
+        }
+        stats.request_bytes += probe.encode().len() as u64;
+        stats.digest_entries += probe
+            .leaves
+            .iter()
+            .map(|leaf| leaf.entries.len() as u64)
+            .sum::<u64>();
+        let (reply, _gc) = responder.answer_probe(&probe, authoritative, from_replica, now_ns);
+        stats.reply_bytes += reply.encode().len() as u64;
+        stats.node_hashes += reply
+            .nodes
+            .iter()
+            .map(|rec| rec.children.len() as u64)
+            .sum::<u64>();
+        stats.delta_entries += reply.entries.len() as u64;
+        stats.probes += 1;
+        walk.absorb(puller, &reply);
+        in_flight += 1;
+    }
+    if fate.lose_final_reply {
+        return (None, stats);
+    }
+    let (delta, epoch, horizon, _probes) = walk.finish();
+    let outcome = match kind {
+        RoundKind::Authority { .. } => {
+            let mut out = puller.apply(&delta, true);
+            puller.note_synced(epoch);
+            puller.gc_below(horizon);
+            out.promoted += puller.mark_all_verified();
+            out
+        }
+        RoundKind::Gossip => puller.apply(&delta, false),
+    };
+    (Some(outcome), stats)
+}
+
+/// Runs one complete **flat-digest** reconciliation round between two
+/// in-memory tables — the legacy O(table) path, retained as the
+/// differential oracle for [`merkle_round`] and as the linear-growth
+/// baseline in EXP-13's table-size sweep. Fate mapping: any
+/// `drop_request_at` loses the digest (responder untouched);
+/// `lose_final_reply` loses the delta after the responder fully processed
+/// the digest.
+pub fn flat_round(
+    responder: &mut SyncTable,
+    puller: &mut SyncTable,
+    kind: RoundKind,
+    now_ns: u64,
+    fate: RoundFate,
+) -> (Option<ApplyOutcome>, RoundStats) {
+    let authoritative = matches!(kind, RoundKind::Authority { .. });
+    let mut stats = RoundStats {
+        probes: 1,
+        ..RoundStats::default()
+    };
+    let digest = SyncDigestMsg {
+        watermark: puller.watermark(),
+        entries: puller.digest(),
+    };
+    stats.request_bytes += digest.encode().len() as u64;
+    stats.digest_entries += digest.entries.len() as u64;
+    if fate.drop_request_at.is_some() {
+        return (None, stats);
+    }
+    if let RoundKind::Authority { replica_id } = kind {
+        responder.record_watermark(replica_id, digest.watermark);
+        let horizon = responder.horizon();
+        responder.gc_below(horizon);
+    }
+    let entries = responder.delta_for(&digest.entries, authoritative, now_ns);
+    let delta = vproto::SyncDeltaMsg {
+        epoch: responder.max_epoch(),
+        horizon: if authoritative {
+            responder.gc_horizon()
+        } else {
+            0
+        },
+        entries,
+    };
+    stats.reply_bytes += delta.encode().len() as u64;
+    stats.delta_entries += delta.entries.len() as u64;
+    if fate.lose_final_reply {
+        return (None, stats);
+    }
+    let outcome = match kind {
+        RoundKind::Authority { .. } => {
+            let mut out = puller.apply(&delta.entries, true);
+            puller.note_synced(delta.epoch);
+            puller.gc_below(delta.horizon);
+            out.promoted += puller.mark_all_verified();
+            out
+        }
+        RoundKind::Gossip => puller.apply(&delta.entries, false),
+    };
+    (Some(outcome), stats)
 }
 
 #[cfg(test)]
@@ -630,6 +1361,68 @@ mod tests {
         assert_eq!(t.tombstone_len(), 0);
     }
 
+    /// Pins the invariants the O(1)/O(touched) fast paths lean on: after
+    /// every kind of write, `next_epoch` dominates every entry epoch, the
+    /// tombstone index mirrors exactly the dead entries, and the
+    /// unverified index mirrors exactly the unverified ones. The walk
+    /// reads `max_epoch` and GCs on *every probe* — if any write path
+    /// bypassed these indexes, reconciliation would silently go stale,
+    /// not just slow.
+    #[test]
+    fn epoch_clock_and_side_indexes_mirror_the_table() {
+        let check = |t: &SyncTable, who: &str| {
+            let scan_max = t.entries.values().map(|e| e.epoch).max().unwrap_or(0);
+            assert!(t.next_epoch >= scan_max, "{who}: clock behind an entry");
+            let dead: BTreeSet<(u64, Vec<u8>)> = t
+                .entries
+                .iter()
+                .filter(|(_, e)| e.binding.is_none())
+                .map(|(n, e)| (e.epoch, n.clone()))
+                .collect();
+            let indexed: BTreeSet<(u64, Vec<u8>)> = t
+                .tombs
+                .iter()
+                .flat_map(|(&ep, names)| names.iter().map(move |n| (ep, n.clone())))
+                .collect();
+            assert_eq!(indexed, dead, "{who}: tombstone index diverged");
+            let unverified: BTreeSet<Vec<u8>> = t
+                .entries
+                .iter()
+                .filter(|(_, e)| !e.verified)
+                .map(|(n, _)| n.clone())
+                .collect();
+            assert_eq!(t.unverified, unverified, "{who}: unverified index diverged");
+        };
+        let mut auth = SyncTable::new();
+        let mut rep = SyncTable::new();
+        rep.preload(b"boot".to_vec(), bind(9));
+        check(&rep, "preload");
+        auth.define(b"a".to_vec(), bind(1), 100);
+        auth.define(b"b".to_vec(), bind(2), 200);
+        auth.tombstone(b"a", 300);
+        auth.tombstone(b"a", 400); // re-stamp moves the index slot
+        check(&auth, "define/tombstone");
+        // Minting: the replica's digest names a prefix the authority never
+        // had, so the delta path stamps a tombstone for it.
+        let mut digest = rep.digest();
+        digest.push(SyncDigestEntry {
+            prefix: b"ghost".to_vec(),
+            epoch: 250,
+            tombstone: false,
+        });
+        let delta = auth.delta_for(&digest, true, 500);
+        check(&auth, "mint");
+        rep.apply(&delta, false); // gossip: adopted entries stay unverified
+        check(&rep, "gossip apply");
+        rep.apply(&delta, true);
+        rep.mark_all_verified();
+        check(&rep, "vouched apply + promote");
+        auth.record_watermark(7, 450);
+        auth.gc_below(auth.horizon());
+        check(&auth, "gc");
+        assert_eq!(auth.max_epoch(), auth.next_epoch);
+    }
+
     #[test]
     fn gcd_tombstone_in_digest_is_not_restamped() {
         let mut auth = SyncTable::new();
@@ -689,6 +1482,250 @@ mod tests {
         assert_eq!(out.promoted, 0);
         assert!(replica.lookup(b"p").is_some_and(|e| !e.verified));
         assert_eq!(replica.mark_all_verified(), 1);
+    }
+
+    #[test]
+    fn merkle_root_matches_across_identical_tables() {
+        let mut a = SyncTable::new();
+        let mut b = SyncTable::new();
+        for i in 0..50u32 {
+            let name = format!("p{i}").into_bytes();
+            a.define(name.clone(), bind(i), 100 + u64::from(i));
+        }
+        // Same content reached by a different op order: preload + sync.
+        let delta = a.delta_for(&b.digest(), true, 500);
+        b.apply(&delta, true);
+        assert_eq!(a.merkle_root(), b.merkle_root());
+        assert_eq!(a.table_hash(), b.table_hash());
+        // Divergence is visible at the root, at exactly one leaf path.
+        b.define(b"p7".to_vec(), bind(99), 1_000);
+        assert_ne!(a.merkle_root(), b.merkle_root());
+    }
+
+    #[test]
+    fn empty_and_emptied_tables_hash_alike() {
+        let mut empty = SyncTable::new();
+        let mut emptied = SyncTable::new();
+        emptied.define(b"a".to_vec(), bind(1), 10);
+        emptied.tombstone(b"a", 20);
+        let tomb = emptied.max_epoch();
+        assert_ne!(emptied.merkle_root(), empty.merkle_root());
+        emptied.gc_below(tomb);
+        assert_eq!(emptied.merkle_root(), 0, "all-empty tree is the 0 hash");
+        assert_eq!(emptied.merkle_root(), empty.merkle_root());
+        assert_eq!(empty.table_hash(), 0);
+    }
+
+    #[test]
+    fn single_edit_invalidates_one_leaf_path_only() {
+        let mut t = SyncTable::new();
+        for i in 0..64u32 {
+            t.define(format!("p{i}").into_bytes(), bind(i), 100 + u64::from(i));
+        }
+        t.merkle_flush();
+        let before_leaves = t.merkle.leaf.clone();
+        let before_nodes = t.merkle.node.clone();
+        t.define(b"p11".to_vec(), bind(1234), 9_000);
+        assert_eq!(
+            t.merkle.dirty.len(),
+            1,
+            "one edit dirties exactly one leaf bucket"
+        );
+        t.merkle_flush();
+        let changed_leaves = t
+            .merkle
+            .leaf
+            .iter()
+            .filter(|(b, h)| before_leaves.get(b) != Some(h))
+            .count();
+        assert_eq!(changed_leaves, 1, "one leaf hash changed");
+        let changed_nodes = t
+            .merkle
+            .node
+            .iter()
+            .filter(|(id, h)| before_nodes.get(id) != Some(h))
+            .count();
+        assert_eq!(
+            changed_nodes as u32, MERKLE_LEVELS,
+            "exactly the ancestors changed"
+        );
+    }
+
+    #[test]
+    fn merkle_children_recombine_to_parent() {
+        let mut t = SyncTable::new();
+        for i in 0..32u32 {
+            t.define(format!("name-{i}").into_bytes(), bind(i), 50 + u64::from(i));
+        }
+        let root = t.merkle_root();
+        let children = t.merkle_children(MERKLE_ROOT).expect("root is interior");
+        assert_eq!(combine_children(&children), root);
+        assert!(
+            t.merkle_children(merkle_node_id(MERKLE_LEVELS, 0))
+                .is_none(),
+            "leaves have no child record"
+        );
+        assert!(
+            t.merkle_children(merkle_node_id(2, 9_999_999)).is_none(),
+            "out-of-shape ids are rejected"
+        );
+    }
+
+    #[test]
+    fn leaf_digest_partitions_the_flat_digest() {
+        let mut t = SyncTable::new();
+        for i in 0..40u32 {
+            t.define(format!("n{i}").into_bytes(), bind(i), 10 + u64::from(i));
+        }
+        t.tombstone(b"n3", 500);
+        let mut from_leaves: Vec<SyncDigestEntry> = (0..MERKLE_LEAVES)
+            .filter_map(|b| {
+                let node = merkle_node_id(MERKLE_LEVELS, b);
+                t.merkle
+                    .members
+                    .contains_key(&b)
+                    .then(|| t.leaf_digest(node))
+            })
+            .flatten()
+            .collect();
+        from_leaves.sort_by(|a, b| a.prefix.cmp(&b.prefix));
+        assert_eq!(from_leaves, t.digest());
+    }
+
+    #[test]
+    fn merkle_round_converges_like_a_flat_round() {
+        let seed_tables = || {
+            let mut auth = SyncTable::new();
+            let mut rep = SyncTable::new();
+            for i in 0..30u32 {
+                auth.define(format!("e{i}").into_bytes(), bind(i), 100 + u64::from(i));
+            }
+            rep.preload(b"e1".to_vec(), bind(1));
+            rep.preload(b"stray".to_vec(), bind(77));
+            auth.tombstone(b"e5", 400);
+            (auth, rep)
+        };
+        let (mut auth_m, mut rep_m) = seed_tables();
+        let (out_m, stats) = merkle_round(
+            &mut auth_m,
+            &mut rep_m,
+            RoundKind::Authority { replica_id: 1 },
+            1_000,
+            RoundFate::DELIVERED,
+        );
+        let (mut auth_f, mut rep_f) = seed_tables();
+        let (out_f, _) = flat_round(
+            &mut auth_f,
+            &mut rep_f,
+            RoundKind::Authority { replica_id: 1 },
+            1_000,
+            RoundFate::DELIVERED,
+        );
+        assert_eq!(out_m, out_f, "same apply outcome on both paths");
+        assert_eq!(rep_m.table_hash(), auth_m.table_hash());
+        assert_eq!(rep_m.table_hash(), rep_f.table_hash());
+        assert_eq!(auth_m.table_hash(), auth_f.table_hash());
+        assert_eq!(rep_m.watermark(), rep_f.watermark());
+        assert!(
+            stats.probes >= 1 && stats.probes <= MERKLE_LEVELS + 1,
+            "walk depth bounded by the tree: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn in_sync_merkle_round_is_one_probe() {
+        let mut auth = SyncTable::new();
+        for i in 0..100u32 {
+            auth.define(format!("e{i}").into_bytes(), bind(i), 10 + u64::from(i));
+        }
+        let mut rep = SyncTable::new();
+        let (_, _) = merkle_round(
+            &mut auth,
+            &mut rep,
+            RoundKind::Authority { replica_id: 1 },
+            1_000,
+            RoundFate::DELIVERED,
+        );
+        assert_eq!(rep.table_hash(), auth.table_hash());
+        let epoch = auth.max_epoch();
+        let (out, stats) = merkle_round(
+            &mut auth,
+            &mut rep,
+            RoundKind::Authority { replica_id: 1 },
+            2_000,
+            RoundFate::DELIVERED,
+        );
+        assert_eq!(stats.probes, 1, "equal roots stop the walk at the root");
+        assert_eq!(out, Some(ApplyOutcome::default()));
+        assert_eq!(
+            rep.watermark(),
+            epoch,
+            "no-op rounds still move the watermark"
+        );
+    }
+
+    #[test]
+    fn killed_merkle_round_leaves_the_puller_untouched() {
+        let mut auth = SyncTable::new();
+        for i in 0..20u32 {
+            auth.define(format!("k{i}").into_bytes(), bind(i), 10 + u64::from(i));
+        }
+        for drop_at in 0..=MERKLE_LEVELS {
+            let mut rep = SyncTable::new();
+            rep.preload(b"k1".to_vec(), bind(1));
+            let before = rep.table_hash();
+            let (out, _) = merkle_round(
+                &mut auth,
+                &mut rep,
+                RoundKind::Authority { replica_id: 1 },
+                1_000,
+                RoundFate {
+                    drop_request_at: Some(drop_at),
+                    lose_final_reply: false,
+                },
+            );
+            assert_eq!(out, None);
+            assert_eq!(rep.table_hash(), before, "aborted at probe {drop_at}");
+            assert_eq!(rep.watermark(), 0);
+        }
+    }
+
+    #[test]
+    fn merkle_gossip_never_mints_or_moves_watermarks() {
+        let mut peer = SyncTable::new();
+        peer.apply(
+            &[SyncEntry {
+                prefix: b"real".to_vec(),
+                epoch: 50,
+                binding: Some(bind(1)),
+            }],
+            true,
+        );
+        let mut cold = SyncTable::new();
+        cold.preload(b"hearsay".to_vec(), bind(9));
+        let peer_len = peer.live_len();
+        let (out, _) = merkle_round(
+            &mut cold,
+            &mut peer,
+            RoundKind::Gossip,
+            1_000,
+            RoundFate::DELIVERED,
+        );
+        // peer pulled from cold: cold's preload is epoch-0 hearsay, never
+        // shipped; no tombstone minted for "real" on the cold side.
+        assert_eq!(out, Some(ApplyOutcome::default()));
+        assert_eq!(peer.live_len(), peer_len);
+        assert_eq!(cold.tombstone_len(), 0, "gossip responders never mint");
+        let (out, _) = merkle_round(
+            &mut peer,
+            &mut cold,
+            RoundKind::Gossip,
+            2_000,
+            RoundFate::DELIVERED,
+        );
+        assert_eq!(out.map(|o| o.adopted), Some(1));
+        assert!(cold.lookup(b"real").is_some_and(|e| !e.verified));
+        assert_eq!(cold.watermark(), 0, "gossip never moves the watermark");
     }
 
     #[test]

@@ -17,16 +17,25 @@
 //! 4. GC safety: a tombstone is collected only after every known
 //!    replica's watermark passed it, and a collected delete is never
 //!    resurrected — not by a sync round, not by gossip from a peer that
-//!    missed the delete.
+//!    missed the delete;
+//! 5. the Merkle walk is a pure optimisation: under the *same* schedule,
+//!    Merkle rounds and legacy flat-digest rounds leave every table
+//!    byte-identical (same digests, same `table_hash`, same watermarks
+//!    and horizons) at every step;
+//! 6. a Merkle walk aborted at *any* probe — not just the two fates the
+//!    flat path can express — is invisible at the puller.
 //!
 //! Replicas here drift under an arbitrary seeded schedule: defines and
 //! deletes land at the authority while sync and gossip rounds succeed or
-//! fail according to the generated fate of each round.
+//! fail according to the generated fate of each round. Properties 1–4
+//! predate the Merkle digest and run *unmodified* against it: the round
+//! helpers below drive [`vservers::merkle_round`] (the production path),
+//! with [`vservers::flat_round`] retained as the differential oracle.
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use vproto::SyncBinding;
-use vservers::SyncTable;
+use vservers::{flat_round, merkle_round, RoundFate, RoundKind, SyncTable};
 
 /// A small prefix pool so generated schedules collide on names (the
 /// interesting case: redefinitions, delete-then-redefine, stale preloads).
@@ -72,12 +81,29 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
-/// One pull round exactly as `prefix.rs` runs it, with the failure modes
-/// of the lossy plane modelled by `fate`. The authority records the
-/// replica's watermark and collects at the recomputed horizon; on a
-/// delivered reply the replica adopts the delta, advances its watermark
-/// to the authority's epoch header, and collects at the advertised
-/// horizon.
+/// Maps a schedule's seeded fate code to a wire fate. `1` (digest lost in
+/// flight) kills the very first request; `2` (reply lost) delivers every
+/// request but drops the final reply — the responder's side effects
+/// complete, the puller applies nothing.
+fn fate_of(code: u8) -> RoundFate {
+    match code {
+        1 => RoundFate {
+            drop_request_at: Some(0),
+            lose_final_reply: false,
+        },
+        2 => RoundFate {
+            drop_request_at: None,
+            lose_final_reply: true,
+        },
+        _ => RoundFate::DELIVERED,
+    }
+}
+
+/// One pull round exactly as `prefix.rs` runs it — over the production
+/// Merkle walk. The authority records the replica's watermark and collects
+/// at the recomputed horizon; on a delivered round the replica atomically
+/// adopts the delta, advances its watermark to the authority's epoch, and
+/// collects at the advertised horizon.
 fn sync_round(
     auth: &mut SyncTable,
     replica: &mut SyncTable,
@@ -85,30 +111,54 @@ fn sync_round(
     fate: u8,
     now_ns: u64,
 ) {
-    if fate == 1 {
-        return; // digest lost: the authority never hears from the replica
-    }
-    auth.record_watermark(replica_id, replica.watermark());
-    let horizon = auth.horizon();
-    auth.gc_below(horizon);
-    let delta = auth.delta_for(&replica.digest(), true, now_ns);
-    let epoch = auth.max_epoch();
-    let advertised = auth.gc_horizon();
-    if fate == 2 {
-        return; // reply lost: a failed round applies nothing at the replica
-    }
-    replica.apply(&delta, true);
-    replica.note_synced(epoch);
-    replica.gc_below(advertised);
-    replica.mark_all_verified();
+    merkle_round(
+        auth,
+        replica,
+        RoundKind::Authority { replica_id },
+        now_ns,
+        fate_of(fate),
+    );
 }
 
-/// One gossip round exactly as `prefix.rs` runs it: a digest → delta
-/// round against a peer replica, applied unverified. Watermarks and
-/// horizons do not move — gossip spreads data, not certainty.
+/// One gossip round exactly as `prefix.rs` runs it: a Merkle walk against
+/// a peer replica, applied unverified. Watermarks and horizons do not
+/// move — gossip spreads data, not certainty.
 fn gossip_round(peer: &mut SyncTable, replica: &mut SyncTable, now_ns: u64) {
-    let delta = peer.delta_for(&replica.digest(), false, now_ns);
-    replica.apply(&delta, false);
+    merkle_round(
+        peer,
+        replica,
+        RoundKind::Gossip,
+        now_ns,
+        RoundFate::DELIVERED,
+    );
+}
+
+/// The legacy whole-table digest round, kept as the differential oracle.
+fn flat_sync_round(
+    auth: &mut SyncTable,
+    replica: &mut SyncTable,
+    replica_id: u32,
+    fate: u8,
+    now_ns: u64,
+) {
+    flat_round(
+        auth,
+        replica,
+        RoundKind::Authority { replica_id },
+        now_ns,
+        fate_of(fate),
+    );
+}
+
+/// The legacy flat gossip round, kept as the differential oracle.
+fn flat_gossip_round(peer: &mut SyncTable, replica: &mut SyncTable, now_ns: u64) {
+    flat_round(
+        peer,
+        replica,
+        RoundKind::Gossip,
+        now_ns,
+        RoundFate::DELIVERED,
+    );
 }
 
 /// Snapshot of every `(prefix, epoch)` pair, tombstones included.
@@ -399,6 +449,149 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    /// The tentpole's equivalence claim, checked differentially: two
+    /// worlds driven by the *same* arbitrary churn/loss/partition schedule
+    /// — one syncing over Merkle walks, one over legacy flat digests —
+    /// stay byte-identical at every step. Digests pin prefixes, epochs
+    /// and tombstone flags; `table_hash` covers binding contents;
+    /// watermark, GC horizon and max epoch pin the GC machinery. Checked
+    /// at the authority and at both replicas after every single op.
+    #[test]
+    fn merkle_and_flat_rounds_are_byte_identical(
+        preloads in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..8),
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let mut m_auth = SyncTable::new();
+        let mut m_reps = [SyncTable::new(), SyncTable::new()];
+        for &(r, i) in &preloads {
+            m_reps[usize::from(r) % 2].preload(name(i), bind(u32::from(i)));
+        }
+        let mut f_auth = m_auth.clone();
+        let mut f_reps = m_reps.clone();
+
+        fn identical(m: &mut SyncTable, f: &mut SyncTable, who: &str) -> Result<(), TestCaseError> {
+            prop_assert!(m.digest() == f.digest(), "digest diverged at {}", who);
+            prop_assert!(m.table_hash() == f.table_hash(), "hash diverged at {}", who);
+            prop_assert!(m.watermark() == f.watermark(), "watermark diverged at {}", who);
+            prop_assert!(m.gc_horizon() == f.gc_horizon(), "horizon diverged at {}", who);
+            prop_assert!(m.max_epoch() == f.max_epoch(), "epoch diverged at {}", who);
+            Ok(())
+        }
+
+        let mut now_ns: u64 = 1_000;
+        for op in &ops {
+            now_ns += 1_000;
+            match *op {
+                Op::Define(i, t) => {
+                    m_auth.define(name(i), bind(t), now_ns);
+                    f_auth.define(name(i), bind(t), now_ns);
+                }
+                Op::Delete(i) => {
+                    m_auth.tombstone(&name(i), now_ns);
+                    f_auth.tombstone(&name(i), now_ns);
+                }
+                Op::Sync { replica, fate } => {
+                    let r = replica as usize;
+                    sync_round(&mut m_auth, &mut m_reps[r], r as u32, fate, now_ns);
+                    flat_sync_round(&mut f_auth, &mut f_reps[r], r as u32, fate, now_ns);
+                }
+                Op::Gossip { to } => {
+                    let (ma, mb) = m_reps.split_at_mut(1);
+                    let (fa, fb) = f_reps.split_at_mut(1);
+                    match to {
+                        0 => {
+                            gossip_round(&mut mb[0], &mut ma[0], now_ns);
+                            flat_gossip_round(&mut fb[0], &mut fa[0], now_ns);
+                        }
+                        _ => {
+                            gossip_round(&mut ma[0], &mut mb[0], now_ns);
+                            flat_gossip_round(&mut fa[0], &mut fb[0], now_ns);
+                        }
+                    }
+                }
+            }
+            identical(&mut m_auth, &mut f_auth, "authority")?;
+            identical(&mut m_reps[0], &mut f_reps[0], "replica 0")?;
+            identical(&mut m_reps[1], &mut f_reps[1], "replica 1")?;
+        }
+
+        // Heal both worlds with successful rounds: they converge to the
+        // same fixed point, and each world's replicas match its authority.
+        for &r in &[0usize, 1, 0, 1, 0, 1] {
+            now_ns += 1_000;
+            sync_round(&mut m_auth, &mut m_reps[r], r as u32, 0, now_ns);
+            flat_sync_round(&mut f_auth, &mut f_reps[r], r as u32, 0, now_ns);
+        }
+        identical(&mut m_auth, &mut f_auth, "authority post-heal")?;
+        let root = m_auth.table_hash();
+        prop_assert_eq!(m_reps[0].table_hash(), root);
+        prop_assert_eq!(m_reps[1].table_hash(), root);
+        prop_assert_eq!(f_reps[0].table_hash(), root);
+        prop_assert_eq!(f_reps[1].table_hash(), root);
+    }
+
+    /// A Merkle walk aborted at *any* probe index — or losing only its
+    /// final reply — is invisible at the puller whenever the round
+    /// reports failure: table bytes, hash, watermark, and horizon are all
+    /// untouched. (The flat path can only fail at two points; the walk
+    /// has one per probe, and every one must be atomic.)
+    #[test]
+    fn aborted_merkle_walks_are_invisible_at_the_puller(
+        defs in proptest::collection::vec((any::<u8>(), any::<u32>()), 2..30),
+        warm in any::<bool>(),
+        drop_at in 0u32..8,
+        lose_reply in any::<bool>(),
+    ) {
+        let mut auth = SyncTable::new();
+        let mut rep = SyncTable::new();
+        rep.preload(name(3), bind(3));
+        let mut now_ns: u64 = 1_000;
+        let half = defs.len() / 2;
+        for &(i, t) in &defs[..half] {
+            now_ns += 1_000;
+            auth.define(name(i), bind(t), now_ns);
+        }
+        if warm {
+            // A half-synced replica: the doomed walk below has matching
+            // subtrees to skip and diverging ones to descend.
+            now_ns += 1_000;
+            sync_round(&mut auth, &mut rep, 0, 0, now_ns);
+        }
+        for &(i, t) in &defs[half..] {
+            now_ns += 1_000;
+            auth.define(name(i), bind(t), now_ns);
+        }
+
+        let digest_before = rep.digest();
+        let hash_before = rep.table_hash();
+        let watermark_before = rep.watermark();
+        let horizon_before = rep.gc_horizon();
+
+        let fate = if lose_reply {
+            RoundFate { drop_request_at: None, lose_final_reply: true }
+        } else {
+            RoundFate { drop_request_at: Some(drop_at), lose_final_reply: false }
+        };
+        now_ns += 1_000;
+        let (out, _stats) = merkle_round(
+            &mut auth,
+            &mut rep,
+            RoundKind::Authority { replica_id: 0 },
+            now_ns,
+            fate,
+        );
+        match out {
+            None => {
+                prop_assert_eq!(rep.digest(), digest_before);
+                prop_assert_eq!(rep.table_hash(), hash_before);
+                prop_assert_eq!(rep.watermark(), watermark_before);
+                prop_assert_eq!(rep.gc_horizon(), horizon_before);
+            }
+            // Only a drop aimed past the walk's actual end can deliver.
+            Some(_) => prop_assert!(!lose_reply),
         }
     }
 }

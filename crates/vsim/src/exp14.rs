@@ -14,9 +14,11 @@
 //!   *Suspect* until the first post-heal authority round vouches for it:
 //!   gossip spreads data, only the authority spreads certainty.
 //!   Gossip triggers are **staggered** (distinct offsets per replica off
-//!   [`vkernel::SimDomain::cut_times`]): two replicas probing each other
-//!   in the same instant would interlock inside `send_group`, since each
-//!   is blocked sending while the other's probe waits in its queue.
+//!   [`vkernel::SimDomain::cut_times`]) by more than a whole round: two
+//!   replicas with overlapping rounds would interlock inside
+//!   `send_group`, since each is blocked sending while the other's probe
+//!   waits in its queue — and a round is now a multi-probe Merkle walk,
+//!   not a single digest exchange.
 //! * **Tombstones stay bounded under churn** — deletes are kept as
 //!   tombstones so reconciliation can propagate them, but an unbounded
 //!   graveyard is a slow leak (Demers et al.'s death-certificate
@@ -109,6 +111,10 @@ pub struct GossipOutcome {
     /// Entries the post-heal authority round promoted unverified →
     /// verified at the cold replica.
     pub promoted_after_heal: u32,
+    /// Merkle subtree probes the cold replica's rounds drove, observed
+    /// inside the cut — the witness that gossip itself rode the walk (a
+    /// flat-digest gossip round would leave this 0).
+    pub probe_rounds_during_cut: u32,
     /// Kernel event-stream hash at quiescence (determinism witness).
     pub event_hash: u64,
 }
@@ -116,10 +122,16 @@ pub struct GossipOutcome {
 /// Syncs the preloaded replica once, cuts the workstation (authority) off
 /// for 140 ms, and schedules **staggered** gossip triggers inside the cut
 /// window off [`vkernel::SimDomain::cut_times`]: the cold replica gossips
-/// at cut+5 ms, the preloaded one at cut+9 ms (simultaneous probes would
-/// interlock in `send_group`). A driver on the server machine checks
-/// replica↔replica convergence while the authority is still unreachable,
-/// then verifies the post-heal authority round flips Suspect to Fresh.
+/// at cut+5 ms, the preloaded one at cut+30 ms. The stagger must exceed a
+/// whole gossip round, which is now a multi-probe Merkle walk rather than
+/// one exchange — overlapping rounds interlock in `send_group`, each
+/// replica blocked sending a probe while the other's probe waits
+/// unreceived in its mailbox. The cut itself starts at t0+50 ms, past the
+/// end of the vouch round's walk (one request/reply per tree level,
+/// ~40 ms from its t0+5 ms trigger), so the partition never severs a walk
+/// in flight. A driver on the server machine checks replica↔replica
+/// convergence while the authority is still unreachable, then verifies
+/// the post-heal authority round flips Suspect to Fresh.
 pub fn measure_gossip_convergence(seed: u64) -> GossipOutcome {
     let world = gossip_world(seed);
     let t0 = world.domain.run();
@@ -137,7 +149,7 @@ pub fn measure_gossip_convergence(seed: u64) -> GossipOutcome {
         peer,
         Message::request(RequestCode::SyncPull),
     );
-    let cut_start = t0 + Duration::from_millis(10);
+    let cut_start = t0 + Duration::from_millis(50);
     let heal = cut_start + Duration::from_millis(140);
     world.domain.schedule_partition(Partition::between(
         world.workstation,
@@ -154,7 +166,7 @@ pub fn measure_gossip_convergence(seed: u64) -> GossipOutcome {
             Message::request(RequestCode::SyncGossip),
         );
         world.domain.notify_at(
-            t + Duration::from_millis(9),
+            t + Duration::from_millis(30),
             peer,
             Message::request(RequestCode::SyncGossip),
         );
@@ -223,6 +235,7 @@ pub fn measure_gossip_convergence(seed: u64) -> GossipOutcome {
         staleness_during_cut: during,
         staleness_after_heal: after,
         promoted_after_heal: promoted,
+        probe_rounds_during_cut: rec.map_or(0, |r| r.probe_rounds),
         event_hash: world.domain.event_hash(),
     }
 }

@@ -64,6 +64,11 @@ pub struct WorldConfig {
     /// a sync or gossip round. Ignored unless `replica` is set (the cold
     /// replicas join the group the preloaded replica created).
     pub extra_replicas: usize,
+    /// Run every replica's anti-entropy over the legacy flat whole-table
+    /// digest instead of the Merkle subtree walk — the test-only
+    /// differential oracle ([`DegradedPrefixConfig::flat_sync`]). The
+    /// workstation authority's own flag rides in [`WorldConfig::degraded`].
+    pub flat_sync: bool,
 }
 
 impl WorldConfig {
@@ -76,6 +81,7 @@ impl WorldConfig {
             replica: false,
             sync_replica: false,
             extra_replicas: 0,
+            flat_sync: false,
         }
     }
 }
@@ -156,6 +162,7 @@ pub fn boot_world_cfg(cfg: WorldConfig) -> SimWorld {
             .expect("replica group created")
     });
     let sync_peer = cfg.sync_replica.then_some(prefix);
+    let flat_sync = cfg.flat_sync;
     let replica = replica_group.map(|group| {
         domain.spawn(server_machine, "prefix-replica", move |ctx| {
             prefix_server(
@@ -176,6 +183,7 @@ pub fn boot_world_cfg(cfg: WorldConfig) -> SimWorld {
                         authoritative: false,
                         replica_group: Some(group),
                         sync_peer,
+                        flat_sync,
                         ..DegradedPrefixConfig::default()
                     }),
                     ..PrefixConfig::default()
@@ -197,6 +205,7 @@ pub fn boot_world_cfg(cfg: WorldConfig) -> SimWorld {
                                 authoritative: false,
                                 replica_group: Some(group),
                                 sync_peer,
+                                flat_sync,
                                 ..DegradedPrefixConfig::default()
                             }),
                             ..PrefixConfig::default()

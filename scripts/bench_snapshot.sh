@@ -14,7 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PR="${1:?usage: scripts/bench_snapshot.sh <pr-number>}"
-BENCHES=(resolve_engine ipc open_paths lookup_models)
+BENCHES=(resolve_engine ipc open_paths lookup_models sync_round)
 
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT

@@ -32,4 +32,14 @@ echo "==> gossip / tombstone-GC seed matrix (two distinct seeds)"
 VSIM_FAULT_SEED=0x1984 cargo test -q -p vsim --test gossip_plane
 VSIM_FAULT_SEED=271828 cargo test -q -p vsim --test gossip_plane
 
+echo "==> merkle-walk seed matrix (two distinct seeds)"
+VSIM_FAULT_SEED=0x1984 cargo test -q -p vsim --test merkle_plane
+VSIM_FAULT_SEED=271828 cargo test -q -p vsim --test merkle_plane
+
+# `cargo test -q` above already ran these, but an explicit invocation keeps
+# the pinned schedules in proptest-regressions/ visibly load-bearing: every
+# property replays each `cc` seed before generating novel cases.
+echo "==> anti-entropy proptests (pinned regression seeds + novel cases)"
+cargo test -q -p vservers --test anti_entropy_props
+
 echo "==> all checks passed"

@@ -19,12 +19,15 @@
 //!   fully-qualified name, so every run of `cargo test` explores the same
 //!   inputs — in keeping with the workspace's virtual-time determinism
 //!   rules (no wall clock, no ambient entropy).
-//! * **No shrinking.** A failing case reports its exact inputs instead; the
-//!   repo's convention is to copy such inputs into a permanent regression
-//!   unit test (see `*.proptest-regressions` for cases found by the real
-//!   engine before vendoring).
-//! * `*.proptest-regressions` files are kept for provenance but not
-//!   replayed: their `cc` seeds are opaque to this engine. Each recorded
+//! * **No shrinking.** A failing case reports its exact inputs *and* its
+//!   engine seed, with instructions to pin it: append a `cc <16-hex-digit
+//!   seed>` line to `proptest-regressions/<file stem>.txt` in the test's
+//!   crate, and every future run of every property in that file replays
+//!   the pinned seed before generating novel cases (see
+//!   [`regression_seeds`]).
+//! * Legacy `*.proptest-regressions` files (recorded by the real engine
+//!   before vendoring) are kept for provenance but not replayed: their
+//!   256-bit `cc` digests are opaque to this engine. Each such recorded
 //!   shrunk case has a corresponding explicit regression test instead.
 
 #![forbid(unsafe_code)]
@@ -77,6 +80,48 @@ pub fn fnv1a(name: &str) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
+}
+
+// ---------------------------------------------------------------------------
+// Pinned regression seeds
+// ---------------------------------------------------------------------------
+
+/// Reads the pinned regression seeds for a test source file.
+///
+/// `proptest-regressions/<file stem>.txt` under the crate's manifest
+/// directory holds one `cc <16-hex-digit seed>` line per pinned
+/// counterexample; `#` starts a comment (typically describing what the
+/// case caught), blank lines are ignored. The seeds are this engine's
+/// native [`TestRng`] seeds, so every `proptest!` property in the file
+/// replays each one *before* generating novel cases — a counterexample,
+/// once pinned, is checked forever. Longer `cc` digests (recorded by the
+/// real proptest engine before vendoring) are skipped: they are opaque to
+/// this engine. A missing file simply means nothing is pinned.
+pub fn regression_seeds(manifest_dir: &str, source_file: &str) -> Vec<u64> {
+    let stem = std::path::Path::new(source_file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("");
+    let path = std::path::Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"));
+    let Ok(body) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in body.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        let Some(hex) = line.strip_prefix("cc ") else {
+            continue;
+        };
+        let hex = hex.trim();
+        if hex.len() == 16 {
+            if let Ok(seed) = u64::from_str_radix(hex, 16) {
+                seeds.push(seed);
+            }
+        }
+    }
+    seeds
 }
 
 // ---------------------------------------------------------------------------
@@ -585,10 +630,8 @@ macro_rules! __proptest_impl {
             let __config: $crate::ProptestConfig = $cfg;
             let __test_name = concat!(module_path!(), "::", stringify!($name));
             let __seed = $crate::fnv1a(__test_name);
-            for __case in 0..__config.cases {
-                let mut __rng = $crate::TestRng::from_seed(
-                    __seed ^ (u64::from(__case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
+            let __run_one = |__case_seed: u64| -> (::std::string::String, $crate::TestCaseResult) {
+                let mut __rng = $crate::TestRng::from_seed(__case_seed);
                 let __vals = ($($crate::Strategy::generate(&($strat), &mut __rng),)+);
                 let __inputs = format!("{:?}", __vals);
                 let ($($pat,)+) = __vals;
@@ -596,14 +639,42 @@ macro_rules! __proptest_impl {
                     $body
                     ::std::result::Result::Ok(())
                 })();
+                (__inputs, __res)
+            };
+            // Pinned counterexamples replay before any novel case.
+            let __pinned = $crate::regression_seeds(env!("CARGO_MANIFEST_DIR"), file!());
+            for (__i, &__cc) in __pinned.iter().enumerate() {
+                let (__inputs, __res) = __run_one(__cc);
                 if let ::std::result::Result::Err(e) = __res {
                     panic!(
-                        "proptest case {}/{} of {} failed: {}\n  inputs: {}",
+                        "pinned regression {}/{} (cc {:016x}) of {} failed: {}\n  inputs: {}",
+                        __i + 1,
+                        __pinned.len(),
+                        __cc,
+                        __test_name,
+                        e,
+                        __inputs
+                    );
+                }
+            }
+            for __case in 0..__config.cases {
+                let __case_seed = __seed ^ (u64::from(__case)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let (__inputs, __res) = __run_one(__case_seed);
+                if let ::std::result::Result::Err(e) = __res {
+                    panic!(
+                        "proptest case {}/{} of {} failed: {}\n  inputs: {}\n  \
+                         to pin this case forever, append `cc {:016x}` to \
+                         proptest-regressions/{}.txt in this crate",
                         __case + 1,
                         __config.cases,
                         __test_name,
                         e,
-                        __inputs
+                        __inputs,
+                        __case_seed,
+                        ::std::path::Path::new(file!())
+                            .file_stem()
+                            .and_then(|s| s.to_str())
+                            .unwrap_or("this_file")
                     );
                 }
             }
@@ -631,6 +702,22 @@ mod tests {
         let mut a = crate::TestRng::from_seed(42);
         let mut b = crate::TestRng::from_seed(42);
         assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    /// The committed `proptest-regressions/lib.txt` parses to exactly the
+    /// native seeds pinned there: 16-hex-digit `cc` lines are replayed,
+    /// comments and legacy 256-bit digests are skipped. (The `proptest!`
+    /// blocks below replay these seeds on every run.)
+    #[test]
+    fn pinned_seeds_parse() {
+        let seeds = crate::regression_seeds(env!("CARGO_MANIFEST_DIR"), file!());
+        assert_eq!(seeds, vec![0x0000_0000_DEAD_BEEF, 0x0123_4567_89AB_CDEF]);
+    }
+
+    /// A file that does not exist pins nothing.
+    #[test]
+    fn missing_regression_file_is_empty() {
+        assert!(crate::regression_seeds(env!("CARGO_MANIFEST_DIR"), "no_such_file.rs").is_empty());
     }
 
     proptest! {
