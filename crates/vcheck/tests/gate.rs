@@ -177,6 +177,33 @@ fn lint_pass_rejects_a_guard_held_across_send() {
 }
 
 #[test]
+fn lint_pass_guards_the_shard_module_rwlock_reads() {
+    // The snapshot module lives under the same guard fence as the rest of
+    // vservers, and since it names RwLock, `.read()`/`.write()` count as
+    // guard acquisitions there: holding the publication slot open across a
+    // blocking send must trip the rule with no allow marker.
+    let root = synthetic_workspace(
+        "guard-across-send-shard",
+        &[
+            (
+                "crates/vservers/src/shard.rs",
+                "pub fn publish_and_tell(ctx: &dyn Ipc, slot: &RwLock<u8>) {\n    \
+                     let snap = slot.read();\n    \
+                     ctx.send(peer, msg, Bytes::new(), 0);\n\
+                 }\n",
+            ),
+            ("crates/vproto/src/codes.rs", ""),
+        ],
+    );
+    let violations = lints::run(&root);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule, "guard-across-send");
+    assert_eq!(violations[0].file, "crates/vservers/src/shard.rs");
+    assert_eq!(violations[0].line, 3);
+    assert!(violations[0].message.contains("`snap`"));
+}
+
+#[test]
 fn lint_pass_rejects_an_undispatched_request_code() {
     let root = synthetic_workspace(
         "opcode-dispatch",

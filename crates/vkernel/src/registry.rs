@@ -29,7 +29,36 @@ pub enum LookupPath {
 /// The service-name table (paper §4.2).
 #[derive(Debug, Default)]
 pub struct Registry {
-    entries: RwLock<HashMap<ServiceId, Vec<RegEntry>>>,
+    entries: RwLock<RegMap>,
+}
+
+/// The registry's two views: the shared per-service lists, and a per-host
+/// "local kernel table" holding the winning local-serving pid per
+/// `(service, host)`. A `GetPid` local hit touches only the local table —
+/// one hash probe — instead of re-walking the shared service list the way
+/// the broadcast search must.
+#[derive(Debug, Default)]
+struct RegMap {
+    by_service: HashMap<ServiceId, Vec<RegEntry>>,
+    local: HashMap<(ServiceId, LogicalHost), Pid>,
+}
+
+impl RegMap {
+    /// Rebuilds the local-table rows for `service` from its entry list.
+    /// Registration-path only; lookups never call this.
+    fn reindex_service(&mut self, service: ServiceId) {
+        self.local.retain(|&(s, _), _| s != service);
+        let Some(list) = self.by_service.get(&service) else {
+            return;
+        };
+        for e in list.iter().filter(|e| e.scope.serves_local()) {
+            let host = e.pid.logical_host();
+            let slot = self.local.entry((service, host)).or_insert(e.pid);
+            if e.pid < *slot {
+                *slot = e.pid;
+            }
+        }
+    }
 }
 
 impl Registry {
@@ -42,20 +71,29 @@ impl Registry {
     /// re-registering the same service replaces its earlier entry.
     pub fn register(&self, service: ServiceId, pid: Pid, scope: Scope) {
         let mut map = self.entries.write();
-        let list = map.entry(service).or_default();
+        let list = map.by_service.entry(service).or_default();
         if let Some(e) = list.iter_mut().find(|e| e.pid == pid) {
             e.scope = scope;
         } else {
             list.push(RegEntry { pid, scope });
         }
+        map.reindex_service(service);
     }
 
     /// Removes every registration held by `pid` (on process death — the
     /// rebinding situation of paper §4.2).
     pub fn unregister_pid(&self, pid: Pid) {
         let mut map = self.entries.write();
-        for list in map.values_mut() {
+        let mut touched = Vec::new();
+        for (&service, list) in map.by_service.iter_mut() {
+            let before = list.len();
             list.retain(|e| e.pid != pid);
+            if list.len() != before {
+                touched.push(service);
+            }
+        }
+        for service in touched {
+            map.reindex_service(service);
         }
     }
 
@@ -65,17 +103,18 @@ impl Registry {
     pub fn registered_anywhere(&self, pid: Pid) -> bool {
         self.entries
             .read()
+            .by_service
             .values()
             .any(|list| list.iter().any(|e| e.pid == pid))
     }
 
     /// Looks up `service` on behalf of a client on `from`, within `scope`.
     ///
-    /// The local kernel table is consulted first (entries on `from` whose
-    /// registration scope serves local clients); on a miss, and if the
-    /// lookup scope permits, other hosts are searched (entries whose
-    /// registration scope serves remote clients). Ties break toward the
-    /// lowest pid for determinism.
+    /// The local kernel table is consulted first (one probe of the per-host
+    /// index — a local hit never walks the shared service list); on a miss,
+    /// and if the lookup scope permits, other hosts are searched (entries
+    /// whose registration scope serves remote clients). Ties break toward
+    /// the lowest pid for determinism.
     pub fn lookup(
         &self,
         service: ServiceId,
@@ -83,17 +122,12 @@ impl Registry {
         from: LogicalHost,
     ) -> Option<(Pid, LookupPath)> {
         let map = self.entries.read();
-        let list = map.get(&service)?;
         if scope.searches_local() {
-            let hit = list
-                .iter()
-                .filter(|e| e.pid.is_on(from) && e.scope.serves_local())
-                .map(|e| e.pid)
-                .min();
-            if let Some(pid) = hit {
+            if let Some(&pid) = map.local.get(&(service, from)) {
                 return Some((pid, LookupPath::LocalTable));
             }
         }
+        let list = map.by_service.get(&service)?;
         if scope.searches_remote() {
             let hit = list
                 .iter()

@@ -395,6 +395,26 @@ impl Ipc for ProcessCtx {
         }
     }
 
+    fn try_receive(&self) -> Result<Option<Received>, IpcError> {
+        use crossbeam::channel::TryRecvError;
+        match self.mailbox.try_recv() {
+            Ok(MailItem::Env(env)) => Ok(Some(Received {
+                from: env.from,
+                msg: env.msg,
+                payload: env.payload,
+                path: PathInner::Thread(ThreadPath {
+                    reply_tx: Some(env.reply_tx),
+                    cap: env.cap,
+                    buf: env.prebuf,
+                    txn: env.txn,
+                }),
+            })),
+            Ok(MailItem::Poison) => Err(IpcError::Killed),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(IpcError::Shutdown),
+        }
+    }
+
     fn reply(&self, rx: Received, msg: Message, data: Bytes) -> Result<(), IpcError> {
         if let Ok(core) = self.core() {
             if let Some(net) = &core.emulate {

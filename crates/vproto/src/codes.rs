@@ -111,6 +111,12 @@ request_codes! {
         /// for the diffed leaves. Equal-hash subtrees are never walked, so
         /// a round costs O(divergence), not O(table).
         SyncProbe = 0x0010,
+        /// Resolve a batch of bare prefixes in one transaction: the request
+        /// payload lists the prefix names, the reply payload carries one
+        /// answer per name (status, target pid, context, staleness), all
+        /// served from a single published resolver snapshot — one
+        /// internally consistent view across the whole batch.
+        ResolveBatch = 0x0011,
 
         // ---- CSname requests (standard fields present) ----
         /// Map a CSname that names a context into a (server-pid, context-id)

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod codes;
 mod csname;
 mod descriptor;
@@ -45,6 +46,10 @@ mod service;
 mod sync;
 mod wire;
 
+pub use batch::{
+    ResolveAnswer, ResolveBatchMsg, ResolveBatchReply, RESOLVE_NOT_FOUND, RESOLVE_NO_SERVER,
+    RESOLVE_OK,
+};
 pub use codes::{is_csname_request_raw, ReplyCode, RequestCode, CSNAME_BIT};
 pub use csname::{CsName, PrefixParse, PREFIX_CLOSE, PREFIX_OPEN};
 pub use descriptor::{

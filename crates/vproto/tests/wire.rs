@@ -29,6 +29,7 @@ const REQUESTS: &[(RequestCode, u16, bool)] = &[
     (RequestCode::SyncStatus, 0x000E, false),
     (RequestCode::SyncGossip, 0x000F, false),
     (RequestCode::SyncProbe, 0x0010, false),
+    (RequestCode::ResolveBatch, 0x0011, false),
     (RequestCode::QueryName, 0x8001, true),
     (RequestCode::QueryObject, 0x8002, true),
     (RequestCode::ModifyObject, 0x8003, true),

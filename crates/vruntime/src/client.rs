@@ -7,7 +7,8 @@ use vkernel::{GroupId, Ipc, IpcError};
 use vnaming::{build_csname_request, BackoffPolicy, RetryPolicy, RetryTimer};
 use vproto::{
     fields, ContextId, ContextPair, CsName, Message, ObjectDescriptor, OpenMode, Pid, ReplyCode,
-    RequestCode, Scope, ServiceId, SyncStatusRec,
+    RequestCode, ResolveBatchMsg, ResolveBatchReply, Scope, ServiceId, SyncStatusRec,
+    RESOLVE_NO_SERVER, RESOLVE_OK,
 };
 
 fn check(code: ReplyCode) -> Result<(), IoError> {
@@ -73,6 +74,21 @@ pub struct Binding {
     pub target: ContextPair,
     /// Whether the authority vouched for it.
     pub staleness: Staleness,
+}
+
+/// One per-name outcome of [`NameClient::resolve_batch`].
+///
+/// `NotFound` and `NoServer` are per-name conditions, not transaction
+/// failures: one unmapped prefix must not sink the other 999 answers in
+/// the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// The prefix resolved; the binding and its trust level.
+    Bound(Binding),
+    /// The server's table holds no live binding for the prefix.
+    NotFound,
+    /// A logical binding whose service has no registered provider.
+    NoServer,
 }
 
 /// Counters for degraded-mode resolution (EXP-12).
@@ -664,6 +680,63 @@ impl<'a> NameClient<'a> {
         }
         self.bump_degraded(|s| s.authority_failures += 1);
         Err(err)
+    }
+
+    /// Resolves many bare prefixes in a single `ResolveBatch` transaction
+    /// against the prefix server — one IPC rendezvous instead of one per
+    /// name, and the server answers the whole batch from one published
+    /// table snapshot, so the answers are mutually consistent.
+    ///
+    /// Prefixes are bare names (no surrounding brackets). Answers come
+    /// back in request order; per-name misses are [`BatchOutcome`]
+    /// variants, not errors.
+    ///
+    /// # Errors
+    ///
+    /// Fails only at the transaction level: no prefix server discovered,
+    /// transport failure, or a malformed reply.
+    pub fn resolve_batch(&self, prefixes: &[&str]) -> Result<Vec<BatchOutcome>, IoError> {
+        let server = self
+            .prefix_server
+            .get()
+            .ok_or(IoError::Server(ReplyCode::NoServer))?;
+        let batch = ResolveBatchMsg {
+            names: prefixes.iter().map(|p| p.as_bytes().to_vec()).collect(),
+        };
+        let msg = Message::request(RequestCode::ResolveBatch);
+        // 12 payload bytes per answer plus the count header, with slack.
+        let recv_cap = 16 * prefixes.len() + 64;
+        let reply = self
+            .ipc
+            .send(server, msg, Bytes::from(batch.encode()), recv_cap)
+            .map_err(IoError::Ipc)?;
+        check(reply.msg.reply_code())?;
+        let decoded = ResolveBatchReply::decode(&reply.data)
+            .map_err(|_| IoError::Server(ReplyCode::BadArgs))?;
+        if decoded.answers.len() != prefixes.len() {
+            return Err(IoError::Server(ReplyCode::BadArgs));
+        }
+        Ok(decoded
+            .answers
+            .into_iter()
+            .map(|a| match a.status {
+                RESOLVE_OK => {
+                    let staleness = if a.staleness == 0 {
+                        Staleness::Fresh
+                    } else {
+                        self.bump_degraded(|s| s.suspect_bindings += 1);
+                        Staleness::Suspect
+                    };
+                    BatchOutcome::Bound(Binding {
+                        target: ContextPair::new(Pid::from_raw(a.pid), ContextId::new(a.context)),
+                        staleness,
+                    })
+                }
+                RESOLVE_NO_SERVER => BatchOutcome::NoServer,
+                // RESOLVE_NOT_FOUND and anything future-unknown.
+                _ => BatchOutcome::NotFound,
+            })
+            .collect())
     }
 
     /// Gets the description record of the named object (paper §5.5).

@@ -21,7 +21,8 @@
 mod client;
 
 pub use client::{
-    Binding, CacheStats, DegradedStats, NameClient, RetryStats, Staleness, SyncPullSummary,
+    BatchOutcome, Binding, CacheStats, DegradedStats, NameClient, RetryStats, Staleness,
+    SyncPullSummary,
 };
 pub use vio::IoError;
 pub use vnaming::{BackoffPolicy, RetryPolicy};

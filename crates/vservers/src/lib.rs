@@ -37,6 +37,8 @@ mod pipe;
 mod prefix;
 mod printer;
 mod program;
+pub mod shard;
+mod suspect;
 pub mod sync;
 mod terminal;
 mod time;
@@ -48,11 +50,12 @@ pub use pipe::{pipe_server, PipeConfig};
 pub use prefix::{prefix_footprint_bytes, prefix_server, DegradedPrefixConfig, PrefixConfig};
 pub use printer::{printer_server, PrinterConfig};
 pub use program::{program_manager, ProgramConfig};
+pub use shard::{ResolverHandle, ShardedTable, SnapEntry, Snapshot};
 pub use sync::{
     flat_round, merkle_child, merkle_index, merkle_is_leaf, merkle_level, merkle_node_id,
-    merkle_node_valid, merkle_round, ApplyOutcome, MerkleWalk, RoundFate, RoundKind, RoundStats,
-    SyncTable, TombstoneOutcome, VersionedEntry, MAX_EPOCH_SKEW_NS, MERKLE_FANOUT, MERKLE_LEAVES,
-    MERKLE_LEVELS, MERKLE_ROOT,
+    merkle_node_valid, merkle_round, shard_of_bucket, ApplyOutcome, MerkleWalk, RoundFate,
+    RoundKind, RoundStats, SyncTable, TombstoneOutcome, VersionedEntry, MAX_EPOCH_SKEW_NS,
+    MERKLE_FANOUT, MERKLE_LEAVES, MERKLE_LEVELS, MERKLE_ROOT, SHARD_COUNT,
 };
 pub use terminal::{terminal_server, TerminalConfig};
 pub use time::{get_time, time_server, TimeConfig};

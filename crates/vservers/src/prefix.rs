@@ -23,18 +23,27 @@
 //! multicast replica group, which is the client's last-resort fallback.
 
 use crate::common::{forward_csname, reply_code, reply_data, reply_descriptor};
+use crate::shard::{ShardedTable, Snapshot};
+use crate::suspect::SuspectSet;
 use crate::sync::{ApplyOutcome, MerkleWalk, SyncTable, TombstoneOutcome};
 use bytes::Bytes;
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Duration;
 use vio::{serve_read, InstanceTable};
 use vkernel::{GroupId, Ipc, Received};
 use vnaming::{CsRequest, DirectoryBuilder};
 use vproto::{
     fields, ContextId, ContextPair, CsName, DescriptorExt, DescriptorTag, InstanceId, Message,
-    ObjectDescriptor, OpenMode, Pid, ReplyCode, RequestCode, Scope, ServiceId, SyncBinding,
-    SyncDeltaMsg, SyncDigestMsg, SyncEntry, SyncProbeMsg, SyncProbeReply, SyncStatusRec,
+    ObjectDescriptor, OpenMode, Pid, ReplyCode, RequestCode, ResolveAnswer, ResolveBatchMsg,
+    ResolveBatchReply, Scope, ServiceId, SyncBinding, SyncDeltaMsg, SyncDigestMsg, SyncEntry,
+    SyncProbeMsg, SyncProbeReply, SyncStatusRec, RESOLVE_NOT_FOUND, RESOLVE_NO_SERVER, RESOLVE_OK,
 };
+
+/// Cap on how many already-queued requests one loop iteration drains into
+/// a resolution burst before replying — bounds the latency a queued
+/// non-resolve request can suffer behind a burst.
+const MAX_RESOLVE_BURST: usize = 64;
 
 /// One prefix table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -229,25 +238,44 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
             table.preload(name.as_bytes().to_vec(), b);
         }
     }
+    // The write-side table wraps into a sharded, snapshot-published view:
+    // definitions and sync rounds mutate the `SyncTable` inside, and the
+    // loop publishes a fresh read-only snapshot before serving the next
+    // request — resolutions never read the write side.
+    let mut sharded = ShardedTable::from_table(table);
     let mut instances: InstanceTable<Vec<u8>> = InstanceTable::new();
-    // Suspect prefixes: prefix → virtual time (ns) the suspicion expires.
-    let mut suspects: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    // Suspect prefixes, indexed by name and by TTL expiry.
+    let mut suspects = SuspectSet::default();
     let mut counters = SyncCounters::default();
+    // Requests drained by a resolution burst that turned out not to be
+    // resolutions themselves; served in order before blocking again.
+    let mut queued: VecDeque<Received> = VecDeque::new();
     ctx.set_pid(ServiceId::CONTEXT_PREFIX, config.scope);
     if let Some(group) = config.degraded.and_then(|d| d.replica_group) {
         let _ = ctx.join_group(group);
     }
 
-    while let Ok(rx) = ctx.receive() {
+    loop {
+        // Publish any table mutations from the previous iteration before
+        // blocking: either the whole batch of a sync round becomes visible
+        // or none of it does, so a reader can never observe a half-applied
+        // round. A no-op (and no allocation) when nothing changed.
+        sharded.publish();
+        let rx = match queued.pop_front() {
+            Some(rx) => rx,
+            None => match ctx.receive() {
+                Ok(rx) => rx,
+                Err(_) => break,
+            },
+        };
         let msg = rx.msg;
         // Sweep expired suspicions on every iteration — a suspicion whose
         // TTL elapsed must clear even if no query for that prefix ever
-        // arrives again (any message wakes the sweep).
+        // arrives again (any message wakes the sweep). The TTL-ordered
+        // index pops exactly the expired entries: O(expired), not O(armed).
         {
             let now_ns = ctx.now().as_nanos() as u64;
-            let before = suspects.len();
-            suspects.retain(|_, until| *until > now_ns);
-            counters.suspects_expired += (before - suspects.len()) as u32;
+            counters.suspects_expired += suspects.expire(now_ns);
         }
         if msg.is_csname_request() {
             let payload = match ctx.move_from(&rx) {
@@ -264,7 +292,7 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
             handle_csname(
                 ctx,
                 rx,
-                &mut table,
+                &mut sharded,
                 &mut instances,
                 req,
                 config.degraded,
@@ -305,7 +333,7 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                 let server = msg.pid_at(fields::W_TARGET_PID_LO);
                 let target_ctx = ContextId::new(msg.word32(fields::W_TARGET_CTX_LO));
                 let looking_for = ContextPair::new(server, target_ctx);
-                let found = table.live_iter().find_map(|(name, b, _)| {
+                let found = sharded.table().live_iter().find_map(|(name, b, _)| {
                     match PrefixTarget::from_binding(b) {
                         PrefixTarget::Direct(pair) if pair == looking_for => Some(name.to_vec()),
                         _ => None,
@@ -327,6 +355,34 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
             Some(RequestCode::Echo) => {
                 let _ = ctx.reply(rx, msg, Bytes::new());
             }
+            Some(RequestCode::ResolveBatch) => {
+                // Resolve a batch of bare prefixes against ONE published
+                // snapshot. Any further `ResolveBatch` requests already
+                // sitting in the mailbox join the burst (up to a cap) and
+                // are served from the same snapshot; the first non-resolve
+                // request drained ends the burst and is queued for the
+                // next iteration, so ordering for mutations is preserved.
+                let mut burst = vec![rx];
+                while burst.len() < MAX_RESOLVE_BURST {
+                    match ctx.try_receive() {
+                        Ok(Some(drained))
+                            if drained.msg.request_code() == Some(RequestCode::ResolveBatch) =>
+                        {
+                            burst.push(drained);
+                        }
+                        Ok(Some(drained)) => {
+                            queued.push_back(drained);
+                            break;
+                        }
+                        Ok(None) | Err(_) => break,
+                    }
+                }
+                let snap = sharded.snapshot();
+                let now_ns = ctx.now().as_nanos() as u64;
+                for rx in burst {
+                    serve_resolve_batch(ctx, rx, &snap, &suspects, now_ns, &mut counters);
+                }
+            }
             Some(RequestCode::SyncPull) => {
                 // One anti-entropy round against the configured authority:
                 // digest out, delta back, apply atomically. A successful
@@ -345,9 +401,21 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                 let mut applied: Option<ApplyOutcome> = None;
                 if let Some(peer) = d.sync_peer {
                     let out = if d.flat_sync {
-                        authority_round(ctx, &mut table, peer, &mut counters, &mut suspects)
+                        authority_round(
+                            ctx,
+                            sharded.table_mut(),
+                            peer,
+                            &mut counters,
+                            &mut suspects,
+                        )
                     } else {
-                        merkle_authority_round(ctx, &mut table, peer, &mut counters, &mut suspects)
+                        merkle_authority_round(
+                            ctx,
+                            sharded.table_mut(),
+                            peer,
+                            &mut counters,
+                            &mut suspects,
+                        )
                     };
                     if let Some(out) = out {
                         applied = Some(out);
@@ -356,9 +424,9 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                 if applied.is_none() {
                     if let Some(group) = d.replica_group {
                         let out = if d.flat_sync {
-                            gossip_round(ctx, &mut table, group, &mut counters)
+                            gossip_round(ctx, sharded.table_mut(), group, &mut counters)
                         } else {
-                            merkle_gossip_round(ctx, &mut table, group, &mut counters)
+                            merkle_gossip_round(ctx, sharded.table_mut(), group, &mut counters)
                         };
                         if let Some(out) = out {
                             via_gossip = true;
@@ -372,7 +440,7 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                         m.set_word(fields::W_SYNC_ADOPTED, out.adopted as u16)
                             .set_word(fields::W_SYNC_DROPPED, out.dropped_live as u16)
                             .set_word(fields::W_SYNC_PROMOTED, out.promoted as u16)
-                            .set_word32(fields::W_SYNC_EPOCH_LO, table.max_epoch() as u32)
+                            .set_word32(fields::W_SYNC_EPOCH_LO, sharded.table().max_epoch() as u32)
                             .set_word(fields::W_SYNC_GOSSIP, u16::from(via_gossip));
                         reply_data(ctx, rx, m, Vec::new());
                     }
@@ -401,9 +469,9 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                 };
                 let flat = config.degraded.is_some_and(|d| d.flat_sync);
                 let out = if flat {
-                    gossip_round(ctx, &mut table, group, &mut counters)
+                    gossip_round(ctx, sharded.table_mut(), group, &mut counters)
                 } else {
-                    merkle_gossip_round(ctx, &mut table, group, &mut counters)
+                    merkle_gossip_round(ctx, sharded.table_mut(), group, &mut counters)
                 };
                 match out {
                     Some(out) => {
@@ -411,7 +479,7 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                         m.set_word(fields::W_SYNC_ADOPTED, out.adopted as u16)
                             .set_word(fields::W_SYNC_DROPPED, out.dropped_live as u16)
                             .set_word(fields::W_SYNC_PROMOTED, out.promoted as u16)
-                            .set_word32(fields::W_SYNC_EPOCH_LO, table.max_epoch() as u32)
+                            .set_word32(fields::W_SYNC_EPOCH_LO, sharded.table().max_epoch() as u32)
                             .set_word(fields::W_SYNC_GOSSIP, 1);
                         reply_data(ctx, rx, m, Vec::new());
                     }
@@ -427,6 +495,7 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                 match SyncDigestMsg::decode(&payload) {
                     Ok(digest) => {
                         let now_ns = ctx.now().as_nanos() as u64;
+                        let table = sharded.table_mut();
                         if authoritative {
                             // The digest doubles as the sender's watermark
                             // ack: record it, recompute the GC horizon
@@ -474,8 +543,12 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                 match SyncProbeMsg::decode(&payload) {
                     Ok(probe) => {
                         let now_ns = ctx.now().as_nanos() as u64;
-                        let (reply, gc_dropped) =
-                            table.answer_probe(&probe, authoritative, Some(rx.from.raw()), now_ns);
+                        let (reply, gc_dropped) = sharded.table_mut().answer_probe(
+                            &probe,
+                            authoritative,
+                            Some(rx.from.raw()),
+                            now_ns,
+                        );
                         counters.gc_dropped += gc_dropped;
                         let mut m = Message::ok();
                         m.set_word(fields::W_SYNC_COUNT, count_word(reply.entries.len()))
@@ -486,6 +559,7 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
                 }
             }
             Some(RequestCode::SyncStatus) => {
+                let table = sharded.table_mut();
                 let rec = SyncStatusRec {
                     epoch: table.max_epoch(),
                     live_entries: table.live_len() as u32,
@@ -512,6 +586,79 @@ pub fn prefix_server(ctx: &dyn Ipc, config: PrefixConfig) {
     }
 }
 
+/// Answers one `ResolveBatch` request from a published snapshot.
+///
+/// Every name in the batch (and every request in a drained burst sharing
+/// `snap`) is resolved against the same immutable snapshot, so the whole
+/// batch observes one internally consistent table state. The batched
+/// probe walks the names shard by shard ([`Snapshot::resolve_batch`]), so
+/// a burst touches each shard's map once while it is cache-hot.
+fn serve_resolve_batch(
+    ctx: &dyn Ipc,
+    rx: Received,
+    snap: &Arc<Snapshot>,
+    suspects: &SuspectSet,
+    now_ns: u64,
+    counters: &mut SyncCounters,
+) {
+    let payload = match ctx.move_from(&rx) {
+        Ok(p) => p,
+        Err(_) => return,
+    };
+    let batch = match ResolveBatchMsg::decode(&payload) {
+        Ok(b) => b,
+        Err(_) => return reply_code(ctx, rx, ReplyCode::BadArgs),
+    };
+    counters.binding_queries += batch.names.len() as u32;
+    let refs: Vec<&[u8]> = batch.names.iter().map(Vec::as_slice).collect();
+    let answers: Vec<ResolveAnswer> = snap
+        .resolve_batch(&refs)
+        .into_iter()
+        .zip(&batch.names)
+        .map(|(hit, name)| match hit {
+            None => ResolveAnswer {
+                status: RESOLVE_NOT_FOUND,
+                pid: 0,
+                context: 0,
+                staleness: 0,
+            },
+            Some(entry) => {
+                let staleness = u16::from(!entry.verified || suspects.is_armed(name, now_ns));
+                match PrefixTarget::from_binding(&entry.binding) {
+                    PrefixTarget::Direct(pair) => ResolveAnswer {
+                        status: RESOLVE_OK,
+                        pid: pair.server.raw(),
+                        context: pair.context.raw(),
+                        staleness,
+                    },
+                    // Logical entries re-resolve via `GetPid` on each use
+                    // (paper §6) — the binding names a service, not a pid.
+                    PrefixTarget::Logical { service, context } => {
+                        match ctx.get_pid(service, Scope::Both) {
+                            Some(pid) => ResolveAnswer {
+                                status: RESOLVE_OK,
+                                pid: pid.raw(),
+                                context: context.raw(),
+                                staleness,
+                            },
+                            None => ResolveAnswer {
+                                status: RESOLVE_NO_SERVER,
+                                pid: 0,
+                                context: 0,
+                                staleness,
+                            },
+                        }
+                    }
+                }
+            }
+        })
+        .collect();
+    let reply = ResolveBatchReply { answers };
+    let mut m = Message::ok();
+    m.set_word(fields::W_SYNC_COUNT, count_word(reply.answers.len()));
+    reply_data(ctx, rx, m, reply.encode());
+}
+
 /// One digest → delta → apply round against the configured authority.
 ///
 /// On success the authority has vouched for the whole table: everything
@@ -524,7 +671,7 @@ fn authority_round(
     table: &mut SyncTable,
     peer: Pid,
     counters: &mut SyncCounters,
-    suspects: &mut BTreeMap<Vec<u8>, u64>,
+    suspects: &mut SuspectSet,
 ) -> Option<ApplyOutcome> {
     let digest = SyncDigestMsg {
         watermark: table.watermark(),
@@ -642,7 +789,7 @@ fn merkle_authority_round(
     table: &mut SyncTable,
     peer: Pid,
     counters: &mut SyncCounters,
-    suspects: &mut BTreeMap<Vec<u8>, u64>,
+    suspects: &mut SuspectSet,
 ) -> Option<ApplyOutcome> {
     let (delta, epoch, horizon) = merkle_walk_ipc(ctx, table, peer, counters)?;
     let mut out = table.apply(&delta, true);
@@ -686,11 +833,11 @@ fn strip_brackets(name: &[u8]) -> &[u8] {
 fn handle_csname(
     ctx: &dyn Ipc,
     rx: Received,
-    table: &mut SyncTable,
+    sharded: &mut ShardedTable,
     instances: &mut InstanceTable<Vec<u8>>,
     req: CsRequest,
     degraded: Option<DegradedPrefixConfig>,
-    suspects: &mut BTreeMap<Vec<u8>, u64>,
+    suspects: &mut SuspectSet,
     counters: &mut SyncCounters,
 ) {
     let msg = rx.msg;
@@ -726,7 +873,9 @@ fn handle_csname(
                 ))
             };
             let now_ns = ctx.now().as_nanos() as u64;
-            table.define(name, target.to_binding(), now_ns);
+            sharded
+                .table_mut()
+                .define(name, target.to_binding(), now_ns);
             reply_code(ctx, rx, ReplyCode::Ok);
             return;
         }
@@ -738,7 +887,7 @@ fn handle_csname(
             // bound under delete-of-unknown churn.
             let name = strip_brackets(req.remaining()).to_vec();
             let now_ns = ctx.now().as_nanos() as u64;
-            let code = match table.tombstone(&name, now_ns) {
+            let code = match sharded.table_mut().tombstone(&name, now_ns) {
                 TombstoneOutcome::DroppedLive => ReplyCode::Ok,
                 TombstoneOutcome::AlreadyDead | TombstoneOutcome::Unknown => ReplyCode::NotFound,
             };
@@ -751,7 +900,7 @@ fn handle_csname(
     let remaining = req.remaining();
     if remaining.is_empty() {
         // The name denotes the prefix context itself.
-        return handle_own_context(ctx, rx, table, instances, &req);
+        return handle_own_context(ctx, rx, sharded.table(), instances, &req);
     }
     let parsed = match CsName::from(remaining).parse_prefix() {
         Some(p) => (p.prefix.to_vec(), p.rest_index),
@@ -768,14 +917,14 @@ fn handle_csname(
         ctx.charge(net.params().t_prefix_processing);
     }
 
-    let entry = match table.lookup(&prefix) {
+    // The hot path reads the published snapshot — a hash probe against
+    // an immutable shard, no tree walk, no write-side coupling. The
+    // snapshot holds only live entries, so a tombstone is a plain miss.
+    let entry = match sharded.snapshot().lookup(&prefix) {
         Some(e) => *e,
         None => return reply_code(ctx, rx, ReplyCode::NotFound),
     };
-    let target = match entry.binding {
-        Some(b) => PrefixTarget::from_binding(&b),
-        None => return reply_code(ctx, rx, ReplyCode::NotFound),
-    };
+    let target = PrefixTarget::from_binding(&entry.binding);
 
     let binding_query =
         msg.request_code() == Some(RequestCode::QueryName) && remaining[rest_index..].is_empty();
@@ -795,7 +944,7 @@ fn handle_csname(
     // out first-class bindings without a probe to the authority.
     if let Some(d) = degraded {
         let now_ns = ctx.now().as_nanos() as u64;
-        let suspect_armed = suspects.get(&prefix).is_some_and(|&until| now_ns < until);
+        let suspect_armed = suspects.is_armed(&prefix, now_ns);
         if binding_query && (suspect_armed || !d.authoritative) {
             if let PrefixTarget::Direct(pair) = target {
                 let staleness = if entry.verified && !suspect_armed {
@@ -833,7 +982,7 @@ fn handle_csname(
             // re-resolve via `GetPid` and survive restarts by design.
             if matches!(target, PrefixTarget::Direct(_)) {
                 let now_ns = ctx.now().as_nanos() as u64;
-                table.tombstone(&prefix, now_ns);
+                sharded.table_mut().tombstone(&prefix, now_ns);
             }
         }
         Err(vkernel::IpcError::Timeout) => {
@@ -845,12 +994,12 @@ fn handle_csname(
             // the client's retry is what lands on the degraded path.
             if let Some(d) = degraded {
                 let until = ctx.now() + d.suspect_ttl;
-                suspects.insert(prefix, until.as_nanos() as u64);
+                suspects.arm(prefix, until.as_nanos() as u64);
             }
         }
         Ok(()) => {
             // The path works again; any armed suspicion is disproved.
-            suspects.remove(&prefix);
+            suspects.disarm(&prefix);
         }
         Err(_) => {}
     }

@@ -1,0 +1,425 @@
+//! Sharded, read-mostly view of a [`SyncTable`] — the resolve hot path.
+//!
+//! The prefix server's receive loop owns the versioned table; resolution
+//! only ever needs the *live bindings*. This module splits the two roles:
+//! the writer keeps mutating its [`SyncTable`] as before, and `publish`
+//! turns the accumulated changes into a fresh immutable [`Snapshot`] that
+//! readers pick up with one atomic pointer swap (RCU style — readers never
+//! take a write lock, writers never block readers).
+//!
+//! A snapshot is [`SHARD_COUNT`] per-shard hash maps behind `Arc`s. Shards
+//! are keyed by the same FNV top bits the Merkle tree buckets on
+//! ([`SyncTable::shard_of`] is the top four bits of
+//! [`SyncTable::bucket_of`]), so a shard is exactly one root-child subtree:
+//! the set a publish rebuilds and the set a sync walk descends always
+//! coincide. Publishing rebuilds only the shards the table marked dirty
+//! and re-`Arc`s the rest, so the cost of a publish tracks what actually
+//! changed, not table size.
+//!
+//! Atomicity: a mutation batch (a define, a whole sync apply round, a GC
+//! sweep) becomes visible all-at-once at the next `publish`, or not at
+//! all. Aborted rounds never call `publish`, so they are invisible to
+//! readers — the same "failed rounds apply nothing" guarantee the Merkle
+//! walk gives the table itself, extended to concurrent readers.
+
+use crate::sync::{SyncTable, SHARD_COUNT};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use vproto::SyncBinding;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The full 64-bit FNV-1a hash of a prefix — the same fold
+/// [`SyncTable::bucket_of`] takes its top bits from, so one pass yields
+/// both the shard and the in-shard probe position.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The shard a full FNV hash lands in: its top four bits — by
+/// construction identical to [`SyncTable::shard_of`] of the hashed name
+/// (shard = top 4 bits of the 20-bit Merkle leaf bucket = top 4 bits of
+/// the hash).
+const fn shard_of_hash(h: u64) -> usize {
+    (h >> 60) as usize
+}
+
+/// One stored binding in a shard's probe table.
+#[derive(Debug, Clone)]
+struct ProbeSlot {
+    hash: u64,
+    name: Vec<u8>,
+    entry: SnapEntry,
+}
+
+/// One shard of a snapshot: a fixed open-addressing table built once at
+/// publish time (linear probing, ≤50% load, never resized after build).
+/// Lookups reuse the caller's single FNV pass — the hash that picked the
+/// shard also picks the slot — compare the stored 64-bit hash first, and
+/// touch the name bytes only on a hash match, so a probe is typically one
+/// cache line of the slot array.
+#[derive(Debug, Default)]
+struct ShardMap {
+    mask: usize,
+    len: usize,
+    slots: Vec<Option<ProbeSlot>>,
+}
+
+impl ShardMap {
+    fn build(items: Vec<ProbeSlot>) -> ShardMap {
+        if items.is_empty() {
+            return ShardMap::default();
+        }
+        let cap = (items.len() * 2).next_power_of_two();
+        let mask = cap - 1;
+        let mut slots: Vec<Option<ProbeSlot>> = Vec::with_capacity(cap);
+        slots.resize_with(cap, || None);
+        let len = items.len();
+        for item in items {
+            let mut idx = (item.hash as usize) & mask;
+            while slots[idx].is_some() {
+                idx = (idx + 1) & mask;
+            }
+            slots[idx] = Some(item);
+        }
+        ShardMap { mask, len, slots }
+    }
+
+    fn get(&self, hash: u64, name: &[u8]) -> Option<&SnapEntry> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mut idx = (hash as usize) & self.mask;
+        loop {
+            match &self.slots[idx] {
+                None => return None,
+                Some(s) if s.hash == hash && s.name == name => return Some(&s.entry),
+                Some(_) => idx = (idx + 1) & self.mask,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// A live binding as served by a snapshot: what resolution needs and
+/// nothing else (tombstones and epochs stay in the writer's table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapEntry {
+    /// The prefix binding.
+    pub binding: SyncBinding,
+    /// `false` while the entry is hearsay (preloaded or gossip-adopted);
+    /// served to clients as the staleness flag.
+    pub verified: bool,
+}
+
+/// An immutable, internally consistent view of every live binding at one
+/// publication instant.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Publication sequence number: 0 for the empty boot snapshot, +1 per
+    /// publish that changed anything.
+    epoch: u64,
+    shards: [Arc<ShardMap>; SHARD_COUNT],
+}
+
+impl Snapshot {
+    fn empty() -> Self {
+        Snapshot {
+            epoch: 0,
+            shards: std::array::from_fn(|_| Arc::new(ShardMap::default())),
+        }
+    }
+
+    /// The publication sequence number this snapshot was swapped in at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Looks up a live binding. Tombstoned and never-defined prefixes both
+    /// answer `None`.
+    pub fn lookup(&self, prefix: &[u8]) -> Option<&SnapEntry> {
+        let h = fnv64(prefix);
+        self.shards[shard_of_hash(h)].get(h, prefix)
+    }
+
+    /// The number of live bindings in the snapshot.
+    pub fn live_len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Resolves a batch of prefixes against this one consistent view,
+    /// grouped through the shards: all of shard 0's names probe before
+    /// shard 1's, so a burst walks each shard map while it is hot instead
+    /// of ping-ponging between sixteen of them. Answers land at the input
+    /// index of their name.
+    pub fn resolve_batch(&self, names: &[&[u8]]) -> Vec<Option<SnapEntry>> {
+        let mut out = vec![None; names.len()];
+        // Hash every name once (the hash encodes its shard in the top four
+        // bits), sort the (hash, index) pairs so probes run shard-major,
+        // then probe with the precomputed hashes.
+        let mut order: Vec<(u64, u32)> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (fnv64(n), i as u32))
+            .collect();
+        order.sort_unstable_by_key(|&(h, _)| h >> 60);
+        for &(h, i) in &order {
+            let i = i as usize;
+            out[i] = self.shards[shard_of_hash(h)].get(h, names[i]).copied();
+        }
+        out
+    }
+}
+
+/// The writer half: a [`SyncTable`] plus the publication slot readers load
+/// snapshots from.
+///
+/// All sync/anti-entropy machinery keeps operating on the inner table via
+/// [`ShardedTable::table_mut`]; nothing those rounds do is visible to
+/// readers until [`ShardedTable::publish`] commits the batch.
+#[derive(Debug)]
+pub struct ShardedTable {
+    table: SyncTable,
+    published: Arc<RwLock<Arc<Snapshot>>>,
+}
+
+impl Default for ShardedTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedTable {
+    /// An empty table with an empty published snapshot.
+    pub fn new() -> Self {
+        ShardedTable {
+            table: SyncTable::new(),
+            published: Arc::new(RwLock::new(Arc::new(Snapshot::empty()))),
+        }
+    }
+
+    /// Wraps an already-populated table and publishes its current state as
+    /// the first snapshot.
+    pub fn from_table(table: SyncTable) -> Self {
+        let mut s = ShardedTable {
+            table,
+            published: Arc::new(RwLock::new(Arc::new(Snapshot::empty()))),
+        };
+        // Everything is new to the (empty) snapshot, whatever the table's
+        // own dirty mask says.
+        s.table.take_dirty_shards();
+        s.publish_shards(u16::MAX);
+        s
+    }
+
+    /// Read access to the versioned table (digests, walks, counters).
+    pub fn table(&self) -> &SyncTable {
+        &self.table
+    }
+
+    /// Write access to the versioned table. Mutations stage invisibly;
+    /// call [`ShardedTable::publish`] when the batch is complete.
+    pub fn table_mut(&mut self) -> &mut SyncTable {
+        &mut self.table
+    }
+
+    /// Publishes every staged change as one new snapshot. A no-op (no
+    /// swap, no epoch bump) when nothing is dirty, so callers can invoke
+    /// it unconditionally after each receive-loop iteration. Only dirty
+    /// shards are rebuilt; clean ones share their `Arc` with the previous
+    /// snapshot.
+    pub fn publish(&mut self) {
+        let dirty = self.table.take_dirty_shards();
+        if dirty != 0 {
+            self.publish_shards(dirty);
+        }
+    }
+
+    fn publish_shards(&mut self, dirty: u16) {
+        let prev = self.published.read().clone();
+        let shards = std::array::from_fn(|s| {
+            if dirty & (1 << s) == 0 {
+                return prev.shards[s].clone();
+            }
+            let items: Vec<ProbeSlot> = self
+                .table
+                .shard_live_iter(s)
+                .map(|(name, binding, verified)| ProbeSlot {
+                    hash: fnv64(name),
+                    name: name.to_vec(),
+                    entry: SnapEntry {
+                        binding: *binding,
+                        verified,
+                    },
+                })
+                .collect();
+            Arc::new(ShardMap::build(items))
+        });
+        let next = Arc::new(Snapshot {
+            epoch: prev.epoch + 1,
+            shards,
+        });
+        *self.published.write() = next;
+    }
+
+    /// The current snapshot (one read-lock acquisition and an `Arc`
+    /// clone — never blocks behind a publish in progress for long, and
+    /// never blocks a publish).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.published.read().clone()
+    }
+
+    /// A cloneable, send-able read handle for resolver threads.
+    pub fn reader(&self) -> ResolverHandle {
+        ResolverHandle {
+            published: self.published.clone(),
+        }
+    }
+}
+
+/// A read-only handle onto a [`ShardedTable`]'s publication slot. Cheap to
+/// clone and safe to hand to other threads; each [`ResolverHandle::snapshot`]
+/// call loads whatever the writer most recently published.
+#[derive(Debug, Clone)]
+pub struct ResolverHandle {
+    published: Arc<RwLock<Arc<Snapshot>>>,
+}
+
+impl ResolverHandle {
+    /// The current snapshot.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.published.read().clone()
+    }
+
+    /// One-shot lookup against the current snapshot.
+    pub fn lookup(&self, prefix: &[u8]) -> Option<SnapEntry> {
+        self.snapshot().lookup(prefix).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bind(target: u32) -> SyncBinding {
+        SyncBinding {
+            logical: false,
+            target,
+            context: 1,
+        }
+    }
+
+    #[test]
+    fn staged_mutations_invisible_until_publish() {
+        let mut st = ShardedTable::new();
+        st.table_mut().define(b"bin".to_vec(), bind(1), 100);
+        assert!(st.snapshot().lookup(b"bin").is_none());
+        st.publish();
+        assert_eq!(st.snapshot().lookup(b"bin").unwrap().binding, bind(1));
+    }
+
+    #[test]
+    fn tombstone_retracts_on_next_publish() {
+        let mut st = ShardedTable::new();
+        st.table_mut().define(b"tmp".to_vec(), bind(2), 100);
+        st.publish();
+        st.table_mut().tombstone(b"tmp", 200);
+        let held = st.snapshot();
+        st.publish();
+        // The old snapshot still serves the binding; the new one does not.
+        assert!(held.lookup(b"tmp").is_some());
+        assert!(st.snapshot().lookup(b"tmp").is_none());
+    }
+
+    #[test]
+    fn publish_is_a_noop_when_clean() {
+        let mut st = ShardedTable::new();
+        st.table_mut().define(b"x".to_vec(), bind(1), 100);
+        st.publish();
+        let epoch = st.snapshot().epoch();
+        st.publish();
+        assert_eq!(st.snapshot().epoch(), epoch);
+    }
+
+    #[test]
+    fn clean_shards_are_shared_between_snapshots() {
+        let mut st = ShardedTable::new();
+        for i in 0..64u32 {
+            st.table_mut()
+                .define(format!("n{i}").into_bytes(), bind(i), 100 + u64::from(i));
+        }
+        st.publish();
+        let before = st.snapshot();
+        st.table_mut().define(b"one-more".to_vec(), bind(99), 999);
+        st.publish();
+        let after = st.snapshot();
+        let touched = SyncTable::shard_of(b"one-more");
+        let mut shared = 0;
+        for s in 0..SHARD_COUNT {
+            if Arc::ptr_eq(&before.shards[s], &after.shards[s]) {
+                shared += 1;
+                assert_ne!(s, touched, "touched shard must be rebuilt");
+            }
+        }
+        assert_eq!(shared, SHARD_COUNT - 1, "exactly one shard was dirty");
+    }
+
+    #[test]
+    fn verified_promotion_republishes() {
+        let mut st = ShardedTable::new();
+        st.table_mut().preload(b"boot".to_vec(), bind(7));
+        st.publish();
+        assert!(!st.snapshot().lookup(b"boot").unwrap().verified);
+        st.table_mut().mark_all_verified();
+        st.publish();
+        assert!(st.snapshot().lookup(b"boot").unwrap().verified);
+    }
+
+    #[test]
+    fn from_table_publishes_existing_content() {
+        let mut t = SyncTable::new();
+        t.define(b"seed".to_vec(), bind(3), 50);
+        t.tombstone(b"seed2", 60); // unknown: no-op
+        let st = ShardedTable::from_table(t);
+        assert_eq!(st.snapshot().live_len(), 1);
+        assert!(st.snapshot().lookup(b"seed").is_some());
+    }
+
+    #[test]
+    fn batch_matches_single_lookups() {
+        let mut st = ShardedTable::new();
+        for i in 0..200u32 {
+            st.table_mut()
+                .define(format!("svc{i}").into_bytes(), bind(i), 100 + u64::from(i));
+        }
+        st.publish();
+        let snap = st.snapshot();
+        let names: Vec<Vec<u8>> = (0..300u32)
+            .map(|i| format!("svc{i}").into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = names.iter().map(|n| n.as_slice()).collect();
+        let batch = snap.resolve_batch(&refs);
+        for (name, got) in refs.iter().zip(&batch) {
+            assert_eq!(got.as_ref(), snap.lookup(name), "{:?}", name);
+        }
+    }
+
+    #[test]
+    fn reader_handle_sees_published_state_only() {
+        let mut st = ShardedTable::new();
+        let reader = st.reader();
+        st.table_mut().define(b"a".to_vec(), bind(1), 100);
+        assert!(reader.lookup(b"a").is_none());
+        st.publish();
+        assert!(reader.lookup(b"a").is_some());
+    }
+}

@@ -112,6 +112,23 @@ pub const MERKLE_LEAVES: u32 = MERKLE_FANOUT.pow(MERKLE_LEVELS);
 /// The packed node id of the Merkle root (level 0, index 0).
 pub const MERKLE_ROOT: u32 = 0;
 
+/// Number of table shards. Equal to [`MERKLE_FANOUT`] on purpose: shard
+/// `s` covers exactly the leaf buckets under the root's child `s`, so a
+/// shard boundary *is* a Merkle subtree boundary — the per-shard snapshot
+/// a publish rebuilds and the subtree a sync walk descends never straddle
+/// each other.
+pub const SHARD_COUNT: usize = MERKLE_FANOUT as usize;
+
+/// Bits to drop from a leaf-bucket index to get its shard: every level
+/// below the root contributes four bits.
+const SHARD_SHIFT: u32 = 4 * (MERKLE_LEVELS - 1);
+
+/// The shard a leaf bucket belongs to (its top four index bits — the
+/// root-child subtree it lives under).
+pub const fn shard_of_bucket(bucket: u32) -> usize {
+    (bucket >> SHARD_SHIFT) as usize
+}
+
 /// Packs a `(level, index)` pair into a stable 32-bit Merkle node id:
 /// `level` in the top byte, `index` in the low 24 bits. Both replicas
 /// derive the same id for the same subtree with no negotiation.
@@ -232,6 +249,12 @@ pub struct SyncTable {
     /// Names whose entry is currently unverified, so a vouching round
     /// promotes in O(promoted) instead of rescanning the table.
     unverified: BTreeSet<Vec<u8>>,
+    /// Bitmask of shards whose *published view* is out of date: set by
+    /// every content mutation and by verified-bit promotions (which the
+    /// Merkle dirty set deliberately ignores — `verified` is not hashed,
+    /// but a resolver snapshot serves it as the staleness flag). Drained
+    /// by [`SyncTable::take_dirty_shards`] at publish time.
+    shard_dirty: u16,
 }
 
 /// Folds one table entry into an FNV-1a accumulator — the per-entry
@@ -303,6 +326,47 @@ impl SyncTable {
         (h >> (64 - 4 * MERKLE_LEVELS)) as u32
     }
 
+    /// The shard a prefix belongs to: the top four bits of its leaf
+    /// bucket, i.e. the Merkle root-child subtree it hashes under.
+    pub fn shard_of(prefix: &[u8]) -> usize {
+        shard_of_bucket(Self::bucket_of(prefix))
+    }
+
+    /// Returns and clears the dirty-shard bitmask (bit `s` ⇒ shard `s`
+    /// changed since the last call). The publish path uses this to rebuild
+    /// only the shards a batch of mutations actually touched.
+    pub fn take_dirty_shards(&mut self) -> u16 {
+        std::mem::take(&mut self.shard_dirty)
+    }
+
+    /// Live `(prefix, binding, verified)` entries of one shard, in name
+    /// order within each leaf bucket. Walks the Merkle member index over
+    /// the shard's bucket range, so the cost tracks the shard's content
+    /// rather than the whole table.
+    pub fn shard_live_iter(
+        &self,
+        shard: usize,
+    ) -> impl Iterator<Item = (&[u8], &SyncBinding, bool)> {
+        let lo = (shard as u32) << SHARD_SHIFT;
+        let hi = ((shard as u32) + 1) << SHARD_SHIFT;
+        self.merkle
+            .members
+            .range(lo..hi)
+            .flat_map(|(_, names)| names.iter())
+            .filter_map(|name| {
+                let e = self.entries.get(name)?;
+                e.binding.as_ref().map(|b| (name.as_slice(), b, e.verified))
+            })
+    }
+
+    /// The sixteen root-child hashes — one per shard, since shard and
+    /// subtree boundaries coincide. Two tables agree on shard `s` iff
+    /// `shard_roots()[s]` matches.
+    pub fn shard_roots(&mut self) -> [u64; SHARD_COUNT] {
+        self.merkle_flush();
+        self.children_of(0, 0)
+    }
+
     /// Inserts (or overwrites) an entry, keeping the Merkle member index
     /// coherent and marking the touched leaf dirty. *Every* content
     /// mutation funnels through here (or the removal path in
@@ -311,6 +375,7 @@ impl SyncTable {
     fn put(&mut self, prefix: Vec<u8>, entry: VersionedEntry) {
         let bucket = Self::bucket_of(&prefix);
         self.merkle.dirty.insert(bucket);
+        self.shard_dirty |= 1 << shard_of_bucket(bucket);
         self.merkle
             .members
             .entry(bucket)
@@ -417,6 +482,10 @@ impl SyncTable {
             if let Some(e) = self.entries.get_mut(&name) {
                 e.verified = true;
                 promoted += 1;
+                // Not a content change (the Merkle tree excludes the
+                // verified bit), but published snapshots serve it as the
+                // staleness flag, so the shard must re-publish.
+                self.shard_dirty |= 1 << Self::shard_of(&name);
             }
         }
         promoted
@@ -497,6 +566,7 @@ impl SyncTable {
                 self.unverified.remove(&name);
                 let bucket = Self::bucket_of(&name);
                 self.merkle.dirty.insert(bucket);
+                self.shard_dirty |= 1 << shard_of_bucket(bucket);
                 if let Some(set) = self.merkle.members.get_mut(&bucket) {
                     set.remove(&name);
                     if set.is_empty() {
@@ -1392,6 +1462,16 @@ mod tests {
                 .map(|(n, _)| n.clone())
                 .collect();
             assert_eq!(t.unverified, unverified, "{who}: unverified index diverged");
+            // Every pending Merkle-dirty bucket's shard must be flagged in
+            // the shard-dirty mask (content changes must re-publish). Only
+            // this direction is checkable: promotions flag shards without
+            // dirtying the tree, so the mask can legitimately be a superset.
+            for &bucket in &t.merkle.dirty {
+                assert!(
+                    t.shard_dirty & (1 << shard_of_bucket(bucket)) != 0,
+                    "{who}: dirty bucket {bucket} in a clean shard"
+                );
+            }
         };
         let mut auth = SyncTable::new();
         let mut rep = SyncTable::new();

@@ -25,6 +25,17 @@
 //! 6. a Merkle walk aborted at *any* probe — not just the two fates the
 //!    flat path can express — is invisible at the puller.
 //!
+//! 7. the sharded snapshot view is a pure read-path optimisation: a
+//!    [`vservers::ShardedTable`] driven by the same schedule (publishing
+//!    after every op, as the server's loop does) keeps its inner table
+//!    byte-identical to a plain [`vservers::SyncTable`] — same digests,
+//!    `table_hash`, and per-shard Merkle roots — and its snapshot always
+//!    answers exactly what the table's live set answers;
+//! 8. publication is atomic: a reader holding a [`vservers::ResolverHandle`]
+//!    never observes part of a mutation batch — entries written together
+//!    before one `publish` appear together or not at all, even across
+//!    shard boundaries and from a concurrent thread.
+//!
 //! Replicas here drift under an arbitrary seeded schedule: defines and
 //! deletes land at the authority while sync and gossip rounds succeed or
 //! fail according to the generated fate of each round. Properties 1–4
@@ -35,7 +46,7 @@
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use vproto::SyncBinding;
-use vservers::{flat_round, merkle_round, RoundFate, RoundKind, SyncTable};
+use vservers::{flat_round, merkle_round, RoundFate, RoundKind, ShardedTable, SyncTable};
 
 /// A small prefix pool so generated schedules collide on names (the
 /// interesting case: redefinitions, delete-then-redefine, stale preloads).
@@ -594,4 +605,154 @@ proptest! {
             Some(_) => prop_assert!(!lose_reply),
         }
     }
+
+    /// The read-path equivalence claim, checked differentially: a
+    /// [`ShardedTable`] authority (publishing after every op, exactly as
+    /// the server's receive loop does) and a plain [`SyncTable`] authority
+    /// driven by the *same* arbitrary churn/loss/gossip schedule stay
+    /// byte-identical — same digests, same `table_hash`, same per-shard
+    /// Merkle roots — and at every step the published snapshot answers
+    /// exactly what the table's live set answers, both one name at a time
+    /// and through `resolve_batch`.
+    #[test]
+    fn sharded_view_matches_unsharded_table_for_any_schedule(
+        preloads in proptest::collection::vec(any::<u8>(), 0..6),
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let mut s_auth = ShardedTable::new();
+        let mut p_auth = SyncTable::new();
+        let mut s_rep = SyncTable::new();
+        let mut p_rep = SyncTable::new();
+        for &i in &preloads {
+            s_rep.preload(name(i), bind(u32::from(i)));
+            p_rep.preload(name(i), bind(u32::from(i)));
+        }
+
+        let pool: Vec<Vec<u8>> = (0..PREFIX_POOL).map(name).collect();
+        let mut last_epoch = 0u64;
+        let mut now_ns: u64 = 1_000;
+        for op in &ops {
+            now_ns += 1_000;
+            match *op {
+                Op::Define(i, t) => {
+                    s_auth.table_mut().define(name(i), bind(t), now_ns);
+                    p_auth.define(name(i), bind(t), now_ns);
+                }
+                Op::Delete(i) => {
+                    s_auth.table_mut().tombstone(&name(i), now_ns);
+                    p_auth.tombstone(&name(i), now_ns);
+                }
+                Op::Sync { fate, .. } => {
+                    sync_round(s_auth.table_mut(), &mut s_rep, 0, fate, now_ns);
+                    sync_round(&mut p_auth, &mut p_rep, 0, fate, now_ns);
+                }
+                Op::Gossip { .. } => {
+                    // One replica here, so gossip pulls authority→replica
+                    // unverified — the adoption path snapshots must track.
+                    gossip_round(s_auth.table_mut(), &mut s_rep, now_ns);
+                    gossip_round(&mut p_auth, &mut p_rep, now_ns);
+                }
+            }
+            s_auth.publish();
+
+            // The wrapped table is byte-identical to the plain one.
+            prop_assert!(s_auth.table().digest() == p_auth.digest(), "digest diverged");
+            prop_assert_eq!(s_auth.table_mut().table_hash(), p_auth.table_hash());
+            prop_assert_eq!(s_auth.table_mut().shard_roots(), p_auth.shard_roots());
+            prop_assert!(s_rep.digest() == p_rep.digest(), "replica digest diverged");
+            prop_assert_eq!(s_rep.table_hash(), p_rep.table_hash());
+
+            // The snapshot serves exactly the table's live set: every pool
+            // name agrees entry-for-entry, the live counts match, and the
+            // batched path equals the single-name path.
+            let snap = s_auth.snapshot();
+            prop_assert_eq!(snap.live_len(), s_auth.table().live_len());
+            let refs: Vec<&[u8]> = pool.iter().map(Vec::as_slice).collect();
+            let batch = snap.resolve_batch(&refs);
+            for (p, batched) in pool.iter().zip(batch) {
+                let table_view = s_auth
+                    .table()
+                    .lookup(p)
+                    .and_then(|e| e.binding.map(|b| (b, e.verified)));
+                let snap_view = snap.lookup(p).map(|e| (e.binding, e.verified));
+                prop_assert!(snap_view == table_view, "snapshot diverged on {:?}", p);
+                prop_assert!(
+                    batched.map(|e| (e.binding, e.verified)) == table_view,
+                    "batch diverged on {:?}",
+                    p
+                );
+            }
+            prop_assert!(snap.epoch() >= last_epoch, "publication epoch regressed");
+            last_epoch = snap.epoch();
+        }
+    }
+}
+
+/// Publication atomicity under a live concurrent reader: a writer thread
+/// redefines two prefixes — placed in *different* shards — to the same
+/// round number and publishes once per round; a reader spinning on a
+/// [`vservers::ResolverHandle`] must never catch the pair half-updated.
+/// One publish swaps in a whole internally consistent snapshot, so a torn
+/// read here would mean a batch leaked across the atomic swap.
+#[test]
+fn concurrent_reader_never_observes_a_half_published_batch() {
+    const ROUNDS: u32 = 20_000;
+    // Two names verified to land in different shards, so atomicity is
+    // cross-shard, not an artifact of sharing one map.
+    let (left, right) = (b"storage".to_vec(), b"printer".to_vec());
+    assert_ne!(
+        SyncTable::shard_of(&left),
+        SyncTable::shard_of(&right),
+        "pick names hashing to different shards"
+    );
+
+    let mut sharded = ShardedTable::new();
+    let handle = sharded.reader();
+    let torn = std::sync::atomic::AtomicU32::new(0);
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let observed = std::thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            let mut seen = 0u64;
+            while !done.load(std::sync::atomic::Ordering::Acquire) {
+                let snap = handle.snapshot();
+                let l = snap.lookup(&left).map(|e| e.binding.target);
+                let r = snap.lookup(&right).map(|e| e.binding.target);
+                if l != r {
+                    torn.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                seen += 1;
+            }
+            seen
+        });
+
+        let mut now_ns = 1_000u64;
+        for round in 0..ROUNDS {
+            now_ns += 1_000;
+            sharded
+                .table_mut()
+                .define(left.clone(), bind(round), now_ns);
+            sharded
+                .table_mut()
+                .define(right.clone(), bind(round), now_ns);
+            sharded.publish();
+        }
+        done.store(true, std::sync::atomic::Ordering::Release);
+        reader.join().expect("reader thread")
+    });
+
+    assert_eq!(
+        torn.load(std::sync::atomic::Ordering::Relaxed),
+        0,
+        "reader caught a half-published define pair"
+    );
+    assert!(observed > 0, "reader never sampled a snapshot");
+    let last = sharded.snapshot();
+    assert_eq!(
+        last.lookup(&left).map(|e| e.binding.target),
+        Some(ROUNDS - 1)
+    );
+    assert_eq!(
+        last.lookup(&right).map(|e| e.binding.target),
+        Some(ROUNDS - 1)
+    );
 }

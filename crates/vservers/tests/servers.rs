@@ -588,3 +588,46 @@ fn failed_interpretation_reports_where_it_stopped() {
         assert_eq!(client.diagnose("[home]naming.mss").unwrap(), None);
     });
 }
+
+#[test]
+fn resolve_batch_answers_many_prefixes_from_one_snapshot() {
+    let (domain, host, fs, _) = boot();
+    domain.client(host, move |ctx| {
+        let client = NameClient::new(ctx, ContextPair::new(fs, ContextId::DEFAULT));
+        setup_prefixes(&client, fs);
+        client
+            .add_logical_prefix("files", ServiceId::FILE_SERVER, ContextId::DEFAULT)
+            .unwrap();
+
+        let outcomes = client
+            .resolve_batch(&["home", "bin", "no-such-prefix", "files", "storage"])
+            .unwrap();
+        assert_eq!(outcomes.len(), 5);
+        // Direct entries come back bound, fresh (the authority defined
+        // them first-hand), with the exact (server, context) pairs.
+        let expect_bound = |o: &vruntime::BatchOutcome, ctx_id: ContextId| match o {
+            vruntime::BatchOutcome::Bound(b) => {
+                assert_eq!(b.target, ContextPair::new(fs, ctx_id));
+                assert_eq!(b.staleness, vruntime::Staleness::Fresh);
+            }
+            other => panic!("expected bound, got {other:?}"),
+        };
+        expect_bound(&outcomes[0], ContextId::HOME);
+        expect_bound(&outcomes[1], ContextId::STANDARD_PROGRAMS);
+        assert_eq!(outcomes[2], vruntime::BatchOutcome::NotFound);
+        // The logical entry re-resolves via GetPid at answer time.
+        expect_bound(&outcomes[3], ContextId::DEFAULT);
+        expect_bound(&outcomes[4], ContextId::DEFAULT);
+
+        // A deletion published before the next batch: the same name that
+        // just resolved now answers NotFound — and the batch's other
+        // answers are untouched.
+        client.delete_prefix("bin").unwrap();
+        let outcomes = client.resolve_batch(&["home", "bin"]).unwrap();
+        expect_bound(&outcomes[0], ContextId::HOME);
+        assert_eq!(outcomes[1], vruntime::BatchOutcome::NotFound);
+
+        // An empty batch is legal and answers nothing.
+        assert_eq!(client.resolve_batch(&[]).unwrap(), vec![]);
+    });
+}

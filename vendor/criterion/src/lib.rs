@@ -60,6 +60,20 @@ pub struct Bencher {
     total_iters: u64,
 }
 
+/// Wall-clock each timed batch aims for. Batches are sized from a warmup
+/// estimate so that per-batch fixed costs — `Instant` reads, and for
+/// `iter_custom` users like `vbench::BenchClient` a cross-thread wakeup —
+/// amortize to noise instead of dominating sub-microsecond benchmarks.
+const TARGET_BATCH: Duration = Duration::from_millis(2);
+
+/// Ceiling on calibrated batch size (the floor is 1, for benchmarks whose
+/// single iteration already exceeds [`TARGET_BATCH`]).
+const MAX_ITERS_PER_BATCH: u64 = 65_536;
+
+fn calibrate(per_iter: Duration) -> u64 {
+    ((TARGET_BATCH.as_nanos() / per_iter.as_nanos().max(1)) as u64).clamp(1, MAX_ITERS_PER_BATCH)
+}
+
 impl Bencher {
     fn new() -> Self {
         Bencher {
@@ -72,10 +86,13 @@ impl Bencher {
 
     /// Times `f` per call.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // One warmup batch, untimed.
-        for _ in 0..self.iters_per_batch.min(4) {
+        // Warmup doubles as calibration: size batches so each takes about
+        // TARGET_BATCH of wall clock.
+        let t0 = Instant::now();
+        for _ in 0..4 {
             black_box(f());
         }
+        self.iters_per_batch = calibrate(t0.elapsed() / 4);
         for _ in 0..self.batches {
             let t0 = Instant::now();
             for _ in 0..self.iters_per_batch {
@@ -89,7 +106,10 @@ impl Bencher {
     /// Times batches with caller-measured durations: `f` receives an
     /// iteration count and returns the time that many iterations took.
     pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
-        black_box(f(1)); // warmup
+        // Warmup doubles as calibration, over enough iterations that the
+        // caller's per-batch overhead does not skew the estimate.
+        let est = f(32) / 32;
+        self.iters_per_batch = calibrate(est);
         for _ in 0..self.batches {
             self.total += f(self.iters_per_batch);
             self.total_iters += self.iters_per_batch;
